@@ -1,0 +1,69 @@
+//! # bb-attacks
+//!
+//! The four privacy attacks of §VI, each consuming the partially
+//! reconstructed background produced by `bb-core`:
+//!
+//! * [`location`] — **Location Inference**: rank a dictionary of known
+//!   backgrounds by hue-only similarity to the reconstruction, searching
+//!   over small rotations and shifts (the camera-readjustment challenge).
+//!   Evaluated by top-k accuracy against a random-guessing baseline
+//!   (Fig 12b).
+//! * [`tracking`] — **Specific Object Tracking**: sweep an object template
+//!   over rotation/shift/scale looking for hue-consistent matches, with the
+//!   §VIII-D false-positive guards (minimum window size, ≥50 % recovered).
+//! * [`generic`] — **Generic Object Inference**: a feature-based detector
+//!   (hue histogram + shape moments, nearest-centroid) trained on synthetic
+//!   exemplars of the household-object vocabulary — the RetinaNet/YOLO
+//!   substitute (Fig 14a).
+//! * [`text`] — **Text Inference**: text-box detection plus bitmap-font
+//!   glyph matching — the TextFuseNet substitute (Fig 14b).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generic;
+pub mod location;
+pub mod text;
+pub mod tracking;
+
+pub use generic::{Detection, ObjectDetector};
+pub use location::{LocationDictionary, LocationInference, Ranking};
+pub use text::{TextFinding, TextReader};
+pub use tracking::{ObjectTracker, TrackMatch};
+
+/// Errors produced by the attack implementations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AttackError {
+    /// The dictionary/template set required by the attack is empty.
+    EmptyDataset,
+    /// The reconstruction contains no recovered pixels to match against.
+    NothingRecovered,
+    /// Propagated imaging failure.
+    Imaging(bb_imaging::ImagingError),
+}
+
+impl std::fmt::Display for AttackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttackError::EmptyDataset => write!(f, "attack dataset is empty"),
+            AttackError::NothingRecovered => write!(f, "reconstruction has no recovered pixels"),
+            AttackError::Imaging(e) => write!(f, "imaging error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttackError::Imaging(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<bb_imaging::ImagingError> for AttackError {
+    fn from(e: bb_imaging::ImagingError) -> Self {
+        AttackError::Imaging(e)
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the attack implementations.
+
+use bb_attacks::{LocationDictionary, LocationInference, ObjectDetector, TextReader};
+use bb_imaging::{Frame, Mask, Rgb};
+use proptest::prelude::*;
+
+fn arb_frame(w: usize, h: usize) -> impl Strategy<Value = Frame> {
+    proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), w * h).prop_map(
+        move |px| {
+            Frame::from_pixels(
+                w,
+                h,
+                px.into_iter().map(|(r, g, b)| Rgb::new(r, g, b)).collect(),
+            )
+            .expect("sized correctly")
+        },
+    )
+}
+
+fn arb_nonempty_mask(w: usize, h: usize) -> impl Strategy<Value = Mask> {
+    proptest::collection::vec(any::<bool>(), w * h).prop_map(move |bits| {
+        let mut m = Mask::new(w, h);
+        for (i, b) in bits.into_iter().enumerate() {
+            m.set_index(i, b);
+        }
+        if m.is_empty() {
+            m.set(0, 0, true);
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn ranking_is_total_and_bounded(
+        background in arb_frame(24, 18),
+        recovered in arb_nonempty_mask(24, 18),
+        dict_frames in proptest::collection::vec(arb_frame(24, 18), 1..6),
+    ) {
+        let entries: Vec<(String, Frame)> = dict_frames
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| (format!("r{i}"), f))
+            .collect();
+        let n = entries.len();
+        let dict = LocationDictionary::new(entries).expect("non-empty");
+        let attack = LocationInference {
+            rotations: vec![0.0],
+            shifts: vec![0],
+            ..Default::default()
+        };
+        let ranking = attack.rank(&background, &recovered, &dict).expect("rank");
+        prop_assert_eq!(ranking.ranked.len(), n);
+        for (label, score) in &ranking.ranked {
+            prop_assert!((0.0..=1.0).contains(score), "{label}: {score}");
+        }
+        // Self-match dominates: ranking the dictionary's own first entry
+        // against itself scores 1.0.
+        let (first_label, _) = &ranking.ranked[0];
+        prop_assert!(ranking.rank_of(first_label) == Some(1));
+    }
+
+    #[test]
+    fn self_match_is_perfect(background in arb_frame(20, 15), recovered in arb_nonempty_mask(20, 15)) {
+        let dict = LocationDictionary::new(vec![("self".into(), background.clone())]).expect("ok");
+        let attack = LocationInference { rotations: vec![0.0], shifts: vec![0], ..Default::default() };
+        let ranking = attack.rank(&background, &recovered, &dict).expect("rank");
+        prop_assert!((ranking.ranked[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detector_never_panics_on_arbitrary_reconstructions(
+        background in arb_frame(40, 30),
+        recovered in arb_nonempty_mask(40, 30),
+    ) {
+        let detector = ObjectDetector::train(2, 0);
+        let detections = detector.detect(&background, &recovered).expect("detect");
+        for d in detections {
+            prop_assert!((0.0..=1.0).contains(&d.confidence));
+            prop_assert!(d.bbox.0 <= d.bbox.2 && d.bbox.1 <= d.bbox.3);
+            prop_assert!(d.bbox.2 < 40 && d.bbox.3 < 30);
+        }
+    }
+
+    #[test]
+    fn text_reader_never_panics_and_reports_sane_findings(
+        background in arb_frame(40, 30),
+        recovered in arb_nonempty_mask(40, 30),
+    ) {
+        let reader = TextReader::default();
+        let findings = reader.read(&background, &recovered).expect("read");
+        for f in findings {
+            prop_assert!((0.0..=1.0).contains(&f.legibility));
+            prop_assert!(!f.text.trim_matches(|c| c == '?' || c == ' ').is_empty());
+        }
+    }
+}

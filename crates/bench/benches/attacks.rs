@@ -1,0 +1,85 @@
+//! Criterion benches for the §VI attacks: dictionary ranking, template
+//! search, generic detection, text reading.
+
+use bb_attacks::{
+    LocationDictionary, LocationInference, ObjectDetector, ObjectTracker, TextReader,
+};
+use bb_imaging::{draw, Frame, Mask, Rgb};
+use bb_synth::{ObjectClass, Room, SceneObject};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn reconstruction_like() -> (Frame, Mask) {
+    let room = Room::sample(5, 160, 120, 6, &mut StdRng::seed_from_u64(5));
+    let full = room.render(160, 120);
+    // Partial recovery pattern: ~40% of pixels.
+    let recovered = Mask::from_fn(160, 120, |x, y| (x * 7 + y * 3) % 5 < 2);
+    let mut background = Frame::new(160, 120);
+    for (x, y) in recovered.iter_set() {
+        background.put(x, y, full.get(x, y));
+    }
+    (background, recovered)
+}
+
+fn bench_attacks(c: &mut Criterion) {
+    let (background, recovered) = reconstruction_like();
+
+    // Small dictionary for the ranking micro-bench (full 200-entry runs are
+    // the experiment binaries' job).
+    let dict_entries: Vec<(String, Frame)> = (0..20u64)
+        .map(|i| {
+            let room = Room::sample(i, 160, 120, 5, &mut StdRng::seed_from_u64(40 + i));
+            (format!("room-{i}"), room.render(160, 120))
+        })
+        .collect();
+    let dictionary = LocationDictionary::new(dict_entries).expect("non-empty");
+    let attack = LocationInference {
+        rotations: vec![-2.0, 0.0, 2.0],
+        shifts: vec![-2, 0, 2],
+        ..Default::default()
+    };
+    c.bench_function("location_rank_20dict_160x120", |b| {
+        b.iter(|| {
+            attack
+                .rank(&background, &recovered, &dictionary)
+                .expect("rank")
+        })
+    });
+
+    let mut rng = StdRng::seed_from_u64(9);
+    let obj = SceneObject::sample(ObjectClass::Poster, 160, 120, &mut rng);
+    let template = ObjectTracker::soften_template(&obj.template());
+    let tracker = ObjectTracker::default();
+    c.bench_function("tracking_search_160x120", |b| {
+        b.iter(|| {
+            tracker
+                .search(&background, &recovered, &template)
+                .expect("search")
+        })
+    });
+
+    let detector = ObjectDetector::train(8, 1);
+    c.bench_function("generic_detect_160x120", |b| {
+        b.iter(|| detector.detect(&background, &recovered).expect("detect"))
+    });
+
+    let reader = TextReader::default();
+    let mut note_scene = Frame::filled(160, 120, Rgb::grey(60));
+    draw::fill_rect(&mut note_scene, 30, 30, 70, 14, Rgb::new(247, 224, 98));
+    draw::text(&mut note_scene, 32, 32, "RENT DUE", 1, Rgb::new(32, 30, 40));
+    let note_recovered = Mask::full(160, 120);
+    c.bench_function("text_read_160x120", |b| {
+        b.iter(|| reader.read(&note_scene, &note_recovered).expect("read"))
+    });
+
+    c.bench_function("detector_training_8_exemplars", |b| {
+        b.iter(|| ObjectDetector::train(8, 2))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_attacks
+}
+criterion_main!(benches);

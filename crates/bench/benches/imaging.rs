@@ -1,0 +1,73 @@
+//! Criterion benches for the imaging substrate primitives the pipeline
+//! leans on (distance transforms, blurs, warps, matching).
+
+use bb_imaging::{filter, geom, morph, Frame, Mask, Rgb};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fixtures() -> (Frame, Frame, Mask) {
+    let a = Frame::from_fn(160, 120, |x, y| {
+        Rgb::new(
+            (x * 3 % 251) as u8,
+            (y * 5 % 251) as u8,
+            ((x + y) % 251) as u8,
+        )
+    });
+    let b = Frame::from_fn(160, 120, |x, y| {
+        Rgb::new(
+            (x * 3 % 251) as u8,
+            (y * 5 % 249) as u8,
+            ((x + y) % 251) as u8,
+        )
+    });
+    let mask = Mask::from_fn(160, 120, |x, y| {
+        let dx = x as i64 - 80;
+        let dy = y as i64 - 60;
+        dx * dx + dy * dy < 1600
+    });
+    (a, b, mask)
+}
+
+fn bench_imaging(c: &mut Criterion) {
+    let (a, b, mask) = fixtures();
+
+    c.bench_function("match_mask_160x120", |bch| {
+        bch.iter(|| a.match_mask(&b, 12).expect("same dims"))
+    });
+
+    c.bench_function("dilate_r20_160x120", |bch| {
+        bch.iter(|| morph::dilate(&mask, 20))
+    });
+
+    c.bench_function("band_phi5_160x120", |bch| {
+        bch.iter(|| morph::band(&mask, 5))
+    });
+
+    c.bench_function("gaussian_blur_s2_160x120", |bch| {
+        bch.iter(|| filter::gaussian_blur(&a, 2.0).expect("valid sigma"))
+    });
+
+    c.bench_function("soft_matte_s1.5_160x120", |bch| {
+        bch.iter(|| filter::soft_matte(&mask, 1.5).expect("valid sigma"))
+    });
+
+    c.bench_function("warp_rot3_160x120", |bch| {
+        let t = geom::Transform {
+            rotate_deg: 3.0,
+            scale: 1.0,
+            dx: 2.0,
+            dy: -1.0,
+        };
+        bch.iter(|| geom::warp(&a, &t))
+    });
+
+    c.bench_function("laplacian_blend_l3_160x120", |bch| {
+        bch.iter(|| filter::laplacian_blend(&a, &b, &mask, 3).expect("blend"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_imaging
+}
+criterion_main!(benches);

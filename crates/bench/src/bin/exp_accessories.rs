@@ -1,0 +1,5 @@
+//! Regenerates the Fig 9 accessory chart.
+fn main() {
+    let cfg = bb_bench::ExpConfig::from_env();
+    print!("{}", bb_bench::experiments::accessories::run(&cfg));
+}

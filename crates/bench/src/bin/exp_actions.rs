@@ -1,0 +1,5 @@
+//! Regenerates the Fig 7 per-action RBRR chart.
+fn main() {
+    let cfg = bb_bench::ExpConfig::from_env();
+    print!("{}", bb_bench::experiments::actions::run(&cfg));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the §V-B cross-call virtual-image fusion study.
+fn main() {
+    let cfg = bb_bench::ExpConfig::from_env();
+    print!("{}", bb_bench::experiments::crosscall::run(&cfg));
+}

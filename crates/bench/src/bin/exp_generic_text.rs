@@ -1,0 +1,5 @@
+//! Regenerates the Fig 14 generic-object and text results.
+fn main() {
+    let cfg = bb_bench::ExpConfig::from_env();
+    print!("{}", bb_bench::experiments::generic_text::run(&cfg));
+}

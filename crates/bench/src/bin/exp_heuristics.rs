@@ -1,0 +1,5 @@
+//! Regenerates the §IX-B heuristic ablations.
+fn main() {
+    let cfg = bb_bench::ExpConfig::from_env();
+    print!("{}", bb_bench::experiments::heuristics::run(&cfg));
+}

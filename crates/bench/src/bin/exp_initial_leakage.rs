@@ -1,0 +1,5 @@
+//! Regenerates the Fig 5 initial-leakage series.
+fn main() {
+    let cfg = bb_bench::ExpConfig::from_env();
+    print!("{}", bb_bench::experiments::initial_leakage::run(&cfg));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the Fig 10/11 lighting charts.
+fn main() {
+    let cfg = bb_bench::ExpConfig::from_env();
+    print!("{}", bb_bench::experiments::lighting::run(&cfg));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the Fig 12b location-inference chart.
+fn main() {
+    let cfg = bb_bench::ExpConfig::from_env();
+    print!("{}", bb_bench::experiments::location::run(&cfg));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the Fig 15 mitigation charts.
+fn main() {
+    let cfg = bb_bench::ExpConfig::from_env();
+    print!("{}", bb_bench::experiments::mitigation::run(&cfg));
+}

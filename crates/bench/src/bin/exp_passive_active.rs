@@ -1,0 +1,5 @@
+//! Regenerates the Fig 12a passive/active/wild chart.
+fn main() {
+    let cfg = bb_bench::ExpConfig::from_env();
+    print!("{}", bb_bench::experiments::passive_active::run(&cfg));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the §VIII-C framework-parameter (φ) study.
+fn main() {
+    let cfg = bb_bench::ExpConfig::from_env();
+    print!("{}", bb_bench::experiments::phi::run(&cfg));
+}

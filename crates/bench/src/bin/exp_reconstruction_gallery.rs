@@ -1,0 +1,6 @@
+//! Dumps the Fig 6 reconstruction gallery (PPM files under
+//! `target/experiments/`).
+fn main() {
+    let cfg = bb_bench::ExpConfig::from_env();
+    print!("{}", bb_bench::experiments::gallery::run(&cfg));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the §VIII-E Zoom-vs-Skype comparison.
+fn main() {
+    let cfg = bb_bench::ExpConfig::from_env();
+    print!("{}", bb_bench::experiments::software::run(&cfg));
+}

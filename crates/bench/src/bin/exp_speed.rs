@@ -1,0 +1,5 @@
+//! Regenerates the Fig 8 speed/displacement chart.
+fn main() {
+    let cfg = bb_bench::ExpConfig::from_env();
+    print!("{}", bb_bench::experiments::speed::run(&cfg));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the Fig 13 object-tracking results.
+fn main() {
+    let cfg = bb_bench::ExpConfig::from_env();
+    print!("{}", bb_bench::experiments::tracking::run(&cfg));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the §VIII-B VBMR numbers.
+fn main() {
+    let cfg = bb_bench::ExpConfig::from_env();
+    print!("{}", bb_bench::experiments::vbmr::run(&cfg));
+}

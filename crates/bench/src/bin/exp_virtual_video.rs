@@ -1,0 +1,5 @@
+//! Regenerates the §V-B virtual-video end-to-end study.
+fn main() {
+    let cfg = bb_bench::ExpConfig::from_env();
+    print!("{}", bb_bench::experiments::virtual_video::run(&cfg));
+}

@@ -1,0 +1,5 @@
+//! Runs every experiment in paper order and prints the combined report.
+fn main() {
+    let cfg = bb_bench::ExpConfig::from_env();
+    print!("{}", bb_bench::experiments::run_all(&cfg));
+}

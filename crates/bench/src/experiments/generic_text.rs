@@ -1,0 +1,219 @@
+//! Fig 14 + §VIII-D: generic object detection and text inference.
+//!
+//! Paper: RetinaNet/YOLO detected books in 4 reconstructions, a TV in 2,
+//! shirts in 1, monitors in 3, a clock in 1; TextFuseNet recovered text from
+//! one sticky note.
+
+use crate::harness::{default_vb, run_clip};
+use crate::report::{section, Table};
+use crate::ExpConfig;
+use bb_attacks::{ObjectDetector, TextReader};
+use bb_callsim::{profile, Mitigation};
+use bb_datasets::{ClipSpec, DatasetConfig};
+use bb_synth::camera::CameraQuality;
+use bb_synth::{Action, CallerAppearance, CameraPose, Lighting, ObjectClass, Room, Speed};
+use rand::{rngs::StdRng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Runs the Fig 14 experiment over rooms guaranteed to contain detectable
+/// props (the paper "had no control on the objects … in the background";
+/// we plant a known inventory so hits are scorable).
+pub fn run(cfg: &ExpConfig) -> String {
+    let vb = default_vb(cfg);
+    let zoom = profile::zoom_like();
+    let detector = ObjectDetector::train(if cfg.quick { 6 } else { 16 }, cfg.data.seed);
+    let reader = TextReader::default();
+
+    let clip_count = if cfg.quick { 4 } else { 10 };
+    let clips = prop_rooms(&cfg.data, clip_count);
+
+    let mut detected_in: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut planted_in: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut text_recovered = 0usize;
+    let mut text_total = 0usize;
+    let mut text_examples = Vec::new();
+
+    for clip in &clips {
+        let outcome = run_clip(cfg, clip, &vb, &zoom, Mitigation::None);
+        let recon = &outcome.reconstruction;
+        for class in ObjectClass::ALL {
+            if clip.room.contains(class) {
+                *planted_in.entry(class.name()).or_default() += 1;
+            }
+        }
+        if let Ok(detections) = detector.detect(&recon.background, &recon.recovered) {
+            let mut seen = std::collections::HashSet::new();
+            for d in detections {
+                if clip.room.contains(d.class) && seen.insert(d.class) {
+                    *detected_in.entry(d.class.name()).or_default() += 1;
+                }
+            }
+        }
+        // Text inference against the planted sticky note.
+        for note in clip.room.objects_of(ObjectClass::StickyNote) {
+            let Some(truth) = &note.text else { continue };
+            text_total += 1;
+            if let Ok(findings) = reader.read(&recon.background, &recon.recovered) {
+                let all_read: String = findings
+                    .iter()
+                    .map(|f| f.text.clone())
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                // Recovered when a ground-truth word of ≥3 chars appears,
+                // allowing unread cells ('?') for up to half the letters —
+                // the paper's one recovered note was also read from partial
+                // pixels.
+                let hit = truth
+                    .split(' ')
+                    .filter(|word| word.len() >= 3)
+                    .any(|word| fuzzy_contains(&all_read, word));
+                if hit {
+                    text_recovered += 1;
+                    text_examples.push(format!("  {:?} read from {}", all_read.trim(), clip.id));
+                }
+            }
+        }
+    }
+
+    let mut table = Table::new(&["class", "reconstructions with detection", "planted in"]);
+    for class in ObjectClass::ALL {
+        let d = detected_in.get(class.name()).copied().unwrap_or(0);
+        let p = planted_in.get(class.name()).copied().unwrap_or(0);
+        if p > 0 {
+            table.row(&[class.name().to_string(), d.to_string(), p.to_string()]);
+        }
+    }
+    let total_detections: usize = detected_in.values().sum();
+    let shape = format!(
+        "shape: objects detected in reconstructions ({total_detections} class-hits) and text \
+         recovered from {text_recovered}/{text_total} sticky notes\n{}",
+        text_examples.join("\n")
+    );
+
+    section(
+        "Fig 14 / §VIII-D — generic object + text detection",
+        "books ×4, TV ×2, monitors ×3, shirt ×1, clock ×1 across reconstructions; \
+         text recovered from one sticky note",
+        &format!("{}\n{}", table.render(), shape),
+    )
+}
+
+/// Whether `haystack` contains `word` with wildcards: every non-`?` char
+/// must match and at least half the positions must be real matches.
+pub fn fuzzy_contains(haystack: &str, word: &str) -> bool {
+    let w: Vec<char> = word.chars().collect();
+    let h: Vec<char> = haystack.chars().collect();
+    if w.is_empty() || h.len() < w.len() {
+        return false;
+    }
+    'outer: for start in 0..=(h.len() - w.len()) {
+        let mut exact = 0usize;
+        for (i, &wc) in w.iter().enumerate() {
+            let hc = h[start + i];
+            if hc == '?' {
+                continue;
+            }
+            if hc != wc {
+                continue 'outer;
+            }
+            exact += 1;
+        }
+        if exact * 2 >= w.len() {
+            return true;
+        }
+    }
+    false
+}
+
+/// Rooms stocked with the Fig 14 object inventory plus a sticky note, driven
+/// by a high-leak action so the detector has material.
+pub fn prop_rooms(data: &DatasetConfig, count: usize) -> Vec<ClipSpec> {
+    (0..count)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(data.seed ^ (8_000 + i as u64));
+            let required = [
+                ObjectClass::StickyNote,
+                ObjectClass::Monitor,
+                ObjectClass::Bookshelf,
+                ObjectClass::Tv,
+                ObjectClass::Clock,
+            ];
+            let mut room = Room::sample_with(
+                4_000 + i as u64,
+                data.width,
+                data.height,
+                &required,
+                2,
+                &mut rng,
+            );
+            // Enter/exit leaks concentrate in the horizontal band the
+            // caller walks through; park the sticky note there so text
+            // inference has a real shot (the paper's recovered note also
+            // sat in a leak-dense region).
+            for obj in &mut room.objects {
+                if obj.class == ObjectClass::StickyNote {
+                    obj.y = (data.height as i64 / 2 - obj.h as i64).max(0);
+                    obj.x = obj.x.min(data.width as i64 / 3).max(2);
+                }
+            }
+            ClipSpec {
+                id: format!("fig14-{i}"),
+                room,
+                caller: CallerAppearance::participant(i % 5),
+                segments: vec![(Action::EnterExit, Speed::Average)],
+                lighting: Lighting::On,
+                camera: CameraPose::canonical(),
+                quality: CameraQuality::consumer(),
+                frames: data.e1_frames,
+                seed: data.seed ^ (8_500 + i as u64),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuzzy_contains_exact_and_wildcards() {
+        assert!(fuzzy_contains("XXMILKYY", "MILK"));
+        assert!(fuzzy_contains("M??K", "MILK"));
+        assert!(fuzzy_contains("?I?K", "MILK"));
+        assert!(
+            !fuzzy_contains("????", "MILK"),
+            "all wildcards is no evidence"
+        );
+        assert!(
+            !fuzzy_contains("M?X?", "MILK"),
+            "conflicting char must not match"
+        );
+        assert!(!fuzzy_contains("MI", "MILK"), "haystack shorter than word");
+        assert!(!fuzzy_contains("", "A"));
+    }
+
+    #[test]
+    fn prop_rooms_plant_the_inventory() {
+        let data = bb_datasets::DatasetConfig::tiny();
+        let rooms = prop_rooms(&data, 3);
+        assert_eq!(rooms.len(), 3);
+        for clip in &rooms {
+            for class in [
+                ObjectClass::StickyNote,
+                ObjectClass::Monitor,
+                ObjectClass::Bookshelf,
+                ObjectClass::Tv,
+                ObjectClass::Clock,
+            ] {
+                assert!(clip.room.contains(class), "{} missing {class}", clip.id);
+            }
+            // The note sits in the walk band.
+            let note = clip
+                .room
+                .objects_of(ObjectClass::StickyNote)
+                .next()
+                .unwrap();
+            assert!(note.y <= data.height as i64 / 2);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Fig 10/11: background recovery with background lights off vs on.
+//!
+//! Paper: "more background leakage in low lighting conditions than under
+//! high lighting conditions (41.6 % RBRR light OFF vs. 39.6 % RBRR light
+//! ON) … interestingly, the regions of the background reconstructed under
+//! the different lighting conditions varied significantly."
+
+use crate::harness::{default_vb, run_clip};
+use crate::report::{mean, pct, section, Table};
+use crate::ExpConfig;
+use bb_callsim::{profile, Mitigation};
+use bb_imaging::Mask;
+use bb_synth::Lighting;
+use std::collections::BTreeMap;
+
+/// Runs the Fig 10/11 experiment over the base + lights-off E1 grids.
+pub fn run(cfg: &ExpConfig) -> String {
+    let vb = default_vb(cfg);
+    let zoom = profile::zoom_like();
+    let clips: Vec<_> = bb_datasets::e1_catalog(&cfg.data)
+        .into_iter()
+        .filter(|c| {
+            c.caller.accessories.is_empty()
+                && c.segments[0].1 == bb_synth::Speed::Average
+                && !c.id.contains("apparel")
+                // Quick mode keeps both lighting grids but one participant.
+                && (!cfg.quick || c.id.contains("-p1-"))
+        })
+        .collect();
+
+    let mut rbrr: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
+    // For region comparison, collect recovered masks of one matched pair of
+    // clips (same participant+action under both lighting states).
+    let mut region_pair: (Option<Mask>, Option<Mask>) = (None, None);
+    for clip in &clips {
+        let outcome = run_clip(cfg, clip, &vb, &zoom, Mitigation::None);
+        rbrr.entry(clip.lighting.name())
+            .or_default()
+            .push(outcome.recon_rbrr);
+        if clip.id.contains("p1-arm-waving") {
+            match clip.lighting {
+                Lighting::On => region_pair.0 = Some(outcome.reconstruction.recovered.clone()),
+                Lighting::Off => region_pair.1 = Some(outcome.reconstruction.recovered.clone()),
+            }
+        }
+    }
+
+    let mut table = Table::new(&["lighting", "mean RBRR", "clips"]);
+    for (state, values) in &rbrr {
+        table.row(&[
+            state.to_string(),
+            pct(mean(values)),
+            values.len().to_string(),
+        ]);
+    }
+    let on = rbrr.get("on").map(|v| mean(v)).unwrap_or(0.0);
+    let off = rbrr.get("off").map(|v| mean(v)).unwrap_or(0.0);
+
+    // Region overlap (Jaccard) of a matched pair, when both sides ran.
+    let region_note = match region_pair {
+        (Some(a), Some(b)) if a.dims() == b.dims() => {
+            let inter = a.intersect(&b).expect("same dims").count_set() as f64;
+            let union = a.union(&b).expect("same dims").count_set() as f64;
+            let jaccard = if union > 0.0 { inter / union } else { 1.0 };
+            format!(
+                "region overlap (Jaccard) between lighting states for the matched arm-waving pair: {:.2} \
+                 (paper: recovered regions vary significantly between lighting conditions)",
+                jaccard
+            )
+        }
+        _ => "region pair not sampled in this run".to_string(),
+    };
+    let shape = format!(
+        "shape: lights OFF RBRR ({}) >= lights ON ({}): {} — low light degrades matting",
+        pct(off),
+        pct(on),
+        off >= on
+    );
+
+    section(
+        "Fig 10/11 — lighting conditions",
+        "lights off 41.6% vs on 39.6% (small RBRR gap) but significantly different recovered regions",
+        &format!("{}\n{}\n{}", table.render(), shape, region_note),
+    )
+}

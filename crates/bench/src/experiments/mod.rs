@@ -1,0 +1,86 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! | Module | Paper result |
+//! |---|---|
+//! | [`vbmr`] | §VIII-B virtual background masking rates |
+//! | [`initial_leakage`] | Fig 5 initial-frame leakage decay |
+//! | [`gallery`] | Fig 6 reconstructed background examples |
+//! | [`actions`] | Fig 7 RBRR per action per participant |
+//! | [`speed`] | Fig 8 + §VIII-C action speed & displacement |
+//! | [`accessories`] | Fig 9 accessory (in)sensitivity |
+//! | [`lighting`] | Fig 10/11 lights on vs off |
+//! | [`passive_active`] | Fig 12a passive / active / wild RBRR |
+//! | [`phi`] | §VIII-C framework-parameter (φ) study |
+//! | [`location`] | Fig 12b location-inference top-k |
+//! | [`tracking`] | Fig 13 + §VIII-D specific object tracking |
+//! | [`generic_text`] | Fig 14 generic object + text detection |
+//! | [`software`] | §VIII-E Zoom-like vs Skype-like |
+//! | [`mitigation`] | Fig 15 dynamic virtual background |
+//! | [`heuristics`] | §IX-B other mitigation heuristics |
+//! | [`crosscall`] | §V-B cross-call virtual-image fusion |
+//! | [`virtual_video`] | §V-B virtual-video backgrounds end-to-end |
+
+pub mod accessories;
+pub mod actions;
+pub mod crosscall;
+pub mod gallery;
+pub mod generic_text;
+pub mod heuristics;
+pub mod initial_leakage;
+pub mod lighting;
+pub mod location;
+pub mod mitigation;
+pub mod passive_active;
+pub mod phi;
+pub mod software;
+pub mod speed;
+pub mod tracking;
+pub mod vbmr;
+pub mod virtual_video;
+
+use crate::ExpConfig;
+
+/// Runs every experiment in paper order and returns the combined report.
+///
+/// The E2/E3 reconstructions are computed once and shared between Fig 12a
+/// (recovery) and Fig 12b (location inference).
+pub fn run_all(cfg: &ExpConfig) -> String {
+    let mut out = String::new();
+    let mut timed = |name: &str, body: &mut dyn FnMut() -> String| {
+        eprintln!("[bb-bench] running experiment: {name}");
+        let started = std::time::Instant::now();
+        out.push_str(&body());
+        eprintln!("[bb-bench] {name} finished in {:.1?}", started.elapsed());
+    };
+
+    timed("vbmr", &mut || vbmr::run(cfg));
+    timed("initial_leakage", &mut || initial_leakage::run(cfg));
+    timed("gallery", &mut || gallery::run(cfg));
+    timed("actions", &mut || actions::run(cfg));
+    timed("speed", &mut || speed::run(cfg));
+    timed("accessories", &mut || accessories::run(cfg));
+    timed("lighting", &mut || lighting::run(cfg));
+    timed("phi", &mut || phi::run(cfg));
+
+    // Shared E2/E3 pass for Fig 12a + Fig 12b.
+    let mut grouped = None;
+    timed("passive_active", &mut || {
+        let g = passive_active::grouped_outcomes(cfg);
+        let report = passive_active::render_report(&g);
+        grouped = Some(g);
+        report
+    });
+    let grouped = grouped.expect("passive_active ran");
+    timed("location", &mut || {
+        location::run_with_outcomes(cfg, &grouped)
+    });
+
+    timed("tracking", &mut || tracking::run(cfg));
+    timed("generic_text", &mut || generic_text::run(cfg));
+    timed("software", &mut || software::run(cfg));
+    timed("mitigation", &mut || mitigation::run(cfg));
+    timed("heuristics", &mut || heuristics::run(cfg));
+    timed("crosscall", &mut || crosscall::run(cfg));
+    timed("virtual_video", &mut || virtual_video::run(cfg));
+    out
+}

@@ -1,0 +1,318 @@
+//! Virtual backgrounds: static images and looping videos.
+//!
+//! §V-B distinguishes known virtual images (the adversary owns `D_img`, a
+//! dataset of "default/popular virtual background images") from unknown ones.
+//! The built-in gallery here plays the role of Zoom's default backgrounds:
+//! experiments draw the target's background from it (known case) or generate
+//! a fresh one outside it (unknown / random-background mitigation).
+
+use bb_imaging::{draw, filter, geom, Frame, Rgb};
+use bb_video::VideoStream;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A virtual background: what the compositor pastes where the matting stage
+/// decided "background".
+#[derive(Debug, Clone, PartialEq)]
+pub enum VirtualBackground {
+    /// A static virtual image (`VI` in §III).
+    Image(Frame),
+    /// A looping virtual video; frame `i` of the call uses video frame
+    /// `i % len`.
+    Video(VideoStream),
+}
+
+impl VirtualBackground {
+    /// The background frame used at call-frame `i`, resized to `w × h`.
+    pub fn frame_at(&self, i: usize, w: usize, h: usize) -> Frame {
+        match self {
+            VirtualBackground::Image(img) => geom::resize(img, w, h),
+            VirtualBackground::Video(vid) => geom::resize(vid.frame(i % vid.len()), w, h),
+        }
+    }
+
+    /// Index into the underlying media used at call-frame `i` (always 0 for
+    /// images).
+    pub fn media_index(&self, i: usize) -> usize {
+        match self {
+            VirtualBackground::Image(_) => 0,
+            VirtualBackground::Video(v) => i % v.len(),
+        }
+    }
+
+    /// Loop length: 1 for images, frame count for videos.
+    pub fn period(&self) -> usize {
+        match self {
+            VirtualBackground::Image(_) => 1,
+            VirtualBackground::Video(v) => v.len(),
+        }
+    }
+}
+
+/// The built-in gallery names, in gallery order.
+pub const GALLERY_NAMES: [&str; 3] = ["beach", "office", "space"];
+
+/// The three built-in virtual *images* (the paper's VBMR experiment uses
+/// "three different virtual images", §VIII-B).
+pub fn builtin_images(w: usize, h: usize) -> Vec<Frame> {
+    vec![beach(w, h), office(w, h), space(w, h)]
+}
+
+/// The two built-in virtual *videos* (§VIII-B uses "two virtual videos").
+pub fn builtin_videos(w: usize, h: usize) -> Vec<VideoStream> {
+    vec![drifting_clouds(w, h, 24), lava_lamp(w, h, 36)]
+}
+
+/// A sunny beach: sky gradient, sea band, sand, sun.
+pub fn beach(w: usize, h: usize) -> Frame {
+    let mut f = Frame::new(w, h);
+    draw::vertical_gradient(&mut f, Rgb::new(118, 183, 236), Rgb::new(188, 224, 245));
+    let sea_y = h * 3 / 5;
+    draw::fill_rect(&mut f, 0, sea_y as i64, w, h / 5, Rgb::new(36, 118, 170));
+    draw::fill_rect(
+        &mut f,
+        0,
+        (sea_y + h / 5) as i64,
+        w,
+        h - sea_y - h / 5,
+        Rgb::new(231, 209, 162),
+    );
+    draw::fill_circle(
+        &mut f,
+        (w * 4 / 5) as i64,
+        (h / 5) as i64,
+        (h / 9).max(2) as i64,
+        Rgb::new(250, 230, 120),
+    );
+    f
+}
+
+/// A tidy office: wall, desk line, shelf block, window.
+pub fn office(w: usize, h: usize) -> Frame {
+    let mut f = Frame::new(w, h);
+    draw::vertical_gradient(&mut f, Rgb::new(214, 210, 200), Rgb::new(180, 176, 168));
+    // Window.
+    draw::fill_rect(
+        &mut f,
+        (w / 10) as i64,
+        (h / 8) as i64,
+        w / 4,
+        h / 3,
+        Rgb::new(200, 226, 240),
+    );
+    draw::stroke_rect(
+        &mut f,
+        (w / 10) as i64,
+        (h / 8) as i64,
+        w / 4,
+        h / 3,
+        Rgb::new(90, 84, 70),
+    );
+    // Shelf.
+    draw::fill_rect(
+        &mut f,
+        (w * 3 / 5) as i64,
+        (h / 6) as i64,
+        w / 4,
+        h / 15 + 1,
+        Rgb::new(120, 88, 56),
+    );
+    // Desk.
+    draw::fill_rect(
+        &mut f,
+        0,
+        (h * 3 / 4) as i64,
+        w,
+        h / 20 + 1,
+        Rgb::new(104, 74, 46),
+    );
+    f
+}
+
+/// Deep space: dark gradient plus a deterministic star field and a planet.
+pub fn space(w: usize, h: usize) -> Frame {
+    let mut f = Frame::new(w, h);
+    draw::vertical_gradient(&mut f, Rgb::new(8, 10, 28), Rgb::new(20, 14, 44));
+    let mut rng = SmallRng::seed_from_u64(0xA57E0);
+    for _ in 0..(w * h / 60).max(10) {
+        let x = rng.gen_range(0..w) as i64;
+        let y = rng.gen_range(0..h) as i64;
+        let v = rng.gen_range(160..255) as u8;
+        f.put_clipped(x, y, Rgb::grey(v));
+    }
+    draw::fill_circle(
+        &mut f,
+        (w / 4) as i64,
+        (h / 3) as i64,
+        (h / 7).max(2) as i64,
+        Rgb::new(180, 110, 70),
+    );
+    f
+}
+
+/// A looping virtual video: clouds drifting across a sky, period = `frames`.
+pub fn drifting_clouds(w: usize, h: usize, frames: usize) -> VideoStream {
+    assert!(frames >= 2, "a looping video needs at least 2 frames");
+    VideoStream::generate(frames, 30.0, |i| {
+        let mut f = Frame::new(w, h);
+        draw::vertical_gradient(&mut f, Rgb::new(120, 180, 235), Rgb::new(200, 225, 246));
+        // Two clouds moving with wrap-around so frame `frames` == frame 0.
+        let phase = i as f64 / frames as f64;
+        for (lane, speed, ry) in [(h / 4, 1.0, h / 10), (h / 2, 2.0, h / 14)] {
+            let cx = ((phase * speed).fract() * w as f64) as i64;
+            for dx in [-(w as i64), 0, w as i64] {
+                draw::fill_ellipse(
+                    &mut f,
+                    cx + dx,
+                    lane as i64,
+                    (w / 6).max(2) as i64,
+                    ry.max(1) as i64,
+                    Rgb::new(245, 248, 252),
+                );
+            }
+        }
+        f
+    })
+    .expect("clouds video construction is infallible for frames >= 2")
+}
+
+/// A looping "lava lamp": two blobs orbiting with period = `frames`.
+pub fn lava_lamp(w: usize, h: usize, frames: usize) -> VideoStream {
+    assert!(frames >= 2, "a looping video needs at least 2 frames");
+    VideoStream::generate(frames, 30.0, |i| {
+        let mut f = Frame::new(w, h);
+        draw::vertical_gradient(&mut f, Rgb::new(40, 8, 52), Rgb::new(84, 16, 80));
+        let t = i as f64 / frames as f64 * std::f64::consts::TAU;
+        let (cx, cy) = (w as f64 / 2.0, h as f64 / 2.0);
+        let r = h as f64 / 4.0;
+        let b1 = (cx + t.cos() * r, cy + t.sin() * r);
+        let b2 = (cx - t.cos() * r, cy - t.sin() * r);
+        draw::fill_circle(
+            &mut f,
+            b1.0 as i64,
+            b1.1 as i64,
+            (h / 7).max(2) as i64,
+            Rgb::new(240, 120, 40),
+        );
+        draw::fill_circle(
+            &mut f,
+            b2.0 as i64,
+            b2.1 as i64,
+            (h / 9).max(2) as i64,
+            Rgb::new(250, 180, 60),
+        );
+        f
+    })
+    .expect("lava video construction is infallible for frames >= 2")
+}
+
+/// Generates a never-seen-before virtual image from a seed — the
+/// random-background mitigation of §IX-B ("generate and use a new random
+/// virtual background image for every call").
+pub fn random_image(w: usize, h: usize, seed: u64) -> Frame {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let top = bb_imaging::Hsv::new(
+        rng.gen_range(0.0..360.0),
+        rng.gen_range(0.3..0.8),
+        rng.gen_range(0.5..0.95),
+    )
+    .to_rgb();
+    let bottom = bb_imaging::Hsv::new(
+        rng.gen_range(0.0..360.0),
+        rng.gen_range(0.3..0.8),
+        rng.gen_range(0.3..0.8),
+    )
+    .to_rgb();
+    let mut f = Frame::new(w, h);
+    draw::vertical_gradient(&mut f, top, bottom);
+    // Scatter some shapes.
+    for _ in 0..rng.gen_range(3..9) {
+        let color = bb_imaging::Hsv::new(rng.gen_range(0.0..360.0), 0.7, 0.85).to_rgb();
+        let x = rng.gen_range(0..w) as i64;
+        let y = rng.gen_range(0..h) as i64;
+        if rng.gen_bool(0.5) {
+            draw::fill_circle(&mut f, x, y, rng.gen_range(2..(h / 5).max(3)) as i64, color);
+        } else {
+            draw::fill_rect(
+                &mut f,
+                x,
+                y,
+                rng.gen_range(3..w / 3),
+                rng.gen_range(3..h / 3),
+                color,
+            );
+        }
+    }
+    // Smooth it slightly so it looks like a photo, not clip art.
+    filter::box_blur(&f, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_background_is_constant_over_time() {
+        let vb = VirtualBackground::Image(beach(40, 30));
+        assert_eq!(vb.frame_at(0, 40, 30), vb.frame_at(99, 40, 30));
+        assert_eq!(vb.period(), 1);
+        assert_eq!(vb.media_index(57), 0);
+    }
+
+    #[test]
+    fn video_background_loops() {
+        let vb = VirtualBackground::Video(lava_lamp(40, 30, 8));
+        assert_eq!(vb.period(), 8);
+        assert_eq!(vb.frame_at(3, 40, 30), vb.frame_at(11, 40, 30));
+        assert_ne!(vb.frame_at(0, 40, 30), vb.frame_at(4, 40, 30));
+        assert_eq!(vb.media_index(11), 3);
+    }
+
+    #[test]
+    fn frame_at_resizes() {
+        let vb = VirtualBackground::Image(office(80, 60));
+        assert_eq!(vb.frame_at(0, 40, 30).dims(), (40, 30));
+    }
+
+    #[test]
+    fn builtin_images_are_distinct() {
+        let imgs = builtin_images(64, 48);
+        assert_eq!(imgs.len(), 3);
+        assert_ne!(imgs[0], imgs[1]);
+        assert_ne!(imgs[1], imgs[2]);
+        assert_ne!(imgs[0], imgs[2]);
+    }
+
+    #[test]
+    fn builtin_videos_have_stated_periods() {
+        let vids = builtin_videos(32, 24);
+        assert_eq!(vids.len(), 2);
+        assert_eq!(vids[0].len(), 24);
+        assert_eq!(vids[1].len(), 36);
+    }
+
+    #[test]
+    fn clouds_wrap_seamlessly() {
+        // Frame 0 and frame `frames` (i.e. loop restart) are identical by
+        // construction; check near-boundary continuity instead: last frame
+        // differs from first (motion) but the loop point matches.
+        let v = drifting_clouds(48, 36, 12);
+        let vb = VirtualBackground::Video(v);
+        assert_eq!(vb.frame_at(0, 48, 36), vb.frame_at(12, 48, 36));
+    }
+
+    #[test]
+    fn random_images_differ_by_seed_and_match_by_seed() {
+        let a = random_image(40, 30, 1);
+        let b = random_image(40, 30, 1);
+        let c = random_image(40, 30, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 frames")]
+    fn one_frame_video_panics() {
+        let _ = drifting_clouds(10, 10, 1);
+    }
+}

@@ -1,0 +1,404 @@
+//! The end-to-end compositor: ground-truth capture in, recorded call out.
+//!
+//! This is the OBS-VirtualCam-into-Zoom loop of §VII-D: the synthetic
+//! "webcam" frames (with the real background visible) are pushed through the
+//! virtual-background feature of a [`SoftwareProfile`], optionally with a
+//! §IX mitigation, producing the video the adversary records plus the
+//! evaluation-only [`CallTruth`].
+
+use crate::background::VirtualBackground;
+use crate::blend::{blend_band, composite};
+use crate::matting::{estimate_mask, MattingInput};
+use crate::mitigation::{adapt_virtual_background, deepfake_frame, Mitigation};
+use crate::profile::SoftwareProfile;
+use crate::CallSimError;
+use bb_imaging::{Frame, Mask};
+use bb_synth::{GroundTruth, Lighting};
+use bb_video::VideoStream;
+
+/// Evaluation-only ground truth retained alongside the composited call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallTruth {
+    /// The matting decisions the software actually used, per frame.
+    pub est_masks: Vec<Mask>,
+    /// True caller masks, per frame.
+    pub true_fg: Vec<Mask>,
+    /// Leaked-background masks: pixels shown from the real frame that are
+    /// *not* caller — `est ∩ ¬true_fg` (the ground-truth `LBⁱ` of §III).
+    pub leaked: Vec<Mask>,
+    /// Ground-truth blend bands (`BBⁱ`), per frame.
+    pub blend_bands: Vec<Mask>,
+    /// The clean background frame (canonical pose, full lighting).
+    pub background: Frame,
+    /// The raw (uncomposited) capture.
+    pub raw: VideoStream,
+    /// Index into the virtual media used per output frame.
+    pub vb_indices: Vec<usize>,
+    /// The exact virtual-background frames pasted (post-mitigation), per
+    /// output frame. Lets tests and metrics reason about the dynamic
+    /// defence.
+    pub vb_frames: Vec<Frame>,
+}
+
+/// A composited call: what the adversary records plus the truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompositedCall {
+    /// The recorded call video (virtual background applied).
+    pub video: VideoStream,
+    /// Evaluation-only ground truth.
+    pub truth: CallTruth,
+}
+
+impl CompositedCall {
+    /// Number of frames in the recorded call.
+    pub fn len(&self) -> usize {
+        self.video.len()
+    }
+
+    /// Always false.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Runs a ground-truth capture through the virtual-background feature.
+///
+/// `lighting` informs the matting error model (low light degrades matting,
+/// Fig 10/11); `seed` makes the run deterministic.
+///
+/// # Errors
+///
+/// Returns [`CallSimError::Inconsistent`] when the ground truth is malformed
+/// (mask/frame count mismatch) and propagates compositing failures.
+pub fn run_session(
+    gt: &GroundTruth,
+    virtual_bg: &VirtualBackground,
+    profile: &SoftwareProfile,
+    mitigation: Mitigation,
+    lighting: Lighting,
+    seed: u64,
+) -> Result<CompositedCall, CallSimError> {
+    if gt.fg_masks.len() != gt.video.len() {
+        return Err(CallSimError::Inconsistent(format!(
+            "{} masks for {} frames",
+            gt.fg_masks.len(),
+            gt.video.len()
+        )));
+    }
+    let (w, h) = gt.video.dims();
+    let low_light = lighting == Lighting::Off;
+
+    // Frame dropping happens on the input side: the software simply sends
+    // fewer frames.
+    let kept_indices: Vec<usize> = match mitigation {
+        Mitigation::FrameDrop { keep_every } => {
+            if keep_every == 0 {
+                return Err(CallSimError::Inconsistent(
+                    "FrameDrop keep_every must be >= 1".into(),
+                ));
+            }
+            (0..gt.video.len()).step_by(keep_every).collect()
+        }
+        _ => (0..gt.video.len()).collect(),
+    };
+
+    let mut out_frames = Vec::with_capacity(kept_indices.len());
+    let mut est_masks = Vec::with_capacity(kept_indices.len());
+    let mut true_fg = Vec::with_capacity(kept_indices.len());
+    let mut leaked = Vec::with_capacity(kept_indices.len());
+    let mut blend_bands = Vec::with_capacity(kept_indices.len());
+    let mut vb_indices = Vec::with_capacity(kept_indices.len());
+    let mut vb_frames = Vec::with_capacity(kept_indices.len());
+    let mut raw_frames = Vec::with_capacity(kept_indices.len());
+
+    let mut first_composited: Option<Frame> = None;
+
+    for (out_i, &i) in kept_indices.iter().enumerate() {
+        let frame = gt.video.frame(i);
+        let est = estimate_mask(
+            &profile.matting,
+            &MattingInput {
+                frame,
+                true_fg: &gt.fg_masks,
+                index: i,
+                low_light,
+            },
+            seed,
+        );
+
+        // Virtual background for this frame, possibly adapted.
+        let mut vb_frame = virtual_bg.frame_at(i, w, h);
+        if let Mitigation::DynamicBackground(params) = mitigation {
+            vb_frame = adapt_virtual_background(&vb_frame, frame, &params, seed, i);
+        }
+
+        let composited = match (mitigation, &first_composited) {
+            (Mitigation::DeepfakeReplay, Some(first)) => deepfake_frame(first, out_i),
+            _ => composite(frame, &vb_frame, &est, profile.blend)?,
+        };
+        if first_composited.is_none() {
+            first_composited = Some(composited.clone());
+        }
+
+        let leak = est.subtract(&gt.fg_masks[i])?;
+        let band = blend_band(&est, profile.blend);
+
+        out_frames.push(composited);
+        est_masks.push(est);
+        true_fg.push(gt.fg_masks[i].clone());
+        leaked.push(leak);
+        blend_bands.push(band);
+        vb_indices.push(virtual_bg.media_index(i));
+        vb_frames.push(vb_frame);
+        raw_frames.push(frame.clone());
+    }
+
+    let fps = match mitigation {
+        Mitigation::FrameDrop { keep_every } => gt.video.fps() / keep_every as f64,
+        _ => gt.video.fps(),
+    };
+
+    Ok(CompositedCall {
+        video: VideoStream::from_frames(out_frames, fps)?,
+        truth: CallTruth {
+            est_masks,
+            true_fg,
+            leaked,
+            blend_bands,
+            background: gt.background.clone(),
+            raw: VideoStream::from_frames(raw_frames, fps)?,
+            vb_indices,
+            vb_frames,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::background;
+    use crate::profile;
+    use bb_synth::{Action, Room, Scenario};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn ground_truth(action: Action, frames: usize) -> GroundTruth {
+        let room = Room::sample(1, 80, 60, 3, &mut StdRng::seed_from_u64(21));
+        Scenario {
+            action,
+            width: 80,
+            height: 60,
+            frames,
+            ..Scenario::baseline(room)
+        }
+        .render()
+        .unwrap()
+    }
+
+    fn image_bg() -> VirtualBackground {
+        VirtualBackground::Image(background::beach(80, 60))
+    }
+
+    #[test]
+    fn session_is_deterministic() {
+        let gt = ground_truth(Action::ArmWaving, 15);
+        let a = run_session(
+            &gt,
+            &image_bg(),
+            &profile::zoom_like(),
+            Mitigation::None,
+            Lighting::On,
+            5,
+        )
+        .unwrap();
+        let b = run_session(
+            &gt,
+            &image_bg(),
+            &profile::zoom_like(),
+            Mitigation::None,
+            Lighting::On,
+            5,
+        )
+        .unwrap();
+        assert_eq!(a.video, b.video);
+    }
+
+    #[test]
+    fn composited_hides_most_background() {
+        let gt = ground_truth(Action::Still, 20);
+        let call = run_session(
+            &gt,
+            &image_bg(),
+            &profile::zoom_like(),
+            Mitigation::None,
+            Lighting::On,
+            1,
+        )
+        .unwrap();
+        // A late frame should be mostly virtual background + caller: away
+        // from the caller the output pixels must differ from the real
+        // background.
+        let i = 15;
+        let raw = call.truth.raw.frame(i);
+        let out = call.video.frame(i);
+        let bg_mask = call.truth.true_fg[i].complement();
+        let mut hidden = 0usize;
+        let mut total = 0usize;
+        for (x, y) in bg_mask.iter_set() {
+            total += 1;
+            if out.get(x, y).linf(raw.get(x, y)) > 12 {
+                hidden += 1;
+            }
+        }
+        let frac = hidden as f64 / total as f64;
+        assert!(frac > 0.8, "only {frac:.2} of background hidden");
+    }
+
+    #[test]
+    fn leaked_masks_are_background_only() {
+        let gt = ground_truth(Action::ArmWaving, 20);
+        let call = run_session(
+            &gt,
+            &image_bg(),
+            &profile::zoom_like(),
+            Mitigation::None,
+            Lighting::On,
+            2,
+        )
+        .unwrap();
+        for (i, leak) in call.truth.leaked.iter().enumerate() {
+            assert!(leak.intersect(&call.truth.true_fg[i]).unwrap().is_empty());
+        }
+        // A moving action leaks something.
+        let total: usize = call.truth.leaked.iter().map(|m| m.count_set()).sum();
+        assert!(total > 0, "no leakage at all");
+    }
+
+    #[test]
+    fn perfect_profile_never_leaks() {
+        let gt = ground_truth(Action::ArmWaving, 15);
+        let call = run_session(
+            &gt,
+            &image_bg(),
+            &profile::perfect(),
+            Mitigation::None,
+            Lighting::On,
+            3,
+        )
+        .unwrap();
+        let total: usize = call.truth.leaked.iter().map(|m| m.count_set()).sum();
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn initial_frames_leak_more_than_late_frames() {
+        let gt = ground_truth(Action::Still, 30);
+        let call = run_session(
+            &gt,
+            &image_bg(),
+            &profile::zoom_like(),
+            Mitigation::None,
+            Lighting::On,
+            4,
+        )
+        .unwrap();
+        let early: usize = call.truth.leaked[..5].iter().map(|m| m.count_set()).sum();
+        let late: usize = call.truth.leaked[20..25]
+            .iter()
+            .map(|m| m.count_set())
+            .sum();
+        assert!(
+            early > late,
+            "early {early} <= late {late} (Fig 5 violated)"
+        );
+    }
+
+    #[test]
+    fn frame_drop_reduces_output() {
+        let gt = ground_truth(Action::Still, 30);
+        let call = run_session(
+            &gt,
+            &image_bg(),
+            &profile::zoom_like(),
+            Mitigation::FrameDrop { keep_every: 3 },
+            Lighting::On,
+            1,
+        )
+        .unwrap();
+        assert_eq!(call.len(), 10);
+        assert!((call.video.fps() - 10.0).abs() < 1e-9);
+        assert!(run_session(
+            &gt,
+            &image_bg(),
+            &profile::zoom_like(),
+            Mitigation::FrameDrop { keep_every: 0 },
+            Lighting::On,
+            1
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn deepfake_replay_transmits_no_real_frame_after_first() {
+        let gt = ground_truth(Action::ArmWaving, 12);
+        let call = run_session(
+            &gt,
+            &image_bg(),
+            &profile::zoom_like(),
+            Mitigation::DeepfakeReplay,
+            Lighting::On,
+            6,
+        )
+        .unwrap();
+        let first = call.video.frame(0);
+        for i in 1..call.len() {
+            // Every later frame is a warp of frame 0: it must be closer to
+            // frame 0 than to the live composited equivalent's leak content.
+            let d = call.video.frame(i).mean_abs_diff(first).unwrap();
+            assert!(d < 25.0, "fake frame {i} drifted {d} from the frozen frame");
+        }
+    }
+
+    #[test]
+    fn dynamic_background_changes_vb_every_frame() {
+        let gt = ground_truth(Action::Still, 10);
+        let call = run_session(
+            &gt,
+            &image_bg(),
+            &profile::zoom_like(),
+            Mitigation::DynamicBackground(Default::default()),
+            Lighting::On,
+            9,
+        )
+        .unwrap();
+        assert_ne!(call.truth.vb_frames[0], call.truth.vb_frames[1]);
+        // Without mitigation the VB frames are constant (image background).
+        let plain = run_session(
+            &gt,
+            &image_bg(),
+            &profile::zoom_like(),
+            Mitigation::None,
+            Lighting::On,
+            9,
+        )
+        .unwrap();
+        assert_eq!(plain.truth.vb_frames[0], plain.truth.vb_frames[1]);
+    }
+
+    #[test]
+    fn virtual_video_indices_loop() {
+        let gt = ground_truth(Action::Still, 10);
+        let vb = VirtualBackground::Video(background::lava_lamp(80, 60, 4));
+        let call = run_session(
+            &gt,
+            &vb,
+            &profile::zoom_like(),
+            Mitigation::None,
+            Lighting::On,
+            0,
+        )
+        .unwrap();
+        assert_eq!(call.truth.vb_indices[0], 0);
+        assert_eq!(call.truth.vb_indices[5], 1);
+        assert_eq!(call.truth.vb_indices[4], 0);
+    }
+}

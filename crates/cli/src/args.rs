@@ -1,0 +1,111 @@
+//! A minimal flag parser (`--key value` / `--switch`), keeping the CLI free
+//! of argument-parsing dependencies.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line flags.
+#[derive(Debug, Default)]
+pub struct Flags {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+    positional: Vec<String>,
+}
+
+impl Flags {
+    /// Parses `argv` into flags. `--key value` pairs become values,
+    /// `--key` followed by another flag (or end of input) becomes a switch,
+    /// everything else is positional.
+    pub fn parse(argv: &[String]) -> Flags {
+        let mut flags = Flags::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = &argv[i];
+            if let Some(key) = arg.strip_prefix("--") {
+                let has_value = argv.get(i + 1).is_some_and(|next| !next.starts_with("--"));
+                if has_value {
+                    flags.values.insert(key.to_string(), argv[i + 1].clone());
+                    i += 2;
+                } else {
+                    flags.switches.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                flags.positional.push(arg.clone());
+                i += 1;
+            }
+        }
+        flags
+    }
+
+    /// A string flag value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// A string flag with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// A parsed numeric flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse.
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse {v:?}")),
+        }
+    }
+
+    /// Whether a boolean switch is present.
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    /// Positional arguments (after the subcommand).
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Flags {
+        Flags::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_values_switches_and_positionals() {
+        // Switches must come after positionals or before another flag —
+        // `--unknown-vb call.bbv` would bind the filename to the switch.
+        let f = parse(&["attack", "call.bbv", "--out", "x.ppm", "--unknown-vb"]);
+        assert_eq!(
+            f.positional(),
+            &["attack".to_string(), "call.bbv".to_string()]
+        );
+        assert_eq!(f.get("out"), Some("x.ppm"));
+        assert!(f.has("unknown-vb"));
+        assert!(!f.has("out"));
+    }
+
+    #[test]
+    fn numeric_parsing_with_default() {
+        let f = parse(&["--frames", "90"]);
+        assert_eq!(f.get_num("frames", 30usize).unwrap(), 90);
+        assert_eq!(f.get_num("seed", 7u64).unwrap(), 7);
+        let bad = parse(&["--frames", "ninety"]);
+        assert!(bad.get_num::<usize>("frames", 1).is_err());
+    }
+
+    #[test]
+    fn trailing_switch_is_switch() {
+        let f = parse(&["--quick"]);
+        assert!(f.has("quick"));
+    }
+}

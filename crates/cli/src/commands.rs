@@ -1,0 +1,245 @@
+//! Subcommand implementations.
+
+use crate::args::Flags;
+use bb_callsim::{background, profile, run_session, Mitigation, VirtualBackground};
+use bb_core::pipeline::{Reconstructor, ReconstructorConfig, VbSource};
+use bb_synth::{Action, Lighting, Room, Scenario};
+use rand::{rngs::StdRng, SeedableRng};
+
+const HELP: &str = "\
+bbuster — peek through virtual backgrounds (Background Buster, DSN 2022)
+
+USAGE:
+    bbuster <command> [flags]
+
+COMMANDS:
+    synth     render a synthetic call; writes <out>.raw.bbv (ground truth)
+              and <out>.call.bbv (virtual background applied)
+              flags: --out PREFIX  --action NAME  --frames N  --seed N
+                     --width N --height N  --software zoom|skype
+                     --vb beach|office|space  --lights-off
+    attack    reconstruct the real background from a composited call
+              flags: --out FILE.ppm  --phi N  --tau N  --unknown-vb
+    locate    rank the built-in 200-room dictionary against a call
+              flags: --top N (default 5)  [same attack flags]
+    inspect   print stream metadata for a .bbv file
+    help      this message
+
+EXAMPLES:
+    bbuster synth --out demo --action enter-exit --frames 180
+    bbuster attack demo.call.bbv --out recovered.ppm
+    bbuster locate demo.call.bbv --top 5
+";
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Returns a human-readable message on any failure.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv);
+    match flags.positional().first().map(String::as_str) {
+        Some("synth") => synth(&flags),
+        Some("attack") => attack(&flags),
+        Some("locate") => locate(&flags),
+        Some("inspect") => inspect(&flags),
+        Some("help") | None => {
+            print!("{HELP}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; try `bbuster help`")),
+    }
+}
+
+fn action_by_name(name: &str) -> Result<Action, String> {
+    Action::ALL
+        .into_iter()
+        .find(|a| a.name() == name)
+        .ok_or_else(|| {
+            let names: Vec<&str> = Action::ALL.iter().map(|a| a.name()).collect();
+            format!("unknown action {name:?}; one of {}", names.join(", "))
+        })
+}
+
+fn vb_by_name(name: &str, w: usize, h: usize) -> Result<VirtualBackground, String> {
+    match name {
+        "beach" => Ok(VirtualBackground::Image(background::beach(w, h))),
+        "office" => Ok(VirtualBackground::Image(background::office(w, h))),
+        "space" => Ok(VirtualBackground::Image(background::space(w, h))),
+        other => Err(format!("unknown virtual background {other:?}")),
+    }
+}
+
+fn synth(flags: &Flags) -> Result<(), String> {
+    let out = flags.get_or("out", "bbuster");
+    let frames: usize = flags.get_num("frames", 150)?;
+    let seed: u64 = flags.get_num("seed", 42)?;
+    let width: usize = flags.get_num("width", 160)?;
+    let height: usize = flags.get_num("height", 120)?;
+    let action = action_by_name(flags.get_or("action", "arm-waving"))?;
+    let lighting = if flags.has("lights-off") {
+        Lighting::Off
+    } else {
+        Lighting::On
+    };
+    let software = match flags.get_or("software", "zoom") {
+        "zoom" => profile::zoom_like(),
+        "skype" => profile::skype_like(),
+        other => return Err(format!("unknown software {other:?} (zoom|skype)")),
+    };
+    let vb = vb_by_name(flags.get_or("vb", "beach"), width, height)?;
+
+    let room = Room::sample(seed, width, height, 5, &mut StdRng::seed_from_u64(seed));
+    let scenario = Scenario {
+        action,
+        lighting,
+        width,
+        height,
+        frames,
+        seed,
+        ..Scenario::baseline(room)
+    };
+    let gt = scenario.render().map_err(|e| e.to_string())?;
+    let call = run_session(&gt, &vb, &software, Mitigation::None, lighting, seed)
+        .map_err(|e| e.to_string())?;
+
+    let raw_path = format!("{out}.raw.bbv");
+    let call_path = format!("{out}.call.bbv");
+    bb_video::io::save(&gt.video, &raw_path).map_err(|e| e.to_string())?;
+    bb_video::io::save(&call.video, &call_path).map_err(|e| e.to_string())?;
+    let bg_path = format!("{out}.background.ppm");
+    bb_imaging::io::save_ppm(&gt.background, &bg_path).map_err(|e| e.to_string())?;
+    println!("wrote {raw_path} ({} frames, ground truth)", gt.video.len());
+    println!(
+        "wrote {call_path} ({} frames, virtual background applied)",
+        call.video.len()
+    );
+    println!("wrote {bg_path} (true background)");
+    Ok(())
+}
+
+fn load_call(flags: &Flags) -> Result<bb_video::VideoStream, String> {
+    let path = flags.positional().get(1).ok_or("missing input .bbv file")?;
+    bb_video::io::load(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn reconstruct(flags: &Flags) -> Result<bb_core::pipeline::Reconstruction, String> {
+    let video = load_call(flags)?;
+    let (w, h) = video.dims();
+    let config = ReconstructorConfig {
+        tau: flags.get_num("tau", 14u8)?,
+        phi: flags.get_num("phi", (h / 24).max(2))?,
+        ..Default::default()
+    };
+    let source = if flags.has("unknown-vb") {
+        VbSource::UnknownImage
+    } else {
+        VbSource::KnownImages(background::builtin_images(w, h))
+    };
+    Reconstructor::new(source, config)
+        .reconstruct(&video)
+        .map_err(|e| e.to_string())
+}
+
+fn attack(flags: &Flags) -> Result<(), String> {
+    let result = reconstruct(flags)?;
+    let out = flags.get_or("out", "recovered.ppm");
+    bb_imaging::io::save_ppm(&result.background, out).map_err(|e| e.to_string())?;
+    println!("recovered {:.1}% of the frame", result.rbrr());
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn locate(flags: &Flags) -> Result<(), String> {
+    let result = reconstruct(flags)?;
+    let top: usize = flags.get_num("top", 5)?;
+    let (w, h) = result.background.dims();
+    let data = bb_datasets::DatasetConfig {
+        width: w,
+        height: h,
+        ..bb_datasets::DatasetConfig::default()
+    };
+    eprintln!(
+        "building the {}-room dictionary…",
+        bb_datasets::DICTIONARY_SIZE
+    );
+    let dictionary = bb_attacks::LocationDictionary::new(bb_datasets::dictionary(&data))
+        .map_err(|e| e.to_string())?;
+    let attack = bb_attacks::LocationInference::default();
+    let ranking = attack
+        .rank(&result.background, &result.recovered, &dictionary)
+        .map_err(|e| e.to_string())?;
+    println!("top {top} candidate rooms:");
+    for (i, (label, score)) in ranking.ranked.iter().take(top).enumerate() {
+        println!("  {}. {label} (similarity {score:.3})", i + 1);
+    }
+    Ok(())
+}
+
+fn inspect(flags: &Flags) -> Result<(), String> {
+    let video = load_call(flags)?;
+    let (w, h) = video.dims();
+    println!("resolution : {w}x{h}");
+    println!("frames     : {}", video.len());
+    println!("fps        : {}", video.fps());
+    println!("duration   : {:.2}s", video.duration_secs());
+    let d = bb_video::delta::total_displacement(&video, 12).map_err(|e| e.to_string())?;
+    println!("displacement over stream: {d:.1}%");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<(), String> {
+        dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn help_always_succeeds() {
+        assert!(run(&["help"]).is_ok());
+        assert!(run(&[]).is_ok());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn action_lookup() {
+        assert!(action_by_name("arm-waving").is_ok());
+        assert!(action_by_name("moonwalk").is_err());
+    }
+
+    #[test]
+    fn vb_lookup() {
+        assert!(vb_by_name("beach", 8, 6).is_ok());
+        assert!(vb_by_name("matrix", 8, 6).is_err());
+    }
+
+    #[test]
+    fn synth_attack_inspect_round_trip() {
+        let dir = std::env::temp_dir().join("bbuster_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("t").to_string_lossy().to_string();
+        run(&[
+            "synth", "--out", &prefix, "--frames", "24", "--width", "64", "--height", "48",
+            "--action", "clapping",
+        ])
+        .expect("synth");
+        let call = format!("{prefix}.call.bbv");
+        let out = dir.join("rec.ppm").to_string_lossy().to_string();
+        run(&["attack", &call, "--out", &out, "--phi", "2"]).expect("attack");
+        assert!(std::path::Path::new(&out).exists());
+        run(&["inspect", &call]).expect("inspect");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn attack_missing_file_errors() {
+        assert!(run(&["attack", "/nonexistent.bbv"]).is_err());
+        assert!(run(&["attack"]).is_err());
+    }
+}

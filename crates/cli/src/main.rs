@@ -1,0 +1,28 @@
+//! `bbuster` — the Background Buster command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `synth` — render a synthetic call (ground truth + composited) to `.bbv`
+//!   files, so every other subcommand has something to chew on.
+//! * `attack` — run the reconstruction framework over a composited `.bbv`
+//!   call and write the recovered background as a PPM.
+//! * `locate` — rank the built-in 200-room dictionary against a
+//!   reconstruction.
+//! * `inspect` — print stream metadata for a `.bbv` file.
+//!
+//! Run `bbuster help` for usage.
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match commands::dispatch(&argv) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("bbuster: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}

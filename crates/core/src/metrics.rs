@@ -1,0 +1,189 @@
+//! The §VIII-A performance metrics.
+//!
+//! * **VBMR** (Virtual Background Masking Rate) — per-frame percentage of
+//!   the true virtual-background pixels removed by the VBM∪BBM stage. 100 %
+//!   means no VB pixel can be mistaken for leaked background.
+//! * **RBRR** (Reconstructed Background Recovery Rate) — percentage of the
+//!   frame resolution leaked in one or more frames ("we count all the pixels
+//!   of the original video … that are leaked in one or more frames of the
+//!   target video, divided by the frame/video resolution").
+//! * **Action speed** and **displacement** re-export `bb-video`'s
+//!   implementations for a single metrics import surface.
+//! * [`recovery_precision`] extends the paper with a correctness check our
+//!   synthetic ground truth makes possible: how many recovered pixels show
+//!   the true background color.
+
+use crate::CoreError;
+use bb_imaging::{Frame, Mask};
+
+pub use bb_video::delta::{action_speed, displacement, total_displacement, Event};
+
+/// VBMR for one frame: `|removed ∩ true_vb| / |true_vb| × 100`.
+///
+/// `removed` is the union of the frame's VBM and BBM; `true_vb` is the
+/// ground-truth virtual-background bitmap. Returns 100 when the frame has no
+/// VB pixels at all (nothing to mask).
+///
+/// # Errors
+///
+/// Propagates dimension mismatches.
+pub fn vbmr_frame(removed: &Mask, true_vb: &Mask) -> Result<f64, CoreError> {
+    let total = true_vb.count_set();
+    if total == 0 {
+        return Ok(100.0);
+    }
+    let covered = removed.intersect(true_vb)?.count_set();
+    Ok(covered as f64 / total as f64 * 100.0)
+}
+
+/// Mean VBMR over per-frame `(removed, true_vb)` pairs.
+///
+/// # Errors
+///
+/// Propagates per-frame errors; returns 100 for an empty sequence.
+pub fn vbmr(pairs: &[(Mask, Mask)]) -> Result<f64, CoreError> {
+    if pairs.is_empty() {
+        return Ok(100.0);
+    }
+    let mut acc = 0.0;
+    for (removed, true_vb) in pairs {
+        acc += vbmr_frame(removed, true_vb)?;
+    }
+    Ok(acc / pairs.len() as f64)
+}
+
+/// RBRR of a recovered-pixels mask: coverage × 100 (§VIII-A).
+pub fn rbrr(recovered: &Mask) -> f64 {
+    recovered.coverage() * 100.0
+}
+
+/// RBRR computed from ground-truth per-frame leak masks: the union's
+/// coverage × 100. This is the *achievable* RBRR the software's leakage
+/// permits; the framework's recovered RBRR approaches it from below.
+///
+/// # Errors
+///
+/// Propagates dimension mismatches; an empty slice yields 0.
+pub fn rbrr_from_leaks(leaks: &[Mask]) -> Result<f64, CoreError> {
+    let Some(first) = leaks.first() else {
+        return Ok(0.0);
+    };
+    let (w, h) = first.dims();
+    let mut union = Mask::new(w, h);
+    for leak in leaks {
+        union.union_in_place(leak)?;
+    }
+    Ok(rbrr(&union))
+}
+
+/// Fraction (0–100) of recovered pixels whose color matches the true
+/// background within `tau` — the precision counterpart to RBRR's recall.
+/// Returns 100 for an empty recovery (vacuous precision).
+///
+/// # Errors
+///
+/// Propagates dimension mismatches.
+pub fn recovery_precision(
+    reconstruction: &Frame,
+    recovered: &Mask,
+    true_background: &Frame,
+    tau: u8,
+) -> Result<f64, CoreError> {
+    reconstruction.check_same_dims(true_background)?;
+    reconstruction.check_mask_dims(recovered)?;
+    let total = recovered.count_set();
+    if total == 0 {
+        return Ok(100.0);
+    }
+    let mut correct = 0usize;
+    for (x, y) in recovered.iter_set() {
+        if reconstruction
+            .get(x, y)
+            .matches(true_background.get(x, y), tau)
+        {
+            correct += 1;
+        }
+    }
+    Ok(correct as f64 / total as f64 * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_imaging::Rgb;
+
+    #[test]
+    fn vbmr_full_coverage_is_100() {
+        let true_vb = Mask::from_fn(10, 10, |x, _| x < 5);
+        let removed = Mask::full(10, 10);
+        assert_eq!(vbmr_frame(&removed, &true_vb).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn vbmr_no_vb_is_100() {
+        let removed = Mask::new(4, 4);
+        let true_vb = Mask::new(4, 4);
+        assert_eq!(vbmr_frame(&removed, &true_vb).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn vbmr_half_coverage() {
+        let true_vb = Mask::full(4, 4);
+        let removed = Mask::from_fn(4, 4, |x, _| x < 2);
+        assert_eq!(vbmr_frame(&removed, &true_vb).unwrap(), 50.0);
+    }
+
+    #[test]
+    fn vbmr_mean_over_frames() {
+        let pairs = vec![
+            (Mask::full(4, 4), Mask::full(4, 4)),
+            (Mask::new(4, 4), Mask::full(4, 4)),
+        ];
+        assert_eq!(vbmr(&pairs).unwrap(), 50.0);
+        assert_eq!(vbmr(&[]).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn rbrr_is_coverage_percent() {
+        let m = Mask::from_fn(10, 10, |x, y| x < 5 && y < 2);
+        assert!((rbrr(&m) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rbrr_from_leaks_unions() {
+        let a = Mask::from_fn(10, 10, |x, _| x == 0);
+        let b = Mask::from_fn(10, 10, |_, y| y == 0);
+        let r = rbrr_from_leaks(&[a, b]).unwrap();
+        assert!((r - 19.0).abs() < 1e-9); // 10 + 10 - 1 overlap
+        assert_eq!(rbrr_from_leaks(&[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn precision_counts_correct_colors() {
+        let truth = Frame::filled(4, 4, Rgb::new(100, 100, 100));
+        let mut recon = truth.clone();
+        recon.put(0, 0, Rgb::new(200, 0, 0)); // wrong pixel
+        let mut recovered = Mask::new(4, 4);
+        recovered.set(0, 0, true);
+        recovered.set(1, 1, true);
+        let p = recovery_precision(&recon, &recovered, &truth, 2).unwrap();
+        assert!((p - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_of_empty_recovery_is_100() {
+        let f = Frame::new(3, 3);
+        let p = recovery_precision(&f, &Mask::new(3, 3), &f, 0).unwrap();
+        assert_eq!(p, 100.0);
+    }
+
+    #[test]
+    fn metric_ranges() {
+        // VBMR and RBRR live in [0, 100] for arbitrary masks.
+        let a = Mask::from_fn(8, 8, |x, y| (x * y) % 3 == 0);
+        let b = Mask::from_fn(8, 8, |x, y| (x + y) % 2 == 0);
+        let v = vbmr_frame(&a, &b).unwrap();
+        assert!((0.0..=100.0).contains(&v));
+        assert!((0.0..=100.0).contains(&rbrr(&a)));
+    }
+}

@@ -1,0 +1,270 @@
+//! The reconstruction canvas (§V-E).
+//!
+//! "The residual (leaked background) pixels in all frames are then combined
+//! to form a (partially) reconstructed real background." Combination uses a
+//! per-pixel majority vote (Boyer–Moore) over the observed colors: genuine
+//! background leaks repeat with a consistent color across frames, while
+//! false residue (blend mixtures, mis-segmented caller fragments) varies —
+//! so the majority color is the background with high probability. The
+//! observation count doubles as a confidence signal for the attacks.
+
+use bb_imaging::{Frame, Mask, Rgb};
+
+/// Color agreement tolerance for the majority vote (absorbs sensor noise
+/// between observations of the same background pixel).
+pub const VOTE_TAU: u8 = 14;
+
+/// Accumulates per-frame leaked-background residues into a partial
+/// background image.
+///
+/// Accumulation is order-sensitive (majority voting); callers must feed
+/// frames in call order. The pipeline computes per-frame residues in
+/// parallel and accumulates sequentially.
+///
+/// # Example
+///
+/// ```
+/// use bb_core::ReconstructionCanvas;
+/// use bb_imaging::{Frame, Mask, Rgb};
+///
+/// let mut canvas = ReconstructionCanvas::new(8, 8);
+/// let frame = Frame::filled(8, 8, Rgb::new(10, 20, 30));
+/// let mut leak = Mask::new(8, 8);
+/// leak.set(3, 3, true);
+/// canvas.accumulate(&frame, &leak);
+/// assert_eq!(canvas.recovered_mask().count_set(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconstructionCanvas {
+    width: usize,
+    height: usize,
+    colors: Vec<Option<Rgb>>,
+    votes: Vec<i32>,
+    counts: Vec<u32>,
+}
+
+impl ReconstructionCanvas {
+    /// Creates an empty canvas.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(
+            width > 0 && height > 0,
+            "canvas dimensions must be non-zero"
+        );
+        ReconstructionCanvas {
+            width,
+            height,
+            colors: vec![None; width * height],
+            votes: vec![0; width * height],
+            counts: vec![0; width * height],
+        }
+    }
+
+    /// `(width, height)` pair.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Adds one frame's leaked residue (call in frame order).
+    ///
+    /// Per pixel, colors compete by majority vote: an observation matching
+    /// the current candidate (within [`VOTE_TAU`]) reinforces it; a
+    /// mismatching observation weakens it and eventually replaces it.
+    /// Pixels outside the canvas geometry are ignored (the caller validated
+    /// dimensions upstream).
+    pub fn accumulate(&mut self, frame: &Frame, leak: &Mask) {
+        if frame.dims() != (self.width, self.height) || leak.dims() != (self.width, self.height) {
+            return;
+        }
+        for (x, y) in leak.iter_set() {
+            let idx = y * self.width + x;
+            let observed = frame.get(x, y);
+            self.counts[idx] += 1;
+            match self.colors[idx] {
+                None => {
+                    self.colors[idx] = Some(observed);
+                    self.votes[idx] = 1;
+                }
+                Some(current) => {
+                    if observed.matches(current, VOTE_TAU) {
+                        self.votes[idx] += 1;
+                    } else {
+                        self.votes[idx] -= 1;
+                        if self.votes[idx] < 0 {
+                            self.colors[idx] = Some(observed);
+                            self.votes[idx] = 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of recovered pixels.
+    pub fn recovered_count(&self) -> usize {
+        self.colors.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// The mask of recovered pixels.
+    pub fn recovered_mask(&self) -> Mask {
+        let mut m = Mask::new(self.width, self.height);
+        for (i, c) in self.colors.iter().enumerate() {
+            if c.is_some() {
+                m.set_index(i, true);
+            }
+        }
+        m
+    }
+
+    /// The reconstructed background: recovered pixels in their majority
+    /// colors, unknown pixels in `fill` (the paper renders them black).
+    pub fn to_frame(&self, fill: Rgb) -> Frame {
+        let mut f = Frame::filled(self.width, self.height, fill);
+        for (i, c) in self.colors.iter().enumerate() {
+            if let Some(color) = c {
+                f.pixels_mut()[i] = *color;
+            }
+        }
+        f
+    }
+
+    /// Observation count at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn count_at(&self, x: usize, y: usize) -> u32 {
+        self.counts[y * self.width + x]
+    }
+
+    /// Recovered color at `(x, y)`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn color_at(&self, x: usize, y: usize) -> Option<Rgb> {
+        self.colors[y * self.width + x]
+    }
+
+    /// Drops pixels observed fewer than `min_count` times — a confidence
+    /// filter against one-frame artifacts (useful under the dynamic-VB
+    /// mitigation, where spurious "leaks" appear in single frames).
+    pub fn filtered(&self, min_count: u32) -> ReconstructionCanvas {
+        let mut out = self.clone();
+        for i in 0..out.colors.len() {
+            if out.counts[i] < min_count {
+                out.colors[i] = None;
+                out.counts[i] = 0;
+                out.votes[i] = 0;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_color_wins() {
+        let mut canvas = ReconstructionCanvas::new(4, 4);
+        let good = Frame::filled(4, 4, Rgb::new(10, 200, 10));
+        let bad = Frame::filled(4, 4, Rgb::new(200, 10, 10));
+        let mut leak = Mask::new(4, 4);
+        leak.set(1, 1, true);
+        // Pollution first, then repeated truth.
+        canvas.accumulate(&bad, &leak);
+        canvas.accumulate(&good, &leak);
+        canvas.accumulate(&good, &leak);
+        canvas.accumulate(&good, &leak);
+        assert_eq!(canvas.color_at(1, 1), Some(Rgb::new(10, 200, 10)));
+        assert_eq!(canvas.count_at(1, 1), 4);
+    }
+
+    #[test]
+    fn single_observation_is_kept() {
+        let mut canvas = ReconstructionCanvas::new(4, 4);
+        let f = Frame::filled(4, 4, Rgb::new(1, 2, 3));
+        let mut leak = Mask::new(4, 4);
+        leak.set(0, 0, true);
+        canvas.accumulate(&f, &leak);
+        assert_eq!(canvas.color_at(0, 0), Some(Rgb::new(1, 2, 3)));
+        assert_eq!(canvas.recovered_count(), 1);
+    }
+
+    #[test]
+    fn noisy_same_color_reinforces() {
+        let mut canvas = ReconstructionCanvas::new(2, 2);
+        let mut leak = Mask::new(2, 2);
+        leak.set(0, 0, true);
+        for d in 0..10u8 {
+            let f = Frame::filled(2, 2, Rgb::new(100 + d % 3, 100, 100));
+            canvas.accumulate(&f, &leak);
+        }
+        // All within VOTE_TAU of the first → candidate survives.
+        let c = canvas.color_at(0, 0).unwrap();
+        assert!(c.matches(Rgb::new(100, 100, 100), 3));
+    }
+
+    #[test]
+    fn accumulation_is_monotone() {
+        let mut canvas = ReconstructionCanvas::new(6, 6);
+        let f = Frame::filled(6, 6, Rgb::WHITE);
+        let mut prev = 0;
+        for i in 0..6 {
+            let mut leak = Mask::new(6, 6);
+            leak.set(i, i, true);
+            canvas.accumulate(&f, &leak);
+            assert!(canvas.recovered_count() >= prev);
+            prev = canvas.recovered_count();
+        }
+        assert_eq!(prev, 6);
+    }
+
+    #[test]
+    fn mismatched_dims_ignored() {
+        let mut canvas = ReconstructionCanvas::new(4, 4);
+        canvas.accumulate(&Frame::filled(5, 5, Rgb::WHITE), &Mask::full(5, 5));
+        assert_eq!(canvas.recovered_count(), 0);
+    }
+
+    #[test]
+    fn to_frame_fills_unknown() {
+        let mut canvas = ReconstructionCanvas::new(3, 3);
+        let f = Frame::filled(3, 3, Rgb::new(9, 9, 9));
+        let mut leak = Mask::new(3, 3);
+        leak.set(0, 0, true);
+        canvas.accumulate(&f, &leak);
+        let out = canvas.to_frame(Rgb::BLACK);
+        assert_eq!(out.get(0, 0), Rgb::new(9, 9, 9));
+        assert_eq!(out.get(2, 2), Rgb::BLACK);
+    }
+
+    #[test]
+    fn filtered_drops_low_confidence() {
+        let f = Frame::filled(4, 4, Rgb::WHITE);
+        let mut canvas = ReconstructionCanvas::new(4, 4);
+        let mut leak_once = Mask::new(4, 4);
+        leak_once.set(0, 0, true);
+        let mut leak_thrice = Mask::new(4, 4);
+        leak_thrice.set(1, 1, true);
+        canvas.accumulate(&f, &leak_once);
+        for _ in 0..3 {
+            canvas.accumulate(&f, &leak_thrice);
+        }
+        let filtered = canvas.filtered(2);
+        assert_eq!(filtered.recovered_count(), 1);
+        assert_eq!(filtered.color_at(0, 0), None);
+        assert_eq!(filtered.color_at(1, 1), Some(Rgb::WHITE));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_canvas_panics() {
+        let _ = ReconstructionCanvas::new(0, 4);
+    }
+}

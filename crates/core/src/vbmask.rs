@@ -1,0 +1,602 @@
+//! Virtual-background masking (§V-B).
+//!
+//! Four scenarios, as in the paper:
+//!
+//! 1. **Known virtual image** — [`identify_known_image`]: the
+//!    highest-likelihood estimator `argmax Σ µ(img ⊕ fⁱ)` over the
+//!    adversary's dataset `D_img` of default/popular backgrounds.
+//! 2. **Known virtual video** — [`identify_known_video`]: the same estimator
+//!    extended over all frames of all candidate videos, plus loop-phase
+//!    tracking so each call frame is compared against the right video frame.
+//! 3. **Unknown virtual image** — [`derive_unknown_image`]: "any pixel with
+//!    a consistent value across a large number of frames … would be
+//!    considered part of the virtual background image. Empirically … a pixel
+//!    consistent across 10 or more frames has very high probability of
+//!    belonging to the virtual background" ([`STABILITY_THRESHOLD`]).
+//! 4. **Unknown virtual video** — [`derive_unknown_video`]: loop-period
+//!    detection, then per-phase stability ("pixels stay the same across
+//!    every periodic occurrence of a frame").
+//!
+//! Cross-call fusion ([`merge_references`]) implements the §V-B mitigation
+//! for stationary users: "searching for the unknown virtual image in other
+//! call videos".
+
+use crate::CoreError;
+use bb_imaging::{Frame, Mask, Rgb};
+use bb_video::{loopdet, VideoStream};
+
+/// The paper's empirical stability threshold: a pixel consistent across this
+/// many consecutive frames (at 30 fps) is treated as virtual background.
+pub const STABILITY_THRESHOLD: usize = 10;
+
+/// The reference the VB-masking stage compares frames against.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VirtualReference {
+    /// A single reference image. The optional validity mask marks pixels
+    /// whose value is actually known (always fully valid for identified
+    /// known images; partial for derived ones).
+    Image {
+        /// Reference pixels.
+        image: Frame,
+        /// Which pixels of `image` are known.
+        valid: Mask,
+    },
+    /// A looping reference video: one (frame, validity) pair per phase,
+    /// plus the phase offset of call frame 0.
+    Video {
+        /// Per-phase reference frames with validity masks.
+        phases: Vec<(Frame, Mask)>,
+        /// `phase_of_call_frame_0`; call frame `i` uses phase
+        /// `(offset + i) % phases.len()`.
+        offset: usize,
+    },
+}
+
+impl VirtualReference {
+    /// The reference frame and validity for call frame `i`.
+    pub fn for_frame(&self, i: usize) -> (&Frame, &Mask) {
+        match self {
+            VirtualReference::Image { image, valid } => (image, valid),
+            VirtualReference::Video { phases, offset } => {
+                let (f, m) = &phases[(offset + i) % phases.len()];
+                (f, m)
+            }
+        }
+    }
+
+    /// Fraction of reference pixels whose value is known, in `[0, 1]`.
+    pub fn validity(&self) -> f64 {
+        match self {
+            VirtualReference::Image { valid, .. } => valid.coverage(),
+            VirtualReference::Video { phases, .. } => {
+                phases.iter().map(|(_, m)| m.coverage()).sum::<f64>() / phases.len() as f64
+            }
+        }
+    }
+}
+
+/// Identifies the virtual image used in a call from a candidate dataset:
+/// the §V-B highest-likelihood estimator, summed over (a sample of) call
+/// frames. Returns `(index, total_score)`.
+///
+/// # Errors
+///
+/// * [`CoreError::EmptyCandidateSet`] when `candidates` is empty.
+/// * Propagates dimension mismatches.
+pub fn identify_known_image(
+    video: &VideoStream,
+    candidates: &[Frame],
+    tau: u8,
+) -> Result<(usize, u64), CoreError> {
+    if candidates.is_empty() {
+        return Err(CoreError::EmptyCandidateSet);
+    }
+    // Sample up to 16 frames evenly — the estimator's argmax is stable long
+    // before summing every frame.
+    let step = (video.len() / 16).max(1);
+    let mut best = (0usize, 0u64);
+    for (ci, cand) in candidates.iter().enumerate() {
+        let mut score = 0u64;
+        for i in (0..video.len()).step_by(step) {
+            score += video.frame(i).match_score(cand, tau)? as u64;
+        }
+        if ci == 0 || score > best.1 {
+            best = (ci, score);
+        }
+    }
+    Ok(best)
+}
+
+/// Identifies the virtual *video* used in a call from a candidate dataset,
+/// returning `(video_index, phase_offset, score)` where `phase_offset` is
+/// the candidate frame index that call frame 0 shows.
+///
+/// # Errors
+///
+/// * [`CoreError::EmptyCandidateSet`] when `candidates` is empty.
+/// * Propagates dimension mismatches.
+pub fn identify_known_video(
+    video: &VideoStream,
+    candidates: &[VideoStream],
+    tau: u8,
+) -> Result<(usize, usize, u64), CoreError> {
+    if candidates.is_empty() {
+        return Err(CoreError::EmptyCandidateSet);
+    }
+    let mut best: Option<(usize, usize, u64)> = None;
+    for (vi, cand) in candidates.iter().enumerate() {
+        // For each possible phase offset, score a few call frames under the
+        // assumption that call frame i shows candidate frame (offset+i)%len.
+        let period = cand.len();
+        for offset in 0..period {
+            let mut score = 0u64;
+            let samples = 8.min(video.len());
+            for s in 0..samples {
+                let i = s * video.len() / samples;
+                let cf = cand.frame((offset + i) % period);
+                score += video.frame(i).match_score(cf, tau)? as u64;
+            }
+            if best.is_none_or(|(_, _, bs)| score > bs) {
+                best = Some((vi, offset, score));
+            }
+        }
+    }
+    Ok(best.expect("candidates non-empty"))
+}
+
+/// Per-pixel stability analysis: the §V-B unknown-virtual-image derivation.
+///
+/// A pixel whose value stays within `tau` of a running anchor for at least
+/// `stability_threshold` consecutive frames is considered virtual
+/// background; the derived image stores the anchor value and the validity
+/// mask marks derived pixels.
+///
+/// # Errors
+///
+/// Returns [`CoreError::VideoTooShort`] when the video has fewer frames than
+/// `stability_threshold`.
+pub fn derive_unknown_image(
+    video: &VideoStream,
+    stability_threshold: usize,
+    tau: u8,
+) -> Result<VirtualReference, CoreError> {
+    if video.len() < stability_threshold {
+        return Err(CoreError::VideoTooShort {
+            needed: stability_threshold,
+            have: video.len(),
+        });
+    }
+    let (w, h) = video.dims();
+    let mut image = Frame::new(w, h);
+    let mut valid = Mask::new(w, h);
+
+    // Per pixel: find the longest run of frames within tau of the run
+    // anchor; if it reaches the threshold, that anchor is the VB value.
+    for y in 0..h {
+        for x in 0..w {
+            let mut best_len = 0usize;
+            let mut best_anchor = Rgb::BLACK;
+            let mut anchor = video.frame(0).get(x, y);
+            let mut run = 1usize;
+            for i in 1..video.len() {
+                let p = video.frame(i).get(x, y);
+                if p.matches(anchor, tau) {
+                    run += 1;
+                } else {
+                    if run > best_len {
+                        best_len = run;
+                        best_anchor = anchor;
+                    }
+                    anchor = p;
+                    run = 1;
+                }
+            }
+            if run > best_len {
+                best_len = run;
+                best_anchor = anchor;
+            }
+            if best_len >= stability_threshold {
+                image.put(x, y, best_anchor);
+                valid.set(x, y, true);
+            }
+        }
+    }
+    Ok(VirtualReference::Image { image, valid })
+}
+
+/// Unknown-virtual-video derivation (§V-B): find the loop period, then run
+/// the stability analysis inside each phase bucket ("pixels stay the same
+/// across every occurrence of a frame").
+///
+/// `min_occurrences` is the per-phase stability threshold (the ≥10-frame
+/// rule divided by the period; at least 2).
+///
+/// # Errors
+///
+/// * [`CoreError::NoPeriodFound`] when the stream shows no periodicity in
+///   `[min_period, max_period]`.
+/// * [`CoreError::VideoTooShort`] / propagated errors from detection.
+pub fn derive_unknown_video(
+    video: &VideoStream,
+    min_period: usize,
+    max_period: usize,
+    tau: u8,
+    min_occurrences: usize,
+) -> Result<VirtualReference, CoreError> {
+    let period = loopdet::detect_period(video, min_period, max_period, 18.0)?
+        .ok_or(CoreError::NoPeriodFound)?
+        .frames;
+    let (w, h) = video.dims();
+    let buckets = loopdet::phase_buckets(video.len(), period);
+    let min_occ = min_occurrences.max(2);
+
+    let mut phases = Vec::with_capacity(period);
+    for bucket in &buckets {
+        let mut image = Frame::new(w, h);
+        let mut valid = Mask::new(w, h);
+        if bucket.len() >= min_occ {
+            for y in 0..h {
+                for x in 0..w {
+                    // Stability across this phase's occurrences.
+                    let mut best_len = 0usize;
+                    let mut best_anchor = Rgb::BLACK;
+                    let mut anchor = video.frame(bucket[0]).get(x, y);
+                    let mut run = 1usize;
+                    for &i in &bucket[1..] {
+                        let p = video.frame(i).get(x, y);
+                        if p.matches(anchor, tau) {
+                            run += 1;
+                        } else {
+                            if run > best_len {
+                                best_len = run;
+                                best_anchor = anchor;
+                            }
+                            anchor = p;
+                            run = 1;
+                        }
+                    }
+                    if run > best_len {
+                        best_len = run;
+                        best_anchor = anchor;
+                    }
+                    if best_len >= min_occ {
+                        image.put(x, y, best_anchor);
+                        valid.set(x, y, true);
+                    }
+                }
+            }
+        }
+        phases.push((image, valid));
+    }
+    Ok(VirtualReference::Video { phases, offset: 0 })
+}
+
+/// Fuses references derived from multiple calls that used the same virtual
+/// background (§V-B's stationary-user mitigation): pixels known in any call
+/// fill the gaps of the others; disagreements keep the first-seen value.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyCandidateSet`] on an empty input and imaging
+/// errors on dimension mismatches. Video references must share a period.
+pub fn merge_references(refs: &[VirtualReference]) -> Result<VirtualReference, CoreError> {
+    let first = refs.first().ok_or(CoreError::EmptyCandidateSet)?;
+    match first {
+        VirtualReference::Image { image, valid } => {
+            let mut image = image.clone();
+            let mut valid = valid.clone();
+            for r in &refs[1..] {
+                if let VirtualReference::Image {
+                    image: oi,
+                    valid: ov,
+                } = r
+                {
+                    image.check_same_dims(oi)?;
+                    for (x, y) in ov.iter_set() {
+                        if !valid.get(x, y) {
+                            image.put(x, y, oi.get(x, y));
+                            valid.set(x, y, true);
+                        }
+                    }
+                }
+            }
+            Ok(VirtualReference::Image { image, valid })
+        }
+        VirtualReference::Video { phases, offset } => {
+            let mut phases = phases.clone();
+            let offset = *offset;
+            for r in &refs[1..] {
+                if let VirtualReference::Video { phases: op, .. } = r {
+                    if op.len() != phases.len() {
+                        continue; // incompatible period: skip
+                    }
+                    for (dst, src) in phases.iter_mut().zip(op) {
+                        for (x, y) in src.1.iter_set() {
+                            if !dst.1.get(x, y) {
+                                dst.0.put(x, y, src.0.get(x, y));
+                                dst.1.set(x, y, true);
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(VirtualReference::Video { phases, offset })
+        }
+    }
+}
+
+/// Cross-call fusion with voting: like [`merge_references`], but a pixel's
+/// value must be corroborated.
+///
+/// A stationary caller's body pixels are wrongly derived as "virtual
+/// background" (they are stable!), so gap-filling alone cannot repair them —
+/// the wrong value is *valid*. Across calls, though, only true VB pixels
+/// agree: different callers/rooms put different colors behind each pixel.
+/// This fusion keeps a pixel when at least two calls agree on its value
+/// (within `tau`), and marks it invalid otherwise.
+///
+/// Only image references participate; video references fall back to
+/// [`merge_references`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyCandidateSet`] on empty input.
+pub fn merge_references_voting(
+    refs: &[VirtualReference],
+    tau: u8,
+) -> Result<VirtualReference, CoreError> {
+    let first = refs.first().ok_or(CoreError::EmptyCandidateSet)?;
+    let VirtualReference::Image {
+        image: first_img, ..
+    } = first
+    else {
+        return merge_references(refs);
+    };
+    if refs.len() < 2 {
+        return merge_references(refs);
+    }
+    let (w, h) = first_img.dims();
+    let mut image = Frame::new(w, h);
+    let mut valid = Mask::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            // Collect valid observations across calls.
+            let mut observations: Vec<Rgb> = Vec::with_capacity(refs.len());
+            for r in refs {
+                if let VirtualReference::Image { image: i, valid: v } = r {
+                    if i.dims() == (w, h) && v.get(x, y) {
+                        observations.push(i.get(x, y));
+                    }
+                }
+            }
+            // A value corroborated by a second call wins.
+            'search: for (i, &a) in observations.iter().enumerate() {
+                for &b in &observations[i + 1..] {
+                    if a.matches(b, tau) {
+                        image.put(x, y, a);
+                        valid.set(x, y, true);
+                        break 'search;
+                    }
+                }
+            }
+        }
+    }
+    Ok(VirtualReference::Image { image, valid })
+}
+
+/// Generates the per-frame virtual background mask (§V-B):
+/// `VBM(u,w) = 1 iff µ(M ⊕ f(u,w)) = 1` — i.e. the frame pixel matches the
+/// reference within `tau` *and* the reference knows that pixel.
+///
+/// # Errors
+///
+/// Propagates dimension mismatches.
+pub fn vb_mask(frame: &Frame, reference: &Frame, valid: &Mask, tau: u8) -> Result<Mask, CoreError> {
+    let matched = frame.match_mask(reference, tau)?;
+    Ok(matched.intersect(valid)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_imaging::draw;
+
+    fn vb_image() -> Frame {
+        Frame::from_fn(24, 18, |x, y| Rgb::new((x * 9) as u8, (y * 11) as u8, 77))
+    }
+
+    /// A composited-call-like stream: VB everywhere except a moving block.
+    fn call_stream(len: usize) -> VideoStream {
+        let vb = vb_image();
+        VideoStream::generate(len, 30.0, |i| {
+            let mut f = vb.clone();
+            draw::fill_rect(&mut f, (i % 12) as i64, 6, 5, 8, Rgb::new(200, 30, 30));
+            f
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn known_image_identified() {
+        let video = call_stream(20);
+        let candidates = vec![
+            Frame::filled(24, 18, Rgb::grey(50)),
+            vb_image(),
+            Frame::filled(24, 18, Rgb::grey(200)),
+        ];
+        let (idx, score) = identify_known_image(&video, &candidates, 2).unwrap();
+        assert_eq!(idx, 1);
+        assert!(score > 0);
+    }
+
+    #[test]
+    fn empty_candidates_rejected() {
+        let video = call_stream(5);
+        assert!(matches!(
+            identify_known_image(&video, &[], 0),
+            Err(CoreError::EmptyCandidateSet)
+        ));
+        assert!(matches!(
+            identify_known_video(&video, &[], 0),
+            Err(CoreError::EmptyCandidateSet)
+        ));
+    }
+
+    #[test]
+    fn known_video_identified_with_offset() {
+        // Virtual video with period 6; call starts at phase 2.
+        let vb_video = VideoStream::generate(6, 30.0, |p| {
+            Frame::filled(20, 16, Rgb::grey((p * 40) as u8))
+        })
+        .unwrap();
+        let call = VideoStream::generate(18, 30.0, |i| {
+            let mut f = vb_video.frame((2 + i) % 6).clone();
+            draw::fill_rect(&mut f, 8, 6, 4, 6, Rgb::new(180, 40, 40));
+            f
+        })
+        .unwrap();
+        let decoy = VideoStream::generate(6, 30.0, |p| {
+            Frame::filled(20, 16, Rgb::new((p * 40) as u8, 0, 128))
+        })
+        .unwrap();
+        let (vi, offset, _) = identify_known_video(&call, &[decoy, vb_video], 2).unwrap();
+        assert_eq!(vi, 1);
+        assert_eq!(offset, 2);
+    }
+
+    #[test]
+    fn unknown_image_derivation_recovers_vb() {
+        let video = call_stream(40);
+        let r = derive_unknown_image(&video, STABILITY_THRESHOLD, 2).unwrap();
+        let VirtualReference::Image { image, valid } = &r else {
+            panic!("expected image reference");
+        };
+        // Pixels far from the moving block are derived exactly.
+        assert!(valid.get(20, 2));
+        assert_eq!(image.get(20, 2), vb_image().get(20, 2));
+        // Most of the frame is derived.
+        assert!(r.validity() > 0.5, "validity {}", r.validity());
+    }
+
+    #[test]
+    fn derivation_needs_enough_frames() {
+        let video = call_stream(5);
+        assert!(matches!(
+            derive_unknown_image(&video, 10, 2),
+            Err(CoreError::VideoTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_video_derivation_finds_phases() {
+        // Looping VB with period 4; a small moving occluder.
+        let call = VideoStream::generate(48, 30.0, |i| {
+            let phase = i % 4;
+            let mut f = Frame::filled(20, 16, Rgb::grey((60 + phase * 30) as u8));
+            draw::fill_rect(&mut f, phase as i64 * 4, 0, 2, 3, Rgb::new(10, 200, 10));
+            draw::fill_rect(&mut f, (i % 10) as i64, 8, 4, 6, Rgb::new(180, 40, 40));
+            f
+        })
+        .unwrap();
+        let r = derive_unknown_video(&call, 2, 10, 2, 3).unwrap();
+        let VirtualReference::Video { phases, .. } = &r else {
+            panic!("expected video reference");
+        };
+        // The detector may settle on the fundamental period or a multiple of
+        // it (both reconstruct correctly); phase content must match either
+        // way.
+        assert_eq!(
+            phases.len() % 4,
+            0,
+            "period {} not a multiple of 4",
+            phases.len()
+        );
+        for (p, (img, valid)) in phases.iter().enumerate() {
+            assert!(valid.get(18, 2), "phase {p} missing pixel");
+            assert_eq!(img.get(18, 2), Rgb::grey((60 + (p % 4) * 30) as u8));
+        }
+    }
+
+    #[test]
+    fn aperiodic_video_yields_no_period() {
+        let call = VideoStream::generate(60, 30.0, |i| {
+            Frame::from_fn(16, 12, |x, y| {
+                Rgb::grey(((x * 3 + y * 7 + i * i * 13) % 255) as u8)
+            })
+        })
+        .unwrap();
+        assert!(matches!(
+            derive_unknown_video(&call, 2, 12, 1, 2),
+            Err(CoreError::NoPeriodFound)
+        ));
+    }
+
+    #[test]
+    fn vb_mask_matches_reference_only_where_valid() {
+        let reference = vb_image();
+        let mut valid = Mask::full(24, 18);
+        valid.set(0, 0, false);
+        let frame = reference.clone();
+        let m = vb_mask(&frame, &reference, &valid, 0).unwrap();
+        assert!(!m.get(0, 0), "invalid reference pixel must not mask");
+        assert!(m.get(5, 5));
+        assert_eq!(m.count_set(), 24 * 18 - 1);
+    }
+
+    #[test]
+    fn merge_fills_gaps_from_other_calls() {
+        let full = vb_image();
+        // Call A knows the left half, call B the right half.
+        let left = VirtualReference::Image {
+            image: {
+                let mut f = Frame::new(24, 18);
+                for y in 0..18 {
+                    for x in 0..12 {
+                        f.put(x, y, full.get(x, y));
+                    }
+                }
+                f
+            },
+            valid: Mask::from_fn(24, 18, |x, _| x < 12),
+        };
+        let right = VirtualReference::Image {
+            image: {
+                let mut f = Frame::new(24, 18);
+                for y in 0..18 {
+                    for x in 12..24 {
+                        f.put(x, y, full.get(x, y));
+                    }
+                }
+                f
+            },
+            valid: Mask::from_fn(24, 18, |x, _| x >= 12),
+        };
+        let merged = merge_references(&[left, right]).unwrap();
+        assert!((merged.validity() - 1.0).abs() < 1e-12);
+        let VirtualReference::Image { image, .. } = merged else {
+            panic!()
+        };
+        assert_eq!(image, full);
+    }
+
+    #[test]
+    fn merge_empty_is_error() {
+        assert!(matches!(
+            merge_references(&[]),
+            Err(CoreError::EmptyCandidateSet)
+        ));
+    }
+
+    #[test]
+    fn for_frame_respects_video_offset() {
+        let phases = vec![
+            (Frame::filled(4, 4, Rgb::grey(1)), Mask::full(4, 4)),
+            (Frame::filled(4, 4, Rgb::grey(2)), Mask::full(4, 4)),
+            (Frame::filled(4, 4, Rgb::grey(3)), Mask::full(4, 4)),
+        ];
+        let r = VirtualReference::Video { phases, offset: 2 };
+        assert_eq!(r.for_frame(0).0.get(0, 0), Rgb::grey(3));
+        assert_eq!(r.for_frame(1).0.get(0, 0), Rgb::grey(1));
+        assert_eq!(r.for_frame(4).0.get(0, 0), Rgb::grey(1));
+    }
+}

@@ -1,0 +1,237 @@
+//! Video-caller masking (§V-D).
+//!
+//! The caller mask is produced by the person segmenter (the DeepLabv3
+//! substitute in `bb-segment`) restricted to the pixels the VBM and BBM did
+//! not claim, then repaired with the paper's statistical color refinement:
+//! "for every pixel in VCM(u,w) = 1, if a color was observed … with a very
+//! low frequency (presumably from the real background), we modify
+//! VCM(u,w) = 0".
+
+use bb_imaging::hist::ColorHistogram;
+use bb_imaging::{components, Frame, Mask};
+use bb_segment::{color_refine, PersonSegmenter};
+use serde::{Deserialize, Serialize};
+
+/// A cross-frame caller color model (§V-D's color analysis, applied across
+/// frames): a histogram built from the candidate pixels of *quiet* frames —
+/// frames whose candidate area is small, i.e. dominated by the caller with
+/// little leakage. Colors rare in this model are presumed leaked background
+/// even when they form a large fraction of one frame's candidate component
+/// (e.g. the wall-colored trail behind a walking caller).
+#[derive(Debug, Clone)]
+pub struct CallerColorModel {
+    hist: ColorHistogram,
+}
+
+impl CallerColorModel {
+    /// Builds the model from per-frame `(frame, candidates)` pairs.
+    ///
+    /// Frame selection balances two risks: the quietest frames by area may
+    /// have no caller at all (enter/exit absences), while the busiest are
+    /// leak-heavy. The model therefore uses the quartile of frames with the
+    /// most *skin evidence* inside the candidates (the caller is the only
+    /// reliably skin-bearing candidate region), tie-broken toward smaller
+    /// candidate area.
+    ///
+    /// Returns `None` when the input is empty or no candidate pixel exists.
+    pub fn fit(frames_and_candidates: &[(&Frame, &Mask)], bits: u8) -> Option<CallerColorModel> {
+        if frames_and_candidates.is_empty() {
+            return None;
+        }
+        let scores: Vec<(usize, usize)> = frames_and_candidates
+            .iter()
+            .map(|(frame, cand)| {
+                let skin = cand
+                    .iter_set()
+                    .filter(|&(x, y)| bb_segment::person::is_skin(frame.get(x, y)))
+                    .count();
+                (skin, cand.count_set())
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..frames_and_candidates.len()).collect();
+        // Most skin first; among equals, smallest candidate area first.
+        order.sort_by(|&a, &b| {
+            scores[b]
+                .0
+                .cmp(&scores[a].0)
+                .then(scores[a].1.cmp(&scores[b].1))
+        });
+        let take = (frames_and_candidates.len() / 4).max(1);
+        let mut hist = ColorHistogram::new(bits);
+        for &i in order.iter().take(take) {
+            let (frame, cand) = frames_and_candidates[i];
+            hist.add_masked(frame, cand);
+        }
+        if hist.total() == 0 {
+            return None;
+        }
+        Some(CallerColorModel { hist })
+    }
+
+    /// Relative frequency of `p`'s color bucket among modelled caller
+    /// pixels.
+    pub fn frequency(&self, p: bb_imaging::Rgb) -> f64 {
+        self.hist.frequency(p)
+    }
+}
+
+/// Parameters of the video-caller-masking stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VcMaskParams {
+    /// Minimum within-mask color frequency; rarer colors are flipped to
+    /// background (§V-D).
+    pub refine_min_freq: f64,
+    /// Histogram quantisation (bits per channel) for the refinement.
+    pub refine_bits: u8,
+    /// Flipped pixels only leave the VCM in clusters of at least this many
+    /// pixels. Genuine leaks are blob-shaped; isolated rare-color pixels are
+    /// caller-boundary blend noise and stay with the caller. 1 disables the
+    /// guard.
+    pub min_flip_cluster: usize,
+    /// Minimum frequency in the cross-frame [`CallerColorModel`] for a
+    /// pixel to stay in the VCM (when a model is supplied).
+    pub model_min_freq: f64,
+}
+
+impl Default for VcMaskParams {
+    fn default() -> Self {
+        VcMaskParams {
+            refine_min_freq: 0.02,
+            refine_bits: 4,
+            min_flip_cluster: 4,
+            model_min_freq: 0.03,
+        }
+    }
+}
+
+/// Result of the VCM stage for one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VcMaskResult {
+    /// The refined video-caller mask.
+    pub vcm: Mask,
+    /// Pixels the refinement flipped out of the raw segmentation — these are
+    /// presumed leaked background and stay in the residue.
+    pub flipped: usize,
+}
+
+/// Produces the VCM for one frame: person selection among `candidates`
+/// (pixels not claimed by VBM/BBM) followed by color refinement.
+pub fn vc_mask(
+    segmenter: &PersonSegmenter,
+    frame: &Frame,
+    candidates: &Mask,
+    params: &VcMaskParams,
+) -> VcMaskResult {
+    vc_mask_with_model(segmenter, frame, candidates, params, None)
+}
+
+/// [`vc_mask`] with an optional cross-frame caller color model: when
+/// supplied, pixels whose color is rare *among modelled caller pixels* are
+/// flipped in addition to the per-frame refinement — this is what stops the
+/// wall-colored trail behind a walking caller from being absorbed into the
+/// VCM (the failure mode a semantic segmenter like DeepLabv3 avoids
+/// natively).
+pub fn vc_mask_with_model(
+    segmenter: &PersonSegmenter,
+    frame: &Frame,
+    candidates: &Mask,
+    params: &VcMaskParams,
+    model: Option<&CallerColorModel>,
+) -> VcMaskResult {
+    let raw = segmenter.segment_candidates(frame, candidates);
+    let (mut refined, _) = color_refine(frame, &raw, params.refine_min_freq, params.refine_bits);
+    if let Some(model) = model {
+        for (x, y) in raw.iter_set() {
+            if refined.get(x, y) && model.frequency(frame.get(x, y)) < params.model_min_freq {
+                refined.set(x, y, false);
+            }
+        }
+    }
+    if params.min_flip_cluster <= 1 {
+        let flipped = raw.count_set() - refined.count_set();
+        return VcMaskResult {
+            vcm: refined,
+            flipped,
+        };
+    }
+    // Cluster guard: only blob-shaped flip regions are treated as leaked
+    // background; isolated rare-color pixels are blend noise on the caller
+    // boundary and return to the VCM.
+    let flipped_mask = raw.subtract(&refined).expect("refined ⊆ raw");
+    let clusters = components::remove_small_components(
+        &flipped_mask,
+        params.min_flip_cluster,
+        components::Connectivity::Eight,
+    );
+    let vcm = raw.subtract(&clusters).expect("same dims");
+    let flipped = clusters.count_set();
+    VcMaskResult { vcm, flipped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_imaging::{draw, Rgb};
+    use bb_video::VideoStream;
+
+    fn fixture() -> (VideoStream, Frame, Mask) {
+        // Caller blob + leak patch, both inside the candidate mask.
+        let mut frame = Frame::filled(50, 50, Rgb::new(80, 150, 210));
+        draw::fill_rect(&mut frame, 18, 20, 16, 30, Rgb::new(40, 70, 160)); // apparel
+        draw::fill_circle(&mut frame, 26, 14, 6, Rgb::new(230, 195, 165)); // head
+        draw::fill_rect(&mut frame, 36, 30, 3, 3, Rgb::new(20, 150, 40)); // fused leak
+        let candidates = Mask::from_fn(50, 50, |x, y| {
+            let body = (18..34).contains(&x) && (20..50).contains(&y);
+            let head = {
+                let dx = x as i64 - 26;
+                let dy = y as i64 - 14;
+                dx * dx + dy * dy <= 36
+            };
+            let leak = (34..39).contains(&x) && (30..33).contains(&y);
+            body || head || leak
+        });
+        let video = VideoStream::generate(4, 30.0, |_| frame.clone()).unwrap();
+        (video, frame, candidates)
+    }
+
+    #[test]
+    fn vcm_keeps_caller_drops_rare_leak() {
+        let (video, frame, candidates) = fixture();
+        let seg = PersonSegmenter::fit(&video);
+        let result = vc_mask(&seg, &frame, &candidates, &VcMaskParams::default());
+        assert!(result.vcm.get(26, 30), "torso missing from VCM");
+        assert!(result.vcm.get(26, 14), "head missing from VCM");
+        // The fused leak patch is color-rare and must be flipped out.
+        assert!(!result.vcm.get(37, 31), "leak survived refinement");
+        assert!(result.flipped > 0);
+    }
+
+    #[test]
+    fn empty_candidates_empty_vcm() {
+        let (video, frame, _) = fixture();
+        let seg = PersonSegmenter::fit(&video);
+        let result = vc_mask(&seg, &frame, &Mask::new(50, 50), &VcMaskParams::default());
+        assert!(result.vcm.is_empty());
+        assert_eq!(result.flipped, 0);
+    }
+
+    #[test]
+    fn vcm_is_subset_of_candidates() {
+        let (video, frame, candidates) = fixture();
+        let seg = PersonSegmenter::fit(&video);
+        let result = vc_mask(&seg, &frame, &candidates, &VcMaskParams::default());
+        assert!(result.vcm.subtract(&candidates).unwrap().is_empty());
+    }
+
+    #[test]
+    fn zero_min_freq_disables_refinement() {
+        let (video, frame, candidates) = fixture();
+        let seg = PersonSegmenter::fit(&video);
+        let params = VcMaskParams {
+            refine_min_freq: 0.0,
+            ..Default::default()
+        };
+        let result = vc_mask(&seg, &frame, &candidates, &params);
+        assert_eq!(result.flipped, 0);
+    }
+}

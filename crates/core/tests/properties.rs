@@ -1,0 +1,130 @@
+//! Property-based tests for the reconstruction framework's invariants.
+
+use bb_core::metrics;
+use bb_core::recon::ReconstructionCanvas;
+use bb_core::vbmask;
+use bb_imaging::{Frame, Mask, Rgb};
+use bb_video::VideoStream;
+use proptest::prelude::*;
+
+fn arb_mask(w: usize, h: usize) -> impl Strategy<Value = Mask> {
+    proptest::collection::vec(any::<bool>(), w * h).prop_map(move |bits| {
+        let mut m = Mask::new(w, h);
+        for (i, b) in bits.into_iter().enumerate() {
+            m.set_index(i, b);
+        }
+        m
+    })
+}
+
+fn arb_frame(w: usize, h: usize) -> impl Strategy<Value = Frame> {
+    proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), w * h).prop_map(move |px| {
+        Frame::from_pixels(
+            w,
+            h,
+            px.into_iter().map(|(r, g, b)| Rgb::new(r, g, b)).collect(),
+        )
+        .expect("sized correctly")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn vbmr_and_rbrr_are_percentages(removed in arb_mask(10, 8), true_vb in arb_mask(10, 8)) {
+        let v = metrics::vbmr_frame(&removed, &true_vb).unwrap();
+        prop_assert!((0.0..=100.0).contains(&v));
+        prop_assert!((0.0..=100.0).contains(&metrics::rbrr(&removed)));
+    }
+
+    #[test]
+    fn vbmr_is_monotone_in_removed(removed in arb_mask(10, 8), extra in arb_mask(10, 8), true_vb in arb_mask(10, 8)) {
+        let bigger = removed.union(&extra).unwrap();
+        let v1 = metrics::vbmr_frame(&removed, &true_vb).unwrap();
+        let v2 = metrics::vbmr_frame(&bigger, &true_vb).unwrap();
+        prop_assert!(v2 >= v1 - 1e-12);
+    }
+
+    #[test]
+    fn rbrr_from_leaks_bounds_individual_leaks(a in arb_mask(8, 8), b in arb_mask(8, 8)) {
+        let joint = metrics::rbrr_from_leaks(&[a.clone(), b.clone()]).unwrap();
+        prop_assert!(joint >= metrics::rbrr(&a) - 1e-12);
+        prop_assert!(joint >= metrics::rbrr(&b) - 1e-12);
+        prop_assert!(joint <= metrics::rbrr(&a) + metrics::rbrr(&b) + 1e-12);
+    }
+
+    #[test]
+    fn canvas_recovery_is_monotone_and_bounded(leaks in proptest::collection::vec(arb_mask(6, 6), 1..6)) {
+        let frame = Frame::filled(6, 6, Rgb::grey(99));
+        let mut canvas = ReconstructionCanvas::new(6, 6);
+        let mut prev = 0usize;
+        let mut union = Mask::new(6, 6);
+        for leak in &leaks {
+            canvas.accumulate(&frame, leak);
+            prop_assert!(canvas.recovered_count() >= prev);
+            prev = canvas.recovered_count();
+            union.union_in_place(leak).unwrap();
+        }
+        // Exactly the union of leaks is recovered.
+        prop_assert_eq!(canvas.recovered_mask(), union);
+    }
+
+    #[test]
+    fn canvas_majority_prefers_repeated_color(n_good in 2u8..6, x in 0usize..4, y in 0usize..4) {
+        let good = Frame::filled(4, 4, Rgb::new(20, 200, 20));
+        let bad = Frame::filled(4, 4, Rgb::new(200, 20, 20));
+        let mut leak = Mask::new(4, 4);
+        leak.set(x, y, true);
+        let mut canvas = ReconstructionCanvas::new(4, 4);
+        canvas.accumulate(&bad, &leak);
+        for _ in 0..n_good {
+            canvas.accumulate(&good, &leak);
+        }
+        prop_assert_eq!(canvas.color_at(x, y), Some(Rgb::new(20, 200, 20)));
+    }
+
+    #[test]
+    fn vb_mask_is_subset_of_validity(f in arb_frame(8, 6), r in arb_frame(8, 6), valid in arb_mask(8, 6), tau in 0u8..40) {
+        let m = vbmask::vb_mask(&f, &r, &valid, tau).unwrap();
+        prop_assert!(m.subtract(&valid).unwrap().is_empty());
+        // Monotone in tau.
+        let m2 = vbmask::vb_mask(&f, &r, &valid, tau.saturating_add(20)).unwrap();
+        prop_assert!(m.subtract(&m2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn derived_reference_only_claims_truly_stable_pixels(stable_value in any::<u8>(), wiggle in 1u8..100) {
+        // A video whose left half is constant and right half oscillates.
+        let video = VideoStream::generate(16, 30.0, |i| {
+            Frame::from_fn(8, 4, |x, _| {
+                if x < 4 {
+                    Rgb::grey(stable_value)
+                } else {
+                    Rgb::grey(if i % 2 == 0 { 0 } else { wiggle.saturating_add(30) })
+                }
+            })
+        })
+        .unwrap();
+        let r = vbmask::derive_unknown_image(&video, 10, 2).unwrap();
+        let vbmask::VirtualReference::Image { image, valid } = r else { panic!() };
+        for y in 0..4 {
+            for x in 0..4 {
+                prop_assert!(valid.get(x, y), "stable pixel not derived");
+                prop_assert_eq!(image.get(x, y), Rgb::grey(stable_value));
+            }
+            for x in 4..8 {
+                prop_assert!(!valid.get(x, y), "oscillating pixel wrongly derived");
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_precision_is_percentage(recon in arb_frame(6, 6), truth in arb_frame(6, 6), recovered in arb_mask(6, 6), tau in 0u8..60) {
+        let p = metrics::recovery_precision(&recon, &recovered, &truth, tau).unwrap();
+        prop_assert!((0.0..=100.0).contains(&p));
+        // Perfect reconstruction has perfect precision.
+        let perfect = metrics::recovery_precision(&truth, &recovered, &truth, tau).unwrap();
+        prop_assert_eq!(perfect, 100.0);
+    }
+}

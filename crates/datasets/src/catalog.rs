@@ -1,0 +1,383 @@
+//! Corpus catalogs: the exact clip compositions of E1, E2 and E3, plus the
+//! 200-entry location dictionary.
+
+use crate::clip::{Activity, ClipSpec, DatasetConfig};
+use bb_imaging::Frame;
+use bb_synth::camera::CameraQuality;
+use bb_synth::{Accessory, Action, CallerAppearance, CameraPose, Lighting, Room, Speed};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Size of the location-inference dictionary (§VIII-D: "200 unique (real)
+/// backgrounds from the video calls in E1, E2, and E3").
+pub const DICTIONARY_SIZE: usize = 200;
+
+/// Room-id namespaces so every corpus draws distinct backgrounds.
+const E1_ROOM_BASE: u64 = 1_000;
+const E2_ROOM_BASE: u64 = 2_000;
+const E3_ROOM_BASE: u64 = 3_000;
+const DECOY_ROOM_BASE: u64 = 9_000;
+
+fn sample_room(cfg: &DatasetConfig, id: u64, objects: usize) -> Room {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    Room::sample(id, cfg.width, cfg.height, objects, &mut rng)
+}
+
+/// The E1 corpus (§VII-A): 163 clips over 5 participants and 10 actions,
+/// varying backgrounds, speeds, lighting, accessories and apparel.
+///
+/// Composition (summing to the paper's 163):
+/// * 50 base clips — 5 participants × 10 actions (average speed, lights on).
+/// * 20 speed clips — 5 × {clapping, arm-waving} × {slow, fast}.
+/// * 50 lighting clips — the base grid with background lights off.
+/// * 30 accessory clips — participant 0 × 10 actions × {hat, headphones,
+///   both}.
+/// * 13 apparel clips — apparel similar to the wall or patterned, cycling
+///   participants/actions.
+pub fn e1_catalog(cfg: &DatasetConfig) -> Vec<ClipSpec> {
+    let mut clips = Vec::with_capacity(163);
+    // Each participant records in two rooms: base actions in room A,
+    // lighting repeats in room B (the paper varied backgrounds per clip
+    // batch).
+    let room_a: Vec<Room> = (0..5)
+        .map(|p| sample_room(cfg, E1_ROOM_BASE + p, 5))
+        .collect();
+    let room_b: Vec<Room> = (0..5)
+        .map(|p| sample_room(cfg, E1_ROOM_BASE + 100 + p, 5))
+        .collect();
+
+    let push = |id: String,
+                room: &Room,
+                caller: CallerAppearance,
+                action: Action,
+                speed: Speed,
+                lighting: Lighting,
+                seed_salt: u64,
+                clips: &mut Vec<ClipSpec>| {
+        clips.push(ClipSpec {
+            id,
+            room: room.clone(),
+            caller,
+            segments: vec![(action, speed)],
+            lighting,
+            camera: CameraPose::canonical(),
+            quality: CameraQuality::consumer(),
+            frames: cfg.e1_frames,
+            seed: cfg.seed ^ seed_salt,
+        });
+    };
+
+    // 1. Base grid: 50.
+    #[allow(clippy::needless_range_loop)] // p is a participant id, not just an index
+    for p in 0..5usize {
+        for (ai, action) in Action::ALL.into_iter().enumerate() {
+            push(
+                format!("e1-p{p}-{}", action.name()),
+                &room_a[p],
+                CallerAppearance::participant(p),
+                action,
+                Speed::Average,
+                Lighting::On,
+                (p * 100 + ai) as u64,
+                &mut clips,
+            );
+        }
+    }
+    // 2. Speed grid: 20.
+    #[allow(clippy::needless_range_loop)]
+    for p in 0..5usize {
+        for action in [Action::Clapping, Action::ArmWaving] {
+            for speed in [Speed::Slow, Speed::Fast] {
+                push(
+                    format!("e1-p{p}-{}-{}", action.name(), speed.name()),
+                    &room_a[p],
+                    CallerAppearance::participant(p),
+                    action,
+                    speed,
+                    Lighting::On,
+                    (2_000 + p * 10) as u64
+                        ^ action.name().len() as u64
+                        ^ speed.name().len() as u64,
+                    &mut clips,
+                );
+            }
+        }
+    }
+    // 3. Lighting grid: 50 (room B, lights off).
+    #[allow(clippy::needless_range_loop)]
+    for p in 0..5usize {
+        for (ai, action) in Action::ALL.into_iter().enumerate() {
+            push(
+                format!("e1-p{p}-{}-lights-off", action.name()),
+                &room_b[p],
+                CallerAppearance::participant(p),
+                action,
+                Speed::Average,
+                Lighting::Off,
+                (3_000 + p * 100 + ai) as u64,
+                &mut clips,
+            );
+        }
+    }
+    // 4. Accessory grid: 30 (participant 0).
+    let accessory_sets: [&[Accessory]; 3] = [
+        &[Accessory::Hat],
+        &[Accessory::Headphones],
+        &[Accessory::Hat, Accessory::Headphones],
+    ];
+    for (si, set) in accessory_sets.iter().enumerate() {
+        for (ai, action) in Action::ALL.into_iter().enumerate() {
+            push(
+                format!("e1-p0-{}-acc{si}", action.name()),
+                &room_a[0],
+                CallerAppearance::participant(0).with_accessories(set),
+                action,
+                Speed::Average,
+                Lighting::On,
+                (4_000 + si * 100 + ai) as u64,
+                &mut clips,
+            );
+        }
+    }
+    // 5. Apparel grid: 13 (wall-similar or patterned apparel).
+    for i in 0..13usize {
+        let p = i % 5;
+        let action = Action::ALL[i % Action::ALL.len()];
+        let room = &room_a[p];
+        let caller = if i % 2 == 0 {
+            // Apparel similar to the wall (the matting confusion case).
+            CallerAppearance::participant(p).with_apparel(room.wall, false)
+        } else {
+            CallerAppearance::participant(p)
+                .with_apparel(CallerAppearance::participant(p).apparel, true)
+        };
+        push(
+            format!("e1-p{p}-{}-apparel{i}", action.name()),
+            room,
+            caller,
+            action,
+            Speed::Average,
+            Lighting::On,
+            (5_000 + i) as u64,
+            &mut clips,
+        );
+    }
+    debug_assert_eq!(clips.len(), 163);
+    clips
+}
+
+/// The E2 corpus (§VII-B): 5 participants × (4 passive + 1 active)
+/// ten-minute-equivalent calls, each with a distinct background; 25 clips.
+pub fn e2_catalog(cfg: &DatasetConfig) -> Vec<ClipSpec> {
+    let mut clips = Vec::with_capacity(25);
+    for p in 0..5usize {
+        for session in 0..5usize {
+            let activity = if session == 4 {
+                Activity::Active
+            } else {
+                Activity::Passive
+            };
+            let room = sample_room(cfg, E2_ROOM_BASE + (p * 5 + session) as u64, 6);
+            clips.push(ClipSpec {
+                id: format!("e2-p{p}-s{session}-{}", activity.name()),
+                room,
+                caller: CallerAppearance::participant(p),
+                segments: activity.segments().to_vec(),
+                lighting: Lighting::On,
+                camera: CameraPose::canonical(),
+                quality: CameraQuality::consumer(),
+                frames: cfg.e2_frames,
+                seed: cfg.seed ^ (6_000 + p * 10 + session) as u64,
+            });
+        }
+    }
+    clips
+}
+
+/// Activity level of an E2 clip, derived from its id.
+pub fn e2_activity(clip: &ClipSpec) -> Activity {
+    if clip.id.ends_with("active") {
+        Activity::Active
+    } else {
+        Activity::Passive
+    }
+}
+
+/// The E3 corpus (§VII-C): 50 in-the-wild clips — production cameras and
+/// lighting, active speakers, varied identities, slightly perturbed camera
+/// poses.
+pub fn e3_catalog(cfg: &DatasetConfig) -> Vec<ClipSpec> {
+    let mut clips = Vec::with_capacity(50);
+    for i in 0..50usize {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ (7_000 + i) as u64);
+        let room = sample_room(cfg, E3_ROOM_BASE + i as u64, 7);
+        let mut caller = CallerAppearance::participant(i % 5);
+        // Wild identities vary apparel more than the lab population.
+        caller.apparel = bb_synth::palette::vivid(&mut rng);
+        caller.patterned = rng.gen_bool(0.3);
+        // Wild speakers gesture while presenting but also sit and talk;
+        // interleave still segments between the active ones.
+        let mut segments = Vec::new();
+        for (si, seg) in Activity::Active.segments().iter().enumerate() {
+            segments.push(*seg);
+            if si % 2 == 1 {
+                segments.push((bb_synth::Action::Still, bb_synth::Speed::Average));
+            }
+        }
+        clips.push(ClipSpec {
+            id: format!("e3-w{i}"),
+            room,
+            caller,
+            segments,
+            lighting: Lighting::On,
+            camera: CameraPose::sample(&mut rng, 2.0, 1.5),
+            quality: CameraQuality::production(),
+            frames: cfg.e3_frames,
+            seed: cfg.seed ^ (7_500 + i) as u64,
+        });
+    }
+    clips
+}
+
+/// The 200-entry location dictionary (§VIII-D): every background used in
+/// E1–E3 plus decoy rooms, rendered at canonical pose and full lighting.
+/// Returns `(label, background)` pairs; labels match
+/// [`ClipSpec::room_label`].
+pub fn dictionary(cfg: &DatasetConfig) -> Vec<(String, Frame)> {
+    let mut rooms: Vec<Room> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for clip in e1_catalog(cfg)
+        .into_iter()
+        .chain(e2_catalog(cfg))
+        .chain(e3_catalog(cfg))
+    {
+        if seen.insert(clip.room.id) {
+            rooms.push(clip.room);
+        }
+    }
+    let mut decoy = DECOY_ROOM_BASE;
+    while rooms.len() < DICTIONARY_SIZE {
+        let room = sample_room(cfg, decoy, 5);
+        if seen.insert(room.id) {
+            rooms.push(room);
+        }
+        decoy += 1;
+    }
+    rooms.truncate(DICTIONARY_SIZE);
+    rooms
+        .into_iter()
+        .map(|room| {
+            let label = format!("room-{}", room.id);
+            let frame = room.render(cfg.width, cfg.height);
+            (label, frame)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DatasetConfig {
+        DatasetConfig::tiny()
+    }
+
+    #[test]
+    fn e1_has_163_clips() {
+        let clips = e1_catalog(&cfg());
+        assert_eq!(clips.len(), 163);
+        // Ids are unique.
+        let mut ids: Vec<&str> = clips.iter().map(|c| c.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 163, "duplicate clip ids");
+    }
+
+    #[test]
+    fn e1_covers_all_actions_and_speeds() {
+        let clips = e1_catalog(&cfg());
+        for action in Action::ALL {
+            assert!(
+                clips.iter().any(|c| c.segments[0].0 == action),
+                "missing action {action}"
+            );
+        }
+        for speed in [Speed::Slow, Speed::Average, Speed::Fast] {
+            assert!(clips.iter().any(|c| c.segments[0].1 == speed));
+        }
+        let off = clips.iter().filter(|c| c.lighting == Lighting::Off).count();
+        assert_eq!(off, 50);
+        let with_acc = clips
+            .iter()
+            .filter(|c| !c.caller.accessories.is_empty())
+            .count();
+        assert_eq!(with_acc, 30);
+    }
+
+    #[test]
+    fn e2_has_25_clips_with_distinct_rooms() {
+        let clips = e2_catalog(&cfg());
+        assert_eq!(clips.len(), 25);
+        let mut rooms: Vec<u64> = clips.iter().map(|c| c.room.id).collect();
+        rooms.sort_unstable();
+        rooms.dedup();
+        assert_eq!(rooms.len(), 25, "rooms must be distinct per clip");
+        let active = clips
+            .iter()
+            .filter(|c| e2_activity(c) == Activity::Active)
+            .count();
+        assert_eq!(active, 5);
+    }
+
+    #[test]
+    fn e3_has_50_wild_clips() {
+        let clips = e3_catalog(&cfg());
+        assert_eq!(clips.len(), 50);
+        // Production quality and some camera perturbation.
+        assert!(clips
+            .iter()
+            .all(|c| c.quality == CameraQuality::production()));
+        assert!(clips.iter().any(|c| c.camera != CameraPose::canonical()));
+    }
+
+    #[test]
+    fn dictionary_has_200_unique_entries() {
+        let dict = dictionary(&cfg());
+        assert_eq!(dict.len(), DICTIONARY_SIZE);
+        let mut labels: Vec<&str> = dict.iter().map(|(l, _)| l.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), DICTIONARY_SIZE);
+    }
+
+    #[test]
+    fn dictionary_contains_corpus_rooms() {
+        let c = cfg();
+        let dict = dictionary(&c);
+        let labels: std::collections::HashSet<&str> =
+            dict.iter().map(|(l, _)| l.as_str()).collect();
+        for clip in e2_catalog(&c).iter().chain(e3_catalog(&c).iter()) {
+            assert!(
+                labels.contains(clip.room_label().as_str()),
+                "dictionary missing {}",
+                clip.room_label()
+            );
+        }
+    }
+
+    #[test]
+    fn catalogs_are_deterministic() {
+        let a = e3_catalog(&cfg());
+        let b = e3_catalog(&cfg());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_changes_rooms() {
+        let mut other = cfg();
+        other.seed ^= 1;
+        let a = e1_catalog(&cfg());
+        let b = e1_catalog(&other);
+        assert_ne!(a[0].room, b[0].room);
+    }
+}

@@ -1,0 +1,30 @@
+//! # bb-datasets
+//!
+//! Synthetic experiment corpora mirroring the paper's data collection
+//! (§VII). The paper's corpora cannot be redistributed (human subjects, IRB)
+//! and could not be re-collected here, so each is replaced by a synthetic
+//! equivalent with the same *composition*:
+//!
+//! * [`e1_catalog`] — **E1** (§VII-A): 5 participants × 10 actions under varied
+//!   backgrounds, lighting, apparel and accessories; 163 clips.
+//!   Paper clips are two minutes; ours are "two-minute-equivalent"
+//!   ([`DatasetConfig::e1_frames`] frames) — the leakage statistics
+//!   saturate long before that (the RBRR union converges within a few
+//!   action cycles), so shorter clips preserve the comparisons.
+//! * [`e2_catalog`] — **E2** (§VII-B): 5 participants × (4 passive + 1 active)
+//!   ten-minute calls; 25 clips, each with a distinct background.
+//! * [`e3_catalog`] — **E3** (§VII-C): 50 in-the-wild clips (production cameras,
+//!   studio lighting, active speakers).
+//! * [`dictionary`] — the 200-entry background dictionary for location
+//!   inference (§VIII-D): every background appearing in E1–E3 plus decoys.
+//!
+//! Everything is deterministic in [`DatasetConfig::seed`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod clip;
+
+pub use catalog::{dictionary, e1_catalog, e2_catalog, e3_catalog, DICTIONARY_SIZE};
+pub use clip::{Activity, ClipSpec, DatasetConfig};

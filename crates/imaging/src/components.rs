@@ -1,0 +1,255 @@
+//! Connected-component labelling.
+//!
+//! Used by the text-inference attack to find candidate text boxes in a
+//! reconstructed background (the bounding-box stage TextFuseNet performs with
+//! Mask R-CNN in §VI), and by the segmentation substitute to keep the largest
+//! person-shaped region.
+
+use crate::mask::Mask;
+
+/// A labelled connected component of a binary mask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Component {
+    /// Component label (1-based, in discovery order).
+    pub label: u32,
+    /// Number of pixels.
+    pub area: usize,
+    /// Inclusive bounding box `(x0, y0, x1, y1)`.
+    pub bbox: (usize, usize, usize, usize),
+}
+
+impl Component {
+    /// Bounding-box width.
+    pub fn width(&self) -> usize {
+        self.bbox.2 - self.bbox.0 + 1
+    }
+
+    /// Bounding-box height.
+    pub fn height(&self) -> usize {
+        self.bbox.3 - self.bbox.1 + 1
+    }
+
+    /// Fill ratio: area divided by bounding-box area, in `(0, 1]`.
+    pub fn fill_ratio(&self) -> f64 {
+        self.area as f64 / (self.width() * self.height()) as f64
+    }
+}
+
+/// Connectivity used for labelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Connectivity {
+    /// 4-connected neighbourhood (edges only).
+    Four,
+    /// 8-connected neighbourhood (edges and corners).
+    Eight,
+}
+
+/// Result of labelling: a per-pixel label image (0 = background) and the
+/// component table.
+#[derive(Debug, Clone)]
+pub struct Labeling {
+    width: usize,
+    labels: Vec<u32>,
+    components: Vec<Component>,
+}
+
+impl Labeling {
+    /// Label at `(x, y)`; 0 means background.
+    pub fn label_at(&self, x: usize, y: usize) -> u32 {
+        self.labels[y * self.width + x]
+    }
+
+    /// The component table, ordered by label.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// The largest component by area, if any.
+    pub fn largest(&self) -> Option<&Component> {
+        self.components.iter().max_by_key(|c| c.area)
+    }
+
+    /// Extracts the mask of a single component.
+    ///
+    /// Returns an all-background mask when the label does not exist.
+    pub fn component_mask(&self, label: u32, height: usize) -> Mask {
+        let mut m = Mask::new(self.width, height);
+        for (i, &l) in self.labels.iter().enumerate() {
+            if l == label {
+                m.set_index(i, true);
+            }
+        }
+        m
+    }
+}
+
+/// Labels the connected components of `mask`.
+///
+/// Runs a breadth-first flood fill per unvisited foreground pixel; linear in
+/// the number of pixels.
+pub fn label(mask: &Mask, connectivity: Connectivity) -> Labeling {
+    let (w, h) = mask.dims();
+    let mut labels = vec![0u32; w * h];
+    let mut components = Vec::new();
+    let mut next_label = 1u32;
+    let mut queue = std::collections::VecDeque::new();
+
+    let offsets_4: &[(i64, i64)] = &[(-1, 0), (1, 0), (0, -1), (0, 1)];
+    let offsets_8: &[(i64, i64)] = &[
+        (-1, 0),
+        (1, 0),
+        (0, -1),
+        (0, 1),
+        (-1, -1),
+        (1, -1),
+        (-1, 1),
+        (1, 1),
+    ];
+    let offsets = match connectivity {
+        Connectivity::Four => offsets_4,
+        Connectivity::Eight => offsets_8,
+    };
+
+    for start in 0..w * h {
+        if !mask.get_index(start) || labels[start] != 0 {
+            continue;
+        }
+        let this_label = next_label;
+        next_label += 1;
+        let mut area = 0usize;
+        let (sx, sy) = (start % w, start / w);
+        let (mut x0, mut y0, mut x1, mut y1) = (sx, sy, sx, sy);
+        labels[start] = this_label;
+        queue.push_back(start);
+        while let Some(idx) = queue.pop_front() {
+            area += 1;
+            let (cx, cy) = (idx % w, idx / w);
+            x0 = x0.min(cx);
+            y0 = y0.min(cy);
+            x1 = x1.max(cx);
+            y1 = y1.max(cy);
+            for &(dx, dy) in offsets {
+                let nx = cx as i64 + dx;
+                let ny = cy as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= w as i64 || ny >= h as i64 {
+                    continue;
+                }
+                let nidx = ny as usize * w + nx as usize;
+                if mask.get_index(nidx) && labels[nidx] == 0 {
+                    labels[nidx] = this_label;
+                    queue.push_back(nidx);
+                }
+            }
+        }
+        components.push(Component {
+            label: this_label,
+            area,
+            bbox: (x0, y0, x1, y1),
+        });
+    }
+
+    Labeling {
+        width: w,
+        labels,
+        components,
+    }
+}
+
+/// Removes components smaller than `min_area` pixels from a mask.
+pub fn remove_small_components(mask: &Mask, min_area: usize, connectivity: Connectivity) -> Mask {
+    let (w, h) = mask.dims();
+    let labeling = label(mask, connectivity);
+    let keep: std::collections::HashSet<u32> = labeling
+        .components()
+        .iter()
+        .filter(|c| c.area >= min_area)
+        .map(|c| c.label)
+        .collect();
+    let mut out = Mask::new(w, h);
+    for i in 0..w * h {
+        let l = labeling.labels[i];
+        if l != 0 && keep.contains(&l) {
+            out.set_index(i, true);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_mask_has_no_components() {
+        let l = label(&Mask::new(4, 4), Connectivity::Four);
+        assert!(l.components().is_empty());
+        assert!(l.largest().is_none());
+    }
+
+    #[test]
+    fn single_blob() {
+        let m = Mask::from_fn(6, 6, |x, y| (1..=3).contains(&x) && (2..=4).contains(&y));
+        let l = label(&m, Connectivity::Four);
+        assert_eq!(l.components().len(), 1);
+        let c = &l.components()[0];
+        assert_eq!(c.area, 9);
+        assert_eq!(c.bbox, (1, 2, 3, 4));
+        assert_eq!(c.width(), 3);
+        assert_eq!(c.height(), 3);
+        assert_eq!(c.fill_ratio(), 1.0);
+    }
+
+    #[test]
+    fn diagonal_blobs_depend_on_connectivity() {
+        let mut m = Mask::new(4, 4);
+        m.set(0, 0, true);
+        m.set(1, 1, true);
+        assert_eq!(label(&m, Connectivity::Four).components().len(), 2);
+        assert_eq!(label(&m, Connectivity::Eight).components().len(), 1);
+    }
+
+    #[test]
+    fn two_separate_blobs() {
+        let mut m = Mask::new(8, 8);
+        m.set(0, 0, true);
+        m.set(7, 7, true);
+        let l = label(&m, Connectivity::Eight);
+        assert_eq!(l.components().len(), 2);
+        assert_eq!(l.label_at(0, 0), 1);
+        assert_eq!(l.label_at(7, 7), 2);
+        assert_eq!(l.label_at(3, 3), 0);
+    }
+
+    #[test]
+    fn largest_picks_biggest() {
+        let mut m = Mask::new(8, 8);
+        m.set(0, 0, true);
+        for x in 3..7 {
+            m.set(x, 4, true);
+        }
+        let l = label(&m, Connectivity::Four);
+        assert_eq!(l.largest().unwrap().area, 4);
+    }
+
+    #[test]
+    fn component_mask_round_trip() {
+        let mut m = Mask::new(5, 5);
+        m.set(1, 1, true);
+        m.set(4, 4, true);
+        let l = label(&m, Connectivity::Four);
+        let c1 = l.component_mask(1, 5);
+        assert!(c1.get(1, 1));
+        assert!(!c1.get(4, 4));
+        assert_eq!(c1.count_set(), 1);
+    }
+
+    #[test]
+    fn remove_small_components_keeps_big() {
+        let mut m = Mask::from_fn(10, 10, |x, y| (2..=6).contains(&x) && (2..=6).contains(&y));
+        m.set(9, 9, true);
+        m.set(0, 9, true);
+        let cleaned = remove_small_components(&m, 5, Connectivity::Four);
+        assert_eq!(cleaned.count_set(), 25);
+        assert!(!cleaned.get(9, 9));
+    }
+}

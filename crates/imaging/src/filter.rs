@@ -1,0 +1,500 @@
+//! Image filters: box, Gaussian, and motion blur; Laplacian pyramid blending.
+//!
+//! §III lists alpha blending, Gaussian blending and Laplacian-pyramid blending
+//! as the state-of-the-art techniques a video-call application may use to
+//! smooth the seam between the detected foreground and the virtual background.
+//! `bb-callsim` composes the blend stage out of the primitives here. Motion
+//! blur models the §VIII-C observation that fast arm motion smears the
+//! foreground into the background and changes leakage behaviour.
+
+use crate::error::ImagingError;
+use crate::frame::Frame;
+use crate::mask::Mask;
+use crate::pixel::Rgb;
+
+/// Separable box blur with a `(2·radius+1)`-wide kernel, edge-clamped.
+///
+/// `radius = 0` returns a copy.
+pub fn box_blur(frame: &Frame, radius: usize) -> Frame {
+    if radius == 0 {
+        return frame.clone();
+    }
+    let horizontal = directional_box(frame, radius, true);
+    directional_box(&horizontal, radius, false)
+}
+
+fn directional_box(frame: &Frame, radius: usize, horizontal: bool) -> Frame {
+    let (w, h) = frame.dims();
+    let mut out = Frame::new(w, h);
+    let r = radius as i64;
+    for y in 0..h {
+        for x in 0..w {
+            let (mut sr, mut sg, mut sb, mut n) = (0u32, 0u32, 0u32, 0u32);
+            for d in -r..=r {
+                let (sx, sy) = if horizontal {
+                    ((x as i64 + d).clamp(0, w as i64 - 1) as usize, y)
+                } else {
+                    (x, (y as i64 + d).clamp(0, h as i64 - 1) as usize)
+                };
+                let p = frame.get(sx, sy);
+                sr += p.r as u32;
+                sg += p.g as u32;
+                sb += p.b as u32;
+                n += 1;
+            }
+            out.put(
+                x,
+                y,
+                Rgb::new((sr / n) as u8, (sg / n) as u8, (sb / n) as u8),
+            );
+        }
+    }
+    out
+}
+
+/// Builds a normalised 1-D Gaussian kernel with the given `sigma`, truncated
+/// at three standard deviations.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidParameter`] when `sigma` is not positive
+/// and finite.
+pub fn gaussian_kernel(sigma: f32) -> Result<Vec<f32>, ImagingError> {
+    if !(sigma.is_finite() && sigma > 0.0) {
+        return Err(ImagingError::InvalidParameter(format!(
+            "gaussian sigma must be positive and finite, got {sigma}"
+        )));
+    }
+    let radius = (3.0 * sigma).ceil() as i64;
+    let mut kernel = Vec::with_capacity((2 * radius + 1) as usize);
+    let denom = 2.0 * sigma * sigma;
+    for d in -radius..=radius {
+        kernel.push((-((d * d) as f32) / denom).exp());
+    }
+    let sum: f32 = kernel.iter().sum();
+    for k in &mut kernel {
+        *k /= sum;
+    }
+    Ok(kernel)
+}
+
+/// Separable Gaussian blur with standard deviation `sigma`, edge-clamped.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidParameter`] when `sigma` is not positive
+/// and finite.
+pub fn gaussian_blur(frame: &Frame, sigma: f32) -> Result<Frame, ImagingError> {
+    let kernel = gaussian_kernel(sigma)?;
+    let horizontal = convolve_1d(frame, &kernel, true);
+    Ok(convolve_1d(&horizontal, &kernel, false))
+}
+
+fn convolve_1d(frame: &Frame, kernel: &[f32], horizontal: bool) -> Frame {
+    let (w, h) = frame.dims();
+    let radius = (kernel.len() / 2) as i64;
+    let mut out = Frame::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let (mut sr, mut sg, mut sb) = (0.0f32, 0.0f32, 0.0f32);
+            for (ki, &kv) in kernel.iter().enumerate() {
+                let d = ki as i64 - radius;
+                let (sx, sy) = if horizontal {
+                    ((x as i64 + d).clamp(0, w as i64 - 1) as usize, y)
+                } else {
+                    (x, (y as i64 + d).clamp(0, h as i64 - 1) as usize)
+                };
+                let p = frame.get(sx, sy);
+                sr += kv * p.r as f32;
+                sg += kv * p.g as f32;
+                sb += kv * p.b as f32;
+            }
+            out.put(
+                x,
+                y,
+                Rgb::new(
+                    sr.round().clamp(0.0, 255.0) as u8,
+                    sg.round().clamp(0.0, 255.0) as u8,
+                    sb.round().clamp(0.0, 255.0) as u8,
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// Horizontal motion blur over `length` pixels in the direction of motion.
+///
+/// Models the §VIII-C motion-blur effect of fast arm waving: the smeared
+/// foreground confuses the matting stage. `length ≤ 1` returns a copy.
+pub fn motion_blur(frame: &Frame, length: usize) -> Frame {
+    if length <= 1 {
+        return frame.clone();
+    }
+    let (w, h) = frame.dims();
+    let mut out = Frame::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let (mut sr, mut sg, mut sb, mut n) = (0u32, 0u32, 0u32, 0u32);
+            for d in 0..length {
+                let sx = (x as i64 - d as i64).clamp(0, w as i64 - 1) as usize;
+                let p = frame.get(sx, y);
+                sr += p.r as u32;
+                sg += p.g as u32;
+                sb += p.b as u32;
+                n += 1;
+            }
+            out.put(
+                x,
+                y,
+                Rgb::new((sr / n) as u8, (sg / n) as u8, (sb / n) as u8),
+            );
+        }
+    }
+    out
+}
+
+/// Downsamples by 2 with a 2×2 box average (one pyramid level).
+pub fn downsample(frame: &Frame) -> Frame {
+    let (w, h) = frame.dims();
+    let (nw, nh) = ((w / 2).max(1), (h / 2).max(1));
+    Frame::from_fn(nw, nh, |x, y| {
+        let (sx, sy) = (x * 2, y * 2);
+        let mut acc = [0u32; 3];
+        let mut n = 0u32;
+        for dy in 0..2 {
+            for dx in 0..2 {
+                if let Some(p) = frame.try_get(sx + dx, sy + dy) {
+                    acc[0] += p.r as u32;
+                    acc[1] += p.g as u32;
+                    acc[2] += p.b as u32;
+                    n += 1;
+                }
+            }
+        }
+        Rgb::new((acc[0] / n) as u8, (acc[1] / n) as u8, (acc[2] / n) as u8)
+    })
+}
+
+/// Upsamples to an explicit size with bilinear interpolation (the expand step
+/// of a Laplacian pyramid).
+pub fn upsample(frame: &Frame, width: usize, height: usize) -> Frame {
+    let (w, h) = frame.dims();
+    Frame::from_fn(width, height, |x, y| {
+        let fx = (x as f32 + 0.5) * w as f32 / width as f32 - 0.5;
+        let fy = (y as f32 + 0.5) * h as f32 / height as f32 - 0.5;
+        bilinear(frame, fx, fy)
+    })
+}
+
+/// Bilinear sample at a fractional coordinate, edge-clamped.
+pub fn bilinear(frame: &Frame, fx: f32, fy: f32) -> Rgb {
+    let (w, h) = frame.dims();
+    let x0 = fx.floor().clamp(0.0, w as f32 - 1.0) as usize;
+    let y0 = fy.floor().clamp(0.0, h as f32 - 1.0) as usize;
+    let x1 = (x0 + 1).min(w - 1);
+    let y1 = (y0 + 1).min(h - 1);
+    let tx = (fx - x0 as f32).clamp(0.0, 1.0);
+    let ty = (fy - y0 as f32).clamp(0.0, 1.0);
+    let top = frame.get(x0, y0).lerp(frame.get(x1, y0), tx);
+    let bottom = frame.get(x0, y1).lerp(frame.get(x1, y1), tx);
+    top.lerp(bottom, ty)
+}
+
+/// Blends `fg` over `bg` through a per-pixel alpha matte in `[0, 1]`
+/// (`1` = pure foreground). This is the alpha-blending primitive of §III.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::DimensionMismatch`] when dimensions differ, and
+/// [`ImagingError::InvalidParameter`] when `alpha.len()` does not match.
+pub fn alpha_blend(fg: &Frame, bg: &Frame, alpha: &[f32]) -> Result<Frame, ImagingError> {
+    fg.check_same_dims(bg)?;
+    if alpha.len() != fg.resolution() {
+        return Err(ImagingError::InvalidParameter(format!(
+            "alpha matte length {} does not match resolution {}",
+            alpha.len(),
+            fg.resolution()
+        )));
+    }
+    let (w, h) = fg.dims();
+    let mut out = Frame::new(w, h);
+    for (i, p) in out.pixels_mut().iter_mut().enumerate() {
+        let a = alpha[i].clamp(0.0, 1.0);
+        *p = bg.pixels()[i].lerp(fg.pixels()[i], a);
+    }
+    Ok(out)
+}
+
+/// Builds a soft alpha matte from a binary mask by Gaussian-blurring its
+/// indicator function — the standard way matting systems feather a hard
+/// segmentation boundary before compositing.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidParameter`] when `sigma` is invalid.
+pub fn soft_matte(mask: &Mask, sigma: f32) -> Result<Vec<f32>, ImagingError> {
+    let kernel = gaussian_kernel(sigma)?;
+    let (w, h) = mask.dims();
+    let radius = (kernel.len() / 2) as i64;
+    // Horizontal pass.
+    let mut tmp = vec![0.0f32; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0;
+            for (ki, &kv) in kernel.iter().enumerate() {
+                let sx = (x as i64 + ki as i64 - radius).clamp(0, w as i64 - 1) as usize;
+                if mask.get(sx, y) {
+                    acc += kv;
+                }
+            }
+            tmp[y * w + x] = acc;
+        }
+    }
+    // Vertical pass.
+    let mut out = vec![0.0f32; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0;
+            for (ki, &kv) in kernel.iter().enumerate() {
+                let sy = (y as i64 + ki as i64 - radius).clamp(0, h as i64 - 1) as usize;
+                acc += kv * tmp[sy * w + x];
+            }
+            out[y * w + x] = acc.clamp(0.0, 1.0);
+        }
+    }
+    Ok(out)
+}
+
+/// Laplacian-pyramid blend of `fg` over `bg` guided by a binary mask, with
+/// `levels` pyramid levels (§III's third blending family).
+///
+/// # Errors
+///
+/// Returns [`ImagingError::DimensionMismatch`] on size mismatch and
+/// [`ImagingError::InvalidParameter`] when `levels == 0`.
+pub fn laplacian_blend(
+    fg: &Frame,
+    bg: &Frame,
+    mask: &Mask,
+    levels: usize,
+) -> Result<Frame, ImagingError> {
+    fg.check_same_dims(bg)?;
+    fg.check_mask_dims(mask)?;
+    if levels == 0 {
+        return Err(ImagingError::InvalidParameter(
+            "laplacian blend needs at least one level".into(),
+        ));
+    }
+
+    // Gaussian pyramids of both images and the matte.
+    let mut fg_pyr = vec![fg.clone()];
+    let mut bg_pyr = vec![bg.clone()];
+    let (w, h) = fg.dims();
+    let mut matte: Vec<Vec<f32>> = vec![mask.bits().iter().map(|&b| b as u8 as f32).collect()];
+    let mut sizes = vec![(w, h)];
+    for _ in 1..levels {
+        let (lw, lh) = *sizes.last().expect("sizes is non-empty");
+        if lw < 4 || lh < 4 {
+            break;
+        }
+        fg_pyr.push(downsample(fg_pyr.last().expect("pyramid non-empty")));
+        bg_pyr.push(downsample(bg_pyr.last().expect("pyramid non-empty")));
+        let (nw, nh) = fg_pyr.last().expect("pyramid non-empty").dims();
+        let prev = matte.last().expect("matte non-empty");
+        let mut small = vec![0.0f32; nw * nh];
+        for y in 0..nh {
+            for x in 0..nw {
+                let mut acc = 0.0;
+                let mut n = 0.0;
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        let sx = x * 2 + dx;
+                        let sy = y * 2 + dy;
+                        if sx < lw && sy < lh {
+                            acc += prev[sy * lw + sx];
+                            n += 1.0;
+                        }
+                    }
+                }
+                small[y * nw + x] = acc / n;
+            }
+        }
+        matte.push(small);
+        sizes.push((nw, nh));
+    }
+
+    // Blend the coarsest level directly, then propagate detail back up.
+    let top = fg_pyr.len() - 1;
+    let mut result = alpha_blend(&fg_pyr[top], &bg_pyr[top], &matte[top])?;
+    for level in (0..top).rev() {
+        let (lw, lh) = sizes[level];
+        let up = upsample(&result, lw, lh);
+        // Laplacian detail of each source at this level.
+        let fg_up = upsample(&fg_pyr[level + 1], lw, lh);
+        let bg_up = upsample(&bg_pyr[level + 1], lw, lh);
+        let mut next = Frame::new(lw, lh);
+        #[allow(clippy::needless_range_loop)] // i indexes three parallel buffers
+        for i in 0..lw * lh {
+            let a = matte[level][i].clamp(0.0, 1.0);
+            let f_orig = fg_pyr[level].pixels()[i];
+            let f_low = fg_up.pixels()[i];
+            let b_orig = bg_pyr[level].pixels()[i];
+            let b_low = bg_up.pixels()[i];
+            let u = up.pixels()[i];
+            let mix = |fo: u8, fl: u8, bo: u8, bl: u8, base: u8| -> u8 {
+                let lap = a * (fo as f32 - fl as f32) + (1.0 - a) * (bo as f32 - bl as f32);
+                (base as f32 + lap).round().clamp(0.0, 255.0) as u8
+            };
+            next.pixels_mut()[i] = Rgb::new(
+                mix(f_orig.r, f_low.r, b_orig.r, b_low.r, u.r),
+                mix(f_orig.g, f_low.g, b_orig.g, b_low.g, u.g),
+                mix(f_orig.b, f_low.b, b_orig.b, b_low.b, u.b),
+            );
+        }
+        result = next;
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_blur_preserves_constant_image() {
+        let f = Frame::filled(8, 8, Rgb::new(40, 80, 120));
+        assert_eq!(box_blur(&f, 2), f);
+    }
+
+    #[test]
+    fn box_blur_zero_radius_is_identity() {
+        let f = Frame::from_fn(6, 6, |x, y| Rgb::grey((x * y) as u8));
+        assert_eq!(box_blur(&f, 0), f);
+    }
+
+    #[test]
+    fn box_blur_smooths_step_edge() {
+        let f = Frame::from_fn(10, 4, |x, _| if x < 5 { Rgb::BLACK } else { Rgb::WHITE });
+        let b = box_blur(&f, 1);
+        let mid = b.get(5, 2).luma();
+        assert!(mid > 0 && mid < 255, "edge should be smoothed, got {mid}");
+    }
+
+    #[test]
+    fn gaussian_kernel_is_normalised() {
+        let k = gaussian_kernel(1.5).unwrap();
+        let sum: f32 = k.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert_eq!(k.len() % 2, 1);
+        // Symmetric.
+        for i in 0..k.len() / 2 {
+            assert!((k[i] - k[k.len() - 1 - i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gaussian_kernel_rejects_bad_sigma() {
+        assert!(gaussian_kernel(0.0).is_err());
+        assert!(gaussian_kernel(-1.0).is_err());
+        assert!(gaussian_kernel(f32::NAN).is_err());
+    }
+
+    #[test]
+    fn gaussian_blur_preserves_constant() {
+        let f = Frame::filled(8, 8, Rgb::new(99, 99, 0));
+        let b = gaussian_blur(&f, 1.0).unwrap();
+        for &p in b.pixels() {
+            assert!(p.linf(Rgb::new(99, 99, 0)) <= 1);
+        }
+    }
+
+    #[test]
+    fn motion_blur_smears_leftward_content() {
+        let mut f = Frame::new(10, 1);
+        f.put(3, 0, Rgb::WHITE);
+        let b = motion_blur(&f, 4);
+        // Pixels 3..=6 see the white pixel in their trailing window.
+        assert!(b.get(4, 0).luma() > 0);
+        assert!(b.get(6, 0).luma() > 0);
+        assert_eq!(b.get(2, 0).luma(), 0);
+    }
+
+    #[test]
+    fn downsample_halves_dims() {
+        let f = Frame::new(8, 6);
+        assert_eq!(downsample(&f).dims(), (4, 3));
+        let tiny = Frame::new(1, 1);
+        assert_eq!(downsample(&tiny).dims(), (1, 1));
+    }
+
+    #[test]
+    fn upsample_hits_target_dims() {
+        let f = Frame::filled(3, 3, Rgb::grey(77));
+        let u = upsample(&f, 7, 5);
+        assert_eq!(u.dims(), (7, 5));
+        assert!(u.pixels().iter().all(|&p| p == Rgb::grey(77)));
+    }
+
+    #[test]
+    fn alpha_blend_endpoints() {
+        let fg = Frame::filled(2, 2, Rgb::WHITE);
+        let bg = Frame::filled(2, 2, Rgb::BLACK);
+        let all_fg = alpha_blend(&fg, &bg, &[1.0; 4]).unwrap();
+        let all_bg = alpha_blend(&fg, &bg, &[0.0; 4]).unwrap();
+        assert_eq!(all_fg, fg);
+        assert_eq!(all_bg, bg);
+        let mid = alpha_blend(&fg, &bg, &[0.5; 4]).unwrap();
+        assert_eq!(mid.get(0, 0), Rgb::grey(128));
+    }
+
+    #[test]
+    fn alpha_blend_validates_matte_length() {
+        let fg = Frame::new(2, 2);
+        let bg = Frame::new(2, 2);
+        assert!(alpha_blend(&fg, &bg, &[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn soft_matte_is_one_inside_and_zero_far_away() {
+        let m = Mask::from_fn(20, 20, |x, y| {
+            (6..=13).contains(&x) && (6..=13).contains(&y)
+        });
+        let a = soft_matte(&m, 1.0).unwrap();
+        assert!(a[10 * 20 + 10] > 0.9, "centre {}", a[10 * 20 + 10]);
+        assert!(a[0] < 0.01);
+        // Boundary is intermediate.
+        let edge = a[10 * 20 + 6];
+        assert!(edge > 0.05 && edge < 0.95, "edge {edge}");
+    }
+
+    #[test]
+    fn laplacian_blend_respects_mask_interior() {
+        let fg = Frame::filled(16, 16, Rgb::new(200, 0, 0));
+        let bg = Frame::filled(16, 16, Rgb::new(0, 0, 200));
+        let mask = Mask::from_fn(16, 16, |x, _| x < 8);
+        let out = laplacian_blend(&fg, &bg, &mask, 3).unwrap();
+        // Deep inside each region, colors match the source.
+        assert!(out.get(1, 8).abs_diff(Rgb::new(200, 0, 0)).r < 60);
+        assert!(out.get(14, 8).abs_diff(Rgb::new(0, 0, 200)).b < 60);
+        // Seam is a mixture.
+        let seam = out.get(8, 8);
+        assert!(seam.r > 10 && seam.b > 10);
+    }
+
+    #[test]
+    fn laplacian_blend_rejects_zero_levels() {
+        let f = Frame::new(4, 4);
+        let m = Mask::new(4, 4);
+        assert!(laplacian_blend(&f, &f, &m, 0).is_err());
+    }
+
+    #[test]
+    fn bilinear_interpolates_midpoint() {
+        let mut f = Frame::new(2, 1);
+        f.put(0, 0, Rgb::grey(0));
+        f.put(1, 0, Rgb::grey(100));
+        let mid = bilinear(&f, 0.5, 0.0);
+        assert_eq!(mid, Rgb::grey(50));
+    }
+}

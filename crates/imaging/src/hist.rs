@@ -1,0 +1,357 @@
+//! Color histograms and shape moments.
+//!
+//! Two paper mechanisms are built on color statistics:
+//!
+//! * §V-D's color-based VCM refinement flips VCM pixels whose color occurs
+//!   "with a very low frequency" in the caller region — implemented via
+//!   [`ColorHistogram::frequency`].
+//! * The generic-object-inference substitute (RetinaNet/YOLO replacement)
+//!   classifies windows by hue histogram plus shape moments
+//!   ([`hue_histogram`], [`ShapeMoments`]).
+
+use crate::frame::Frame;
+use crate::mask::Mask;
+use crate::pixel::Rgb;
+use serde::{Deserialize, Serialize};
+
+/// A quantised RGB color histogram.
+///
+/// Each channel is reduced to `bits` high bits, giving `2^(3·bits)` buckets —
+/// coarse enough that the small per-pixel noise introduced by blending does
+/// not split a color across buckets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColorHistogram {
+    bits: u8,
+    counts: Vec<u32>,
+    total: u64,
+}
+
+impl ColorHistogram {
+    /// Creates an empty histogram with the given per-channel quantisation
+    /// (`bits` in `1..=8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bits` is 0 or greater than 8.
+    pub fn new(bits: u8) -> Self {
+        assert!((1..=8).contains(&bits), "bits must be in 1..=8");
+        ColorHistogram {
+            bits,
+            counts: vec![0; 1usize << (3 * bits)],
+            total: 0,
+        }
+    }
+
+    fn bucket(&self, p: Rgb) -> usize {
+        let shift = 8 - self.bits;
+        let r = (p.r >> shift) as usize;
+        let g = (p.g >> shift) as usize;
+        let b = (p.b >> shift) as usize;
+        (r << (2 * self.bits)) | (g << self.bits) | b
+    }
+
+    /// Adds one pixel.
+    pub fn add(&mut self, p: Rgb) {
+        let b = self.bucket(p);
+        self.counts[b] += 1;
+        self.total += 1;
+    }
+
+    /// Adds every pixel of `frame` where `mask` is foreground.
+    ///
+    /// Mismatched dimensions add nothing (the caller validated them upstream;
+    /// this is a statistics sink, not a validator).
+    pub fn add_masked(&mut self, frame: &Frame, mask: &Mask) {
+        if frame.dims() != mask.dims() {
+            return;
+        }
+        for (i, &p) in frame.pixels().iter().enumerate() {
+            if mask.get_index(i) {
+                self.add(p);
+            }
+        }
+    }
+
+    /// Number of samples accumulated.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Relative frequency of the bucket containing `p`, in `[0, 1]`.
+    /// Returns 0 for an empty histogram.
+    pub fn frequency(&self, p: Rgb) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.counts[self.bucket(p)] as f64 / self.total as f64
+    }
+
+    /// Raw count of the bucket containing `p`.
+    pub fn count(&self, p: Rgb) -> u32 {
+        self.counts[self.bucket(p)]
+    }
+
+    /// Histogram intersection similarity with another histogram of the same
+    /// quantisation, in `[0, 1]` (1 = identical distributions).
+    ///
+    /// Returns 0 when quantisations differ or either histogram is empty.
+    pub fn intersection(&self, other: &ColorHistogram) -> f64 {
+        if self.bits != other.bits || self.total == 0 || other.total == 0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for (a, b) in self.counts.iter().zip(&other.counts) {
+            let fa = *a as f64 / self.total as f64;
+            let fb = *b as f64 / other.total as f64;
+            acc += fa.min(fb);
+        }
+        acc
+    }
+}
+
+/// Number of hue buckets used by [`hue_histogram`].
+pub const HUE_BINS: usize = 36;
+
+/// Minimum saturation/value for a pixel to contribute hue information;
+/// grey-ish pixels have meaningless hue.
+pub const HUE_MIN_SV: f32 = 0.12;
+
+/// Normalised hue histogram (10°-wide bins) over the foreground of `mask`.
+/// Low-saturation/low-value pixels are skipped because their hue is noise.
+///
+/// Returns an all-zero histogram when no pixel qualifies.
+pub fn hue_histogram(frame: &Frame, mask: &Mask) -> [f64; HUE_BINS] {
+    let mut bins = [0.0f64; HUE_BINS];
+    if frame.dims() != mask.dims() {
+        return bins;
+    }
+    let mut n = 0u64;
+    for (i, &p) in frame.pixels().iter().enumerate() {
+        if !mask.get_index(i) {
+            continue;
+        }
+        let hsv = p.to_hsv();
+        if hsv.s < HUE_MIN_SV || hsv.v < HUE_MIN_SV {
+            continue;
+        }
+        let bin = ((hsv.h / 360.0 * HUE_BINS as f32) as usize).min(HUE_BINS - 1);
+        bins[bin] += 1.0;
+        n += 1;
+    }
+    if n > 0 {
+        for b in &mut bins {
+            *b /= n as f64;
+        }
+    }
+    bins
+}
+
+/// Cosine similarity between two hue histograms, in `[0, 1]`.
+pub fn hue_similarity(a: &[f64; HUE_BINS], b: &[f64; HUE_BINS]) -> f64 {
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        (dot / (na * nb)).clamp(0.0, 1.0)
+    }
+}
+
+/// Normalised central shape moments of a mask region — the translation- and
+/// scale-invariant features the generic-object detector uses to tell a tall
+/// bookshelf from a wide TV from a round clock.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShapeMoments {
+    /// Region area in pixels.
+    pub area: f64,
+    /// Aspect ratio of the bounding box (width / height).
+    pub aspect: f64,
+    /// Fill ratio: area / bounding-box area.
+    pub fill: f64,
+    /// Normalised second central moment in x (elongation along x).
+    pub mu20: f64,
+    /// Normalised second central moment in y.
+    pub mu02: f64,
+    /// Normalised mixed central moment (skew of the principal axis).
+    pub mu11: f64,
+}
+
+impl ShapeMoments {
+    /// Computes moments over the foreground of `mask`; `None` when empty.
+    pub fn of_mask(mask: &Mask) -> Option<ShapeMoments> {
+        let area = mask.count_set();
+        if area == 0 {
+            return None;
+        }
+        let bbox = mask.bounding_box().expect("non-empty mask has bbox");
+        let (x0, y0, x1, y1) = bbox;
+        let bw = (x1 - x0 + 1) as f64;
+        let bh = (y1 - y0 + 1) as f64;
+
+        let mut sx = 0.0f64;
+        let mut sy = 0.0f64;
+        for (x, y) in mask.iter_set() {
+            sx += x as f64;
+            sy += y as f64;
+        }
+        let n = area as f64;
+        let (cx, cy) = (sx / n, sy / n);
+        let (mut m20, mut m02, mut m11) = (0.0f64, 0.0f64, 0.0f64);
+        for (x, y) in mask.iter_set() {
+            let dx = x as f64 - cx;
+            let dy = y as f64 - cy;
+            m20 += dx * dx;
+            m02 += dy * dy;
+            m11 += dx * dy;
+        }
+        // Normalise by area² for scale invariance (η_pq with p+q=2).
+        let norm = n * n;
+        Some(ShapeMoments {
+            area: n,
+            aspect: bw / bh,
+            fill: n / (bw * bh),
+            mu20: m20 / norm,
+            mu02: m02 / norm,
+            mu11: m11 / norm,
+        })
+    }
+
+    /// Euclidean distance in feature space (log-scaled aspect to keep the
+    /// measure symmetric between wide and tall shapes).
+    pub fn distance(&self, other: &ShapeMoments) -> f64 {
+        let d_aspect = (self.aspect.ln() - other.aspect.ln()).abs();
+        let d_fill = (self.fill - other.fill).abs();
+        let d20 = (self.mu20 - other.mu20).abs();
+        let d02 = (self.mu02 - other.mu02).abs();
+        let d11 = (self.mu11 - other.mu11).abs();
+        (d_aspect * d_aspect + d_fill * d_fill + 4.0 * (d20 * d20 + d02 * d02 + d11 * d11)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_frequency_sums() {
+        let mut h = ColorHistogram::new(4);
+        for _ in 0..3 {
+            h.add(Rgb::new(255, 0, 0));
+        }
+        h.add(Rgb::new(0, 255, 0));
+        assert_eq!(h.total(), 4);
+        assert!((h.frequency(Rgb::new(255, 0, 0)) - 0.75).abs() < 1e-12);
+        assert!((h.frequency(Rgb::new(0, 255, 0)) - 0.25).abs() < 1e-12);
+        assert_eq!(h.frequency(Rgb::new(0, 0, 255)), 0.0);
+    }
+
+    #[test]
+    fn histogram_quantisation_groups_similar_colors() {
+        let mut h = ColorHistogram::new(3); // 32-wide buckets
+        h.add(Rgb::new(100, 100, 100));
+        assert_eq!(h.count(Rgb::new(101, 99, 100)), 1);
+        assert_eq!(h.count(Rgb::new(140, 100, 100)), 0);
+    }
+
+    #[test]
+    fn empty_histogram_frequency_zero() {
+        let h = ColorHistogram::new(4);
+        assert_eq!(h.frequency(Rgb::WHITE), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 1..=8")]
+    fn histogram_rejects_zero_bits() {
+        let _ = ColorHistogram::new(0);
+    }
+
+    #[test]
+    fn intersection_of_identical_is_one() {
+        let mut a = ColorHistogram::new(4);
+        let mut b = ColorHistogram::new(4);
+        for v in [10u8, 50, 90, 200] {
+            a.add(Rgb::grey(v));
+            b.add(Rgb::grey(v));
+        }
+        assert!((a.intersection(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_of_disjoint_is_zero() {
+        let mut a = ColorHistogram::new(4);
+        let mut b = ColorHistogram::new(4);
+        a.add(Rgb::new(255, 0, 0));
+        b.add(Rgb::new(0, 0, 255));
+        assert_eq!(a.intersection(&b), 0.0);
+    }
+
+    #[test]
+    fn add_masked_respects_mask() {
+        let f = Frame::filled(2, 2, Rgb::new(200, 10, 10));
+        let mut m = Mask::new(2, 2);
+        m.set(0, 0, true);
+        let mut h = ColorHistogram::new(4);
+        h.add_masked(&f, &m);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn hue_histogram_peaks_at_red() {
+        let f = Frame::filled(4, 4, Rgb::new(255, 0, 0));
+        let m = Mask::full(4, 4);
+        let bins = hue_histogram(&f, &m);
+        assert!((bins[0] - 1.0).abs() < 1e-12);
+        assert_eq!(bins[18], 0.0);
+    }
+
+    #[test]
+    fn hue_histogram_skips_grey() {
+        let f = Frame::filled(4, 4, Rgb::grey(128));
+        let bins = hue_histogram(&f, &Mask::full(4, 4));
+        assert!(bins.iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn hue_similarity_bounds() {
+        let f = Frame::filled(4, 4, Rgb::new(0, 255, 0));
+        let g = Frame::filled(4, 4, Rgb::new(0, 0, 255));
+        let m = Mask::full(4, 4);
+        let a = hue_histogram(&f, &m);
+        let b = hue_histogram(&g, &m);
+        assert!((hue_similarity(&a, &a) - 1.0).abs() < 1e-12);
+        assert_eq!(hue_similarity(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn moments_distinguish_wide_and_tall() {
+        let wide = Mask::from_fn(20, 20, |x, y| {
+            (2..=17).contains(&x) && (8..=11).contains(&y)
+        });
+        let tall = Mask::from_fn(20, 20, |x, y| {
+            (8..=11).contains(&x) && (2..=17).contains(&y)
+        });
+        let mw = ShapeMoments::of_mask(&wide).unwrap();
+        let mt = ShapeMoments::of_mask(&tall).unwrap();
+        assert!(mw.aspect > 1.0);
+        assert!(mt.aspect < 1.0);
+        assert!(mw.distance(&mt) > 0.5);
+        assert_eq!(mw.distance(&mw), 0.0);
+    }
+
+    #[test]
+    fn moments_scale_invariant() {
+        let small = Mask::from_fn(10, 10, |x, y| (2..=5).contains(&x) && (3..=6).contains(&y));
+        let big = Mask::from_fn(40, 40, |x, y| {
+            (8..=23).contains(&x) && (12..=27).contains(&y)
+        });
+        let ms = ShapeMoments::of_mask(&small).unwrap();
+        let mb = ShapeMoments::of_mask(&big).unwrap();
+        assert!(ms.distance(&mb) < 0.05, "distance {}", ms.distance(&mb));
+    }
+
+    #[test]
+    fn moments_of_empty_is_none() {
+        assert!(ShapeMoments::of_mask(&Mask::new(3, 3)).is_none());
+    }
+}

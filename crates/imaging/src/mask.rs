@@ -1,0 +1,470 @@
+//! Binary masks and trimaps.
+//!
+//! §III defines a background mask `BMⁱ` as a bitmap the size of the frame with
+//! non-zero pixels marking foreground; a trimap adds an "unknown" third state.
+//! The reconstruction framework manipulates three binary masks per frame
+//! (VBMⁱ, BBMⁱ, VCMⁱ) and relies on set algebra over them (§V-E), so [`Mask`]
+//! provides union/intersection/difference/complement plus counting helpers.
+
+use crate::error::ImagingError;
+use serde::{Deserialize, Serialize};
+
+/// A binary bitmap with the same resolution as its frame.
+///
+/// `true` marks foreground (the paper's `(255,255,255)` value), `false`
+/// background (§III).
+///
+/// # Example
+///
+/// ```
+/// use bb_imaging::Mask;
+/// let mut m = Mask::new(4, 4);
+/// m.set(1, 1, true);
+/// assert_eq!(m.count_set(), 1);
+/// assert_eq!(m.coverage(), 1.0 / 16.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mask {
+    width: usize,
+    height: usize,
+    bits: Vec<bool>,
+}
+
+impl Mask {
+    /// Creates an all-background mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "mask dimensions must be non-zero");
+        Mask {
+            width,
+            height,
+            bits: vec![false; width * height],
+        }
+    }
+
+    /// Creates an all-foreground mask.
+    pub fn full(width: usize, height: usize) -> Self {
+        let mut m = Mask::new(width, height);
+        m.bits.fill(true);
+        m
+    }
+
+    /// Builds a mask from a predicate called as `f(x, y)`.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> bool) -> Self {
+        let mut m = Mask::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                m.bits[y * width + x] = f(x, y);
+            }
+        }
+        m
+    }
+
+    /// Width in pixels.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// `(width, height)` pair.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Value at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> bool {
+        debug_assert!(x < self.width && y < self.height);
+        self.bits[y * self.width + x]
+    }
+
+    /// Value at `(x, y)`, or `false` when out of bounds.
+    #[inline]
+    pub fn get_or_false(&self, x: i64, y: i64) -> bool {
+        if x >= 0 && y >= 0 && (x as usize) < self.width && (y as usize) < self.height {
+            self.bits[y as usize * self.width + x as usize]
+        } else {
+            false
+        }
+    }
+
+    /// Value at flat row-major index `i`.
+    #[inline]
+    pub fn get_index(&self, i: usize) -> bool {
+        self.bits[i]
+    }
+
+    /// Sets the value at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: bool) {
+        debug_assert!(x < self.width && y < self.height);
+        self.bits[y * self.width + x] = v;
+    }
+
+    /// Sets the value at flat row-major index `i`.
+    #[inline]
+    pub fn set_index(&mut self, i: usize, v: bool) {
+        self.bits[i] = v;
+    }
+
+    /// Raw bit buffer, row-major.
+    #[inline]
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Number of foreground pixels.
+    pub fn count_set(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Fraction of foreground pixels in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        self.count_set() as f64 / self.bits.len() as f64
+    }
+
+    /// True when no pixel is set.
+    pub fn is_empty(&self) -> bool {
+        !self.bits.iter().any(|&b| b)
+    }
+
+    /// Checks dimension equality with another mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::DimensionMismatch`] when sizes differ.
+    pub fn check_same_dims(&self, other: &Mask) -> Result<(), ImagingError> {
+        if self.dims() != other.dims() {
+            return Err(ImagingError::DimensionMismatch {
+                expected_w: self.width,
+                expected_h: self.height,
+                got_w: other.width,
+                got_h: other.height,
+            });
+        }
+        Ok(())
+    }
+
+    /// Set union (`self ∪ other`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::DimensionMismatch`] when sizes differ.
+    pub fn union(&self, other: &Mask) -> Result<Mask, ImagingError> {
+        self.check_same_dims(other)?;
+        let mut out = self.clone();
+        for (a, b) in out.bits.iter_mut().zip(&other.bits) {
+            *a |= *b;
+        }
+        Ok(out)
+    }
+
+    /// Set intersection (`self ∩ other`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::DimensionMismatch`] when sizes differ.
+    pub fn intersect(&self, other: &Mask) -> Result<Mask, ImagingError> {
+        self.check_same_dims(other)?;
+        let mut out = self.clone();
+        for (a, b) in out.bits.iter_mut().zip(&other.bits) {
+            *a &= *b;
+        }
+        Ok(out)
+    }
+
+    /// Set difference (`self \ other`) — the residue operator of §V-E, where
+    /// leaked background is what remains after removing VB, BB and VC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::DimensionMismatch`] when sizes differ.
+    pub fn subtract(&self, other: &Mask) -> Result<Mask, ImagingError> {
+        self.check_same_dims(other)?;
+        let mut out = self.clone();
+        for (a, b) in out.bits.iter_mut().zip(&other.bits) {
+            *a &= !*b;
+        }
+        Ok(out)
+    }
+
+    /// Complement (`¬self`).
+    pub fn complement(&self) -> Mask {
+        let mut out = self.clone();
+        for b in &mut out.bits {
+            *b = !*b;
+        }
+        out
+    }
+
+    /// In-place union.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::DimensionMismatch`] when sizes differ.
+    pub fn union_in_place(&mut self, other: &Mask) -> Result<(), ImagingError> {
+        self.check_same_dims(other)?;
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= *b;
+        }
+        Ok(())
+    }
+
+    /// Iterates over the `(x, y)` coordinates of all foreground pixels.
+    pub fn iter_set(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let w = self.width;
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(move |(i, _)| (i % w, i / w))
+    }
+
+    /// Bounding box `(x0, y0, x1, y1)` of the foreground (inclusive), or
+    /// `None` when empty.
+    pub fn bounding_box(&self) -> Option<(usize, usize, usize, usize)> {
+        let mut bb: Option<(usize, usize, usize, usize)> = None;
+        for (x, y) in self.iter_set() {
+            bb = Some(match bb {
+                None => (x, y, x, y),
+                Some((x0, y0, x1, y1)) => (x0.min(x), y0.min(y), x1.max(x), y1.max(y)),
+            });
+        }
+        bb
+    }
+}
+
+/// The three states of a trimap mask (§III): a pixel is foreground,
+/// background, or could be either.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum TriState {
+    /// Definitely background (`(0,0,0)` in the paper's encoding).
+    #[default]
+    Background,
+    /// Could be either (`(128,128,128)`).
+    Unknown,
+    /// Definitely foreground (`(255,255,255)`).
+    Foreground,
+}
+
+/// A trimap: a mask with an intermediate "unknown" state, produced by matting
+/// systems around object boundaries (§III).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trimap {
+    width: usize,
+    height: usize,
+    states: Vec<TriState>,
+}
+
+impl Trimap {
+    /// Creates an all-background trimap.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(
+            width > 0 && height > 0,
+            "trimap dimensions must be non-zero"
+        );
+        Trimap {
+            width,
+            height,
+            states: vec![TriState::Background; width * height],
+        }
+    }
+
+    /// `(width, height)` pair.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// State at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> TriState {
+        debug_assert!(x < self.width && y < self.height);
+        self.states[y * self.width + x]
+    }
+
+    /// Sets the state at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, s: TriState) {
+        debug_assert!(x < self.width && y < self.height);
+        self.states[y * self.width + x] = s;
+    }
+
+    /// Builds a trimap from a definite foreground mask by marking a
+    /// `band`-pixel-wide ring around it as [`TriState::Unknown`].
+    pub fn from_mask_with_band(mask: &Mask, band: usize) -> Trimap {
+        let (w, h) = mask.dims();
+        let mut t = Trimap::new(w, h);
+        for (x, y) in mask.iter_set() {
+            t.states[y * w + x] = TriState::Foreground;
+        }
+        if band == 0 {
+            return t;
+        }
+        let dilated = crate::morph::dilate(mask, band);
+        for (x, y) in dilated.iter_set() {
+            if !mask.get(x, y) {
+                t.states[y * w + x] = TriState::Unknown;
+            }
+        }
+        t
+    }
+
+    /// Collapses the trimap to a binary mask, resolving
+    /// [`TriState::Unknown`] as foreground when `unknown_is_foreground`.
+    pub fn to_mask(&self, unknown_is_foreground: bool) -> Mask {
+        let mut m = Mask::new(self.width, self.height);
+        for (i, s) in self.states.iter().enumerate() {
+            let v = match s {
+                TriState::Foreground => true,
+                TriState::Unknown => unknown_is_foreground,
+                TriState::Background => false,
+            };
+            m.set_index(i, v);
+        }
+        m
+    }
+
+    /// Counts pixels in a given state.
+    pub fn count(&self, state: TriState) -> usize {
+        self.states.iter().filter(|&&s| s == state).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checker(w: usize, h: usize) -> Mask {
+        Mask::from_fn(w, h, |x, y| (x + y) % 2 == 0)
+    }
+
+    #[test]
+    fn new_is_empty() {
+        let m = Mask::new(3, 3);
+        assert!(m.is_empty());
+        assert_eq!(m.count_set(), 0);
+    }
+
+    #[test]
+    fn full_covers_everything() {
+        let m = Mask::full(3, 3);
+        assert_eq!(m.count_set(), 9);
+        assert_eq!(m.coverage(), 1.0);
+    }
+
+    #[test]
+    fn union_intersect_difference() {
+        let a = checker(4, 4);
+        let b = a.complement();
+        assert_eq!(a.union(&b).unwrap(), Mask::full(4, 4));
+        assert!(a.intersect(&b).unwrap().is_empty());
+        assert_eq!(a.subtract(&b).unwrap(), a);
+        assert!(a.subtract(&a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn complement_involution() {
+        let a = checker(5, 3);
+        assert_eq!(a.complement().complement(), a);
+    }
+
+    #[test]
+    fn union_in_place_matches_union() {
+        let a = checker(4, 4);
+        let b = Mask::from_fn(4, 4, |x, _| x == 0);
+        let mut c = a.clone();
+        c.union_in_place(&b).unwrap();
+        assert_eq!(c, a.union(&b).unwrap());
+    }
+
+    #[test]
+    fn dimension_mismatch_is_error() {
+        let a = Mask::new(2, 2);
+        let b = Mask::new(3, 2);
+        assert!(a.union(&b).is_err());
+        assert!(a.intersect(&b).is_err());
+        assert!(a.subtract(&b).is_err());
+    }
+
+    #[test]
+    fn get_or_false_handles_out_of_bounds() {
+        let m = Mask::full(2, 2);
+        assert!(m.get_or_false(0, 0));
+        assert!(!m.get_or_false(-1, 0));
+        assert!(!m.get_or_false(0, 2));
+    }
+
+    #[test]
+    fn bounding_box_of_empty_is_none() {
+        assert_eq!(Mask::new(4, 4).bounding_box(), None);
+    }
+
+    #[test]
+    fn bounding_box_covers_set_pixels() {
+        let mut m = Mask::new(10, 10);
+        m.set(2, 3, true);
+        m.set(7, 5, true);
+        assert_eq!(m.bounding_box(), Some((2, 3, 7, 5)));
+    }
+
+    #[test]
+    fn iter_set_yields_coordinates() {
+        let mut m = Mask::new(3, 2);
+        m.set(2, 1, true);
+        let v: Vec<_> = m.iter_set().collect();
+        assert_eq!(v, vec![(2, 1)]);
+    }
+
+    #[test]
+    fn trimap_from_mask_has_band() {
+        let mut m = Mask::new(9, 9);
+        m.set(4, 4, true);
+        let t = Trimap::from_mask_with_band(&m, 1);
+        assert_eq!(t.get(4, 4), TriState::Foreground);
+        assert_eq!(t.get(3, 4), TriState::Unknown);
+        assert_eq!(t.get(0, 0), TriState::Background);
+        assert_eq!(t.count(TriState::Foreground), 1);
+    }
+
+    #[test]
+    fn trimap_to_mask_resolves_unknown() {
+        let mut m = Mask::new(5, 5);
+        m.set(2, 2, true);
+        let t = Trimap::from_mask_with_band(&m, 1);
+        let fg = t.to_mask(true);
+        let strict = t.to_mask(false);
+        assert!(fg.count_set() > strict.count_set());
+        assert_eq!(strict.count_set(), 1);
+    }
+}

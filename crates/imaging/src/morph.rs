@@ -1,0 +1,298 @@
+//! Morphological operations on masks.
+//!
+//! The blending-blur mask of §V-C is the set of pixels within Euclidean radius
+//! φ of a virtual-background pixel that are not themselves virtual-background
+//! pixels — exactly the [`band`] operator here. Dilation/erosion with a disc
+//! structuring element also power the matting error models in `bb-callsim`
+//! and cleanup passes in `bb-segment`.
+//!
+//! All operators run in `O(w·h)` using a two-pass Euclidean distance transform
+//! (Felzenszwalb & Huttenlocher), so a φ of 20 over VGA frames stays cheap.
+
+use crate::mask::Mask;
+
+const INF: f64 = 1e20;
+
+/// One-dimensional squared-distance transform (Felzenszwalb–Huttenlocher).
+fn dt_1d(f: &[f64], out: &mut [f64]) {
+    let n = f.len();
+    if n == 0 {
+        return;
+    }
+    let mut v = vec![0usize; n];
+    let mut z = vec![0.0f64; n + 1];
+    let mut k = 0usize;
+    v[0] = 0;
+    z[0] = -INF;
+    z[1] = INF;
+    for q in 1..n {
+        loop {
+            let p = v[k];
+            let s = ((f[q] + (q * q) as f64) - (f[p] + (p * p) as f64)) / (2.0 * (q - p) as f64);
+            if s <= z[k] {
+                if k == 0 {
+                    // q strictly dominates; replace the only parabola.
+                    break;
+                }
+                k -= 1;
+            } else {
+                k += 1;
+                v[k] = q;
+                z[k] = s;
+                z[k + 1] = INF;
+                break;
+            }
+        }
+    }
+    let mut k = 0usize;
+    #[allow(clippy::needless_range_loop)] // q walks out[] and the parabola envelope together
+    for q in 0..n {
+        while z[k + 1] < q as f64 {
+            k += 1;
+        }
+        let p = v[k];
+        let d = q as f64 - p as f64;
+        out[q] = d * d + f[p];
+    }
+}
+
+/// Squared Euclidean distance from every pixel to the nearest foreground
+/// pixel of `mask`. Foreground pixels have distance 0; if the mask is empty
+/// every pixel gets a distance larger than any image diagonal.
+pub fn squared_distance_transform(mask: &Mask) -> Vec<f64> {
+    let (w, h) = mask.dims();
+    let mut grid = vec![INF; w * h];
+    for (x, y) in mask.iter_set() {
+        grid[y * w + x] = 0.0;
+    }
+    // Columns.
+    let mut col = vec![0.0f64; h];
+    let mut out_col = vec![0.0f64; h];
+    for x in 0..w {
+        for y in 0..h {
+            col[y] = grid[y * w + x];
+        }
+        dt_1d(&col, &mut out_col);
+        for y in 0..h {
+            grid[y * w + x] = out_col[y];
+        }
+    }
+    // Rows.
+    let mut row = vec![0.0f64; w];
+    let mut out_row = vec![0.0f64; w];
+    for y in 0..h {
+        row.copy_from_slice(&grid[y * w..(y + 1) * w]);
+        dt_1d(&row, &mut out_row);
+        grid[y * w..(y + 1) * w].copy_from_slice(&out_row);
+    }
+    grid
+}
+
+/// Dilates `mask` with a disc of the given `radius` (Euclidean metric).
+///
+/// `radius = 0` returns the mask unchanged.
+pub fn dilate(mask: &Mask, radius: usize) -> Mask {
+    if radius == 0 {
+        return mask.clone();
+    }
+    let (w, h) = mask.dims();
+    let dist = squared_distance_transform(mask);
+    let r2 = (radius * radius) as f64;
+    let mut out = Mask::new(w, h);
+    #[allow(clippy::needless_range_loop)] // i indexes dist[] and out in lockstep
+    for i in 0..w * h {
+        out.set_index(i, dist[i] <= r2);
+    }
+    out
+}
+
+/// Erodes `mask` with a disc of the given `radius` (Euclidean metric).
+pub fn erode(mask: &Mask, radius: usize) -> Mask {
+    if radius == 0 {
+        return mask.clone();
+    }
+    dilate(&mask.complement(), radius).complement()
+}
+
+/// Morphological opening: erosion then dilation. Removes speckle smaller
+/// than the disc.
+pub fn open(mask: &Mask, radius: usize) -> Mask {
+    dilate(&erode(mask, radius), radius)
+}
+
+/// Morphological closing: dilation then erosion. Fills holes smaller than
+/// the disc.
+pub fn close(mask: &Mask, radius: usize) -> Mask {
+    erode(&dilate(mask, radius), radius)
+}
+
+/// The blending-blur band of §V-C: all pixels within Euclidean distance
+/// `phi` of a foreground pixel of `mask`, *excluding* the mask itself.
+///
+/// In the paper's notation, for every `(u,w)` with `VBM = 1`, mark all
+/// `(p,q)` with `√((p−u)² + (q−w)²) ≤ φ`; the result minus the VBM is the
+/// BBM. The paper calibrates φ = 20 for Zoom (§VIII-C).
+///
+/// ```
+/// use bb_imaging::{Mask, morph};
+/// let mut vbm = Mask::new(9, 9);
+/// vbm.set(4, 4, true);
+/// let bbm = morph::band(&vbm, 2);
+/// assert!(bbm.get(4, 2));       // within radius 2
+/// assert!(!bbm.get(4, 4));      // the VB pixel itself is excluded
+/// assert!(!bbm.get(0, 0));      // too far
+/// ```
+pub fn band(mask: &Mask, phi: usize) -> Mask {
+    dilate(mask, phi)
+        .subtract(mask)
+        .expect("dilate preserves dimensions")
+}
+
+/// Inner boundary of a mask: foreground pixels with at least one 4-connected
+/// background neighbour. Used by the matting error model to perturb caller
+/// boundaries (§V-D "inaccurate human boundaries").
+pub fn inner_boundary(mask: &Mask) -> Mask {
+    let (w, h) = mask.dims();
+    Mask::from_fn(w, h, |x, y| {
+        if !mask.get(x, y) {
+            return false;
+        }
+        let (xi, yi) = (x as i64, y as i64);
+        !mask.get_or_false(xi - 1, yi)
+            || !mask.get_or_false(xi + 1, yi)
+            || !mask.get_or_false(xi, yi - 1)
+            || !mask.get_or_false(xi, yi + 1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point_mask(w: usize, h: usize, x: usize, y: usize) -> Mask {
+        let mut m = Mask::new(w, h);
+        m.set(x, y, true);
+        m
+    }
+
+    #[test]
+    fn distance_transform_of_point() {
+        let m = point_mask(5, 5, 2, 2);
+        let d = squared_distance_transform(&m);
+        assert_eq!(d[2 * 5 + 2], 0.0);
+        assert_eq!(d[2 * 5 + 3], 1.0);
+        assert_eq!(d[0], 8.0); // (2,2) -> (0,0): 2²+2²
+    }
+
+    #[test]
+    fn distance_transform_empty_mask_is_far() {
+        let m = Mask::new(4, 4);
+        let d = squared_distance_transform(&m);
+        assert!(d.iter().all(|&v| v > 1e6));
+    }
+
+    #[test]
+    fn dilate_point_makes_disc() {
+        let m = point_mask(9, 9, 4, 4);
+        let d = dilate(&m, 2);
+        assert!(d.get(4, 4));
+        assert!(d.get(4, 6));
+        assert!(d.get(6, 4));
+        assert!(!d.get(6, 6)); // √8 > 2
+        assert!(!d.get(4, 7));
+    }
+
+    #[test]
+    fn dilate_zero_is_identity() {
+        let m = point_mask(5, 5, 1, 1);
+        assert_eq!(dilate(&m, 0), m);
+        assert_eq!(erode(&m, 0), m);
+    }
+
+    #[test]
+    fn erode_shrinks_square() {
+        let m = Mask::from_fn(9, 9, |x, y| (2..=6).contains(&x) && (2..=6).contains(&y));
+        let e = erode(&m, 1);
+        assert!(e.get(4, 4));
+        assert!(e.get(3, 3));
+        assert!(!e.get(2, 2));
+        assert!(!e.get(2, 4));
+    }
+
+    #[test]
+    fn dilation_is_monotone_in_radius() {
+        let m = point_mask(15, 15, 7, 7);
+        let d1 = dilate(&m, 2);
+        let d2 = dilate(&m, 4);
+        // d1 ⊆ d2
+        assert_eq!(d1.subtract(&d2).unwrap().count_set(), 0);
+        assert!(d2.count_set() > d1.count_set());
+    }
+
+    #[test]
+    fn open_removes_speckle() {
+        let mut m = Mask::from_fn(12, 12, |x, y| (3..=9).contains(&x) && (3..=9).contains(&y));
+        m.set(0, 0, true); // speckle
+        let o = open(&m, 1);
+        assert!(!o.get(0, 0));
+        assert!(o.get(6, 6));
+    }
+
+    #[test]
+    fn close_fills_hole() {
+        let mut m = Mask::from_fn(12, 12, |x, y| (2..=9).contains(&x) && (2..=9).contains(&y));
+        m.set(5, 5, false); // pinhole
+        let c = close(&m, 1);
+        assert!(c.get(5, 5));
+    }
+
+    #[test]
+    fn band_excludes_mask_and_far_pixels() {
+        let m = point_mask(11, 11, 5, 5);
+        let b = band(&m, 3);
+        assert!(!b.get(5, 5));
+        assert!(b.get(5, 8));
+        assert!(!b.get(5, 9));
+        // band of φ=0 is empty
+        assert!(band(&m, 0).is_empty());
+    }
+
+    #[test]
+    fn band_radius_matches_paper_definition() {
+        // Every band pixel must be within φ of some mask pixel, and no mask
+        // pixel may be in the band.
+        let m = Mask::from_fn(20, 20, |x, y| {
+            (8..=11).contains(&x) && (8..=11).contains(&y)
+        });
+        let phi = 4usize;
+        let b = band(&m, phi);
+        for (px, py) in b.iter_set() {
+            assert!(!m.get(px, py));
+            let within = m.iter_set().any(|(u, w)| {
+                let dx = px as f64 - u as f64;
+                let dy = py as f64 - w as f64;
+                (dx * dx + dy * dy).sqrt() <= phi as f64
+            });
+            assert!(within, "({px},{py}) outside radius {phi}");
+        }
+    }
+
+    #[test]
+    fn inner_boundary_of_square() {
+        let m = Mask::from_fn(8, 8, |x, y| (2..=5).contains(&x) && (2..=5).contains(&y));
+        let b = inner_boundary(&m);
+        assert!(b.get(2, 2));
+        assert!(b.get(5, 3));
+        assert!(!b.get(3, 3));
+        assert!(!b.get(0, 0));
+    }
+
+    #[test]
+    fn boundary_of_full_mask_is_border_ring() {
+        let m = Mask::full(5, 5);
+        let b = inner_boundary(&m);
+        // get_or_false treats outside as background, so the ring is the border.
+        assert_eq!(b.count_set(), 16);
+        assert!(!b.get(2, 2));
+    }
+}

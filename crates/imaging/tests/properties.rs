@@ -1,0 +1,167 @@
+//! Property-based tests for the imaging substrate's invariants.
+
+use bb_imaging::{draw, filter, geom, morph, Frame, Hsv, Mask, Rgb};
+use proptest::prelude::*;
+
+fn arb_rgb() -> impl Strategy<Value = Rgb> {
+    (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(r, g, b)| Rgb::new(r, g, b))
+}
+
+fn arb_mask(w: usize, h: usize) -> impl Strategy<Value = Mask> {
+    proptest::collection::vec(any::<bool>(), w * h).prop_map(move |bits| {
+        let mut m = Mask::new(w, h);
+        for (i, b) in bits.into_iter().enumerate() {
+            m.set_index(i, b);
+        }
+        m
+    })
+}
+
+fn arb_frame(w: usize, h: usize) -> impl Strategy<Value = Frame> {
+    proptest::collection::vec(arb_rgb(), w * h)
+        .prop_map(move |px| Frame::from_pixels(w, h, px).expect("sized correctly"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hsv_round_trip_is_exact(p in arb_rgb()) {
+        prop_assert_eq!(p.to_hsv().to_rgb(), p);
+    }
+
+    #[test]
+    fn hue_distance_is_a_metric_on_the_circle(a in 0f32..360.0, b in 0f32..360.0, c in 0f32..360.0) {
+        let d = Hsv::hue_distance(a, b);
+        prop_assert!((0.0..=180.0).contains(&d));
+        prop_assert!((d - Hsv::hue_distance(b, a)).abs() < 1e-3);
+        // Triangle inequality.
+        prop_assert!(Hsv::hue_distance(a, c) <= d + Hsv::hue_distance(b, c) + 1e-3);
+    }
+
+    #[test]
+    fn lerp_stays_within_channel_bounds(a in arb_rgb(), b in arb_rgb(), t in 0f32..=1.0) {
+        let m = a.lerp(b, t);
+        for (lo_hi, v) in [((a.r, b.r), m.r), ((a.g, b.g), m.g), ((a.b, b.b), m.b)] {
+            let lo = lo_hi.0.min(lo_hi.1);
+            let hi = lo_hi.0.max(lo_hi.1);
+            prop_assert!(v >= lo.saturating_sub(1) && v <= hi.saturating_add(1));
+        }
+    }
+
+    #[test]
+    fn mask_algebra_laws(a in arb_mask(12, 9), b in arb_mask(12, 9)) {
+        // De Morgan.
+        let lhs = a.union(&b).unwrap().complement();
+        let rhs = a.complement().intersect(&b.complement()).unwrap();
+        prop_assert_eq!(lhs, rhs);
+        // Difference = intersection with complement.
+        prop_assert_eq!(a.subtract(&b).unwrap(), a.intersect(&b.complement()).unwrap());
+        // Union is idempotent and commutative.
+        prop_assert_eq!(a.union(&a).unwrap(), a.clone());
+        prop_assert_eq!(a.union(&b).unwrap(), b.union(&a).unwrap());
+        // Counting: |a| + |b| = |a∪b| + |a∩b|.
+        prop_assert_eq!(
+            a.count_set() + b.count_set(),
+            a.union(&b).unwrap().count_set() + a.intersect(&b).unwrap().count_set()
+        );
+    }
+
+    #[test]
+    fn dilation_contains_mask_and_grows_with_radius(m in arb_mask(14, 10), r in 0usize..4) {
+        let d = morph::dilate(&m, r);
+        prop_assert!(m.subtract(&d).unwrap().is_empty(), "mask ⊄ dilate(mask)");
+        let d2 = morph::dilate(&m, r + 1);
+        prop_assert!(d.subtract(&d2).unwrap().is_empty(), "dilate not monotone");
+    }
+
+    #[test]
+    fn erosion_is_dual_to_dilation(m in arb_mask(10, 10), r in 0usize..3) {
+        prop_assert_eq!(
+            morph::erode(&m, r),
+            morph::dilate(&m.complement(), r).complement()
+        );
+    }
+
+    #[test]
+    fn band_is_disjoint_from_mask(m in arb_mask(12, 12), phi in 0usize..5) {
+        let band = morph::band(&m, phi);
+        prop_assert!(band.intersect(&m).unwrap().is_empty());
+        // Band ∪ mask = dilation.
+        prop_assert_eq!(band.union(&m).unwrap(), morph::dilate(&m, phi));
+    }
+
+    #[test]
+    fn match_mask_is_reflexive_and_symmetric(f in arb_frame(8, 6), g in arb_frame(8, 6), tau in 0u8..40) {
+        prop_assert_eq!(f.match_mask(&f, tau).unwrap().count_set(), 48);
+        prop_assert_eq!(f.match_mask(&g, tau).unwrap(), g.match_mask(&f, tau).unwrap());
+    }
+
+    #[test]
+    fn blur_preserves_mean_approximately(f in arb_frame(10, 10)) {
+        let mean = |fr: &Frame| {
+            fr.pixels().iter().map(|p| p.luma() as f64).sum::<f64>() / fr.resolution() as f64
+        };
+        let blurred = filter::box_blur(&f, 1);
+        prop_assert!((mean(&f) - mean(&blurred)).abs() < 14.0);
+    }
+
+    #[test]
+    fn warp_identity_is_lossless(f in arb_frame(9, 9)) {
+        let (out, valid) = geom::warp(&f, &geom::Transform::identity());
+        prop_assert_eq!(out, f);
+        prop_assert_eq!(valid.count_set(), 81);
+    }
+
+    #[test]
+    fn shift_round_trip_restores_interior(f in arb_frame(12, 12), dx in -3i64..=3, dy in -3i64..=3) {
+        let (shifted, _) = geom::shift_frame(&f, dx, dy);
+        let (back, valid) = geom::shift_frame(&shifted, -dx, -dy);
+        for (x, y) in valid.iter_set() {
+            // Interior pixels that never left the frame must round-trip.
+            let sx = x as i64 + dx;
+            let sy = y as i64 + dy;
+            if sx >= 0 && sy >= 0 && sx < 12 && sy < 12 {
+                prop_assert_eq!(back.get(x, y), f.get(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn ppm_round_trip(f in arb_frame(7, 5)) {
+        let mut buf = Vec::new();
+        bb_imaging::io::write_ppm(&f, &mut buf).unwrap();
+        prop_assert_eq!(bb_imaging::io::read_ppm(std::io::Cursor::new(buf)).unwrap(), f);
+    }
+
+    #[test]
+    fn integral_window_equals_naive(m in arb_mask(9, 7), x in 0usize..9, y in 0usize..7, w in 1usize..5, h in 1usize..5) {
+        let integral = bb_imaging::integral::Integral::of_mask(&m);
+        let naive = m
+            .iter_set()
+            .filter(|&(px, py)| px >= x && px < (x + w).min(9) && py >= y && py < (y + h).min(7))
+            .count() as u64;
+        prop_assert_eq!(integral.window_sum(x, y, w, h), naive);
+    }
+
+    #[test]
+    fn alpha_blend_is_bounded_by_sources(a in arb_rgb(), b in arb_rgb(), t in 0f32..=1.0) {
+        let fg = Frame::filled(2, 2, a);
+        let bg = Frame::filled(2, 2, b);
+        let out = filter::alpha_blend(&fg, &bg, &[t; 4]).unwrap();
+        let p = out.get(0, 0);
+        prop_assert!(p.r >= a.r.min(b.r).saturating_sub(1) && p.r <= a.r.max(b.r).saturating_add(1));
+    }
+
+    #[test]
+    fn text_rendering_stays_inside_cell_grid(s in "[A-Z0-9 ]{1,6}") {
+        let width = bb_imaging::font::text_width(&s, 1) + 4;
+        let mut f = Frame::new(width.max(8), 12);
+        draw::text(&mut f, 2, 2, &s, 1, Rgb::WHITE);
+        // No ink above/below the glyph rows.
+        for x in 0..f.width() {
+            prop_assert_eq!(f.get(x, 0), Rgb::BLACK);
+            prop_assert_eq!(f.get(x, 11), Rgb::BLACK);
+        }
+    }
+}

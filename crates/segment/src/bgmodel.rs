@@ -1,0 +1,115 @@
+//! Temporal background modelling.
+//!
+//! In a composited call the virtual background dominates each pixel's time
+//! series; the caller and leak patches are transient. A per-channel temporal
+//! median therefore reconstructs (approximately) the pure composited
+//! background, giving the person segmenter a reference to diff against.
+
+use bb_imaging::{Frame, Rgb};
+use bb_video::VideoStream;
+
+/// Maximum number of frames sampled per pixel for the median (evenly
+/// spaced); bounds memory on long calls.
+pub const MAX_SAMPLES: usize = 64;
+
+/// Per-pixel, per-channel temporal median over (up to [`MAX_SAMPLES`]
+/// evenly-spaced) frames of the stream.
+pub fn median_model(video: &VideoStream) -> Frame {
+    let (w, h) = video.dims();
+    let step = (video.len() / MAX_SAMPLES).max(1);
+    let indices: Vec<usize> = (0..video.len()).step_by(step).collect();
+    let n = indices.len();
+
+    let mut out = Frame::new(w, h);
+    let mut rs = vec![0u8; n];
+    let mut gs = vec![0u8; n];
+    let mut bs = vec![0u8; n];
+    for y in 0..h {
+        for x in 0..w {
+            for (k, &i) in indices.iter().enumerate() {
+                let p = video.frame(i).get(x, y);
+                rs[k] = p.r;
+                gs[k] = p.g;
+                bs[k] = p.b;
+            }
+            out.put(
+                x,
+                y,
+                Rgb::new(median_u8(&mut rs), median_u8(&mut gs), median_u8(&mut bs)),
+            );
+        }
+    }
+    out
+}
+
+fn median_u8(values: &mut [u8]) -> u8 {
+    let mid = values.len() / 2;
+    let (_, m, _) = values.select_nth_unstable(mid);
+    *m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_imaging::draw;
+
+    #[test]
+    fn median_of_static_stream_is_the_frame() {
+        let v = VideoStream::generate(9, 30.0, |_| {
+            Frame::from_fn(8, 8, |x, y| Rgb::new((x * 30) as u8, (y * 30) as u8, 9))
+        })
+        .unwrap();
+        assert_eq!(median_model(&v), v.frame(0).clone());
+    }
+
+    #[test]
+    fn transient_occluder_is_removed() {
+        // A block passes over the background for 3 of 15 frames.
+        let v = VideoStream::generate(15, 30.0, |i| {
+            let mut f = Frame::filled(12, 12, Rgb::grey(100));
+            if (5..8).contains(&i) {
+                draw::fill_rect(&mut f, 3, 3, 5, 5, Rgb::new(255, 0, 0));
+            }
+            f
+        })
+        .unwrap();
+        let model = median_model(&v);
+        assert_eq!(
+            model.get(5, 5),
+            Rgb::grey(100),
+            "occluder leaked into model"
+        );
+    }
+
+    #[test]
+    fn persistent_majority_wins() {
+        // A pixel red in 10/15 frames, green otherwise → median red.
+        let v = VideoStream::generate(15, 30.0, |i| {
+            Frame::filled(
+                2,
+                2,
+                if i % 3 == 0 {
+                    Rgb::new(0, 255, 0)
+                } else {
+                    Rgb::new(255, 0, 0)
+                },
+            )
+        })
+        .unwrap();
+        let model = median_model(&v);
+        assert_eq!(model.get(0, 0), Rgb::new(255, 0, 0));
+    }
+
+    #[test]
+    fn long_stream_is_subsampled_but_stable() {
+        let v = VideoStream::generate(500, 30.0, |_| Frame::filled(4, 4, Rgb::grey(42))).unwrap();
+        assert_eq!(median_model(&v), Frame::filled(4, 4, Rgb::grey(42)));
+    }
+
+    #[test]
+    fn median_u8_even_and_odd() {
+        assert_eq!(median_u8(&mut [3u8, 1, 2]), 2);
+        assert_eq!(median_u8(&mut [4u8, 1, 3, 2]), 3); // upper median
+        assert_eq!(median_u8(&mut [7u8]), 7);
+    }
+}

@@ -1,0 +1,358 @@
+//! Per-frame person segmentation.
+//!
+//! Two entry points mirror how DeepLabv3 is used in the paper (§V-D):
+//!
+//! * [`PersonSegmenter::segment`] — standalone segmentation of one frame:
+//!   change detection against a temporal background model plus a skin-color
+//!   prior. Works whenever the caller moves (the cases that matter for
+//!   leakage, Fig 7/8).
+//! * [`PersonSegmenter::segment_candidates`] — the pipeline variant: given
+//!   the candidate foreground (everything the virtual-background and
+//!   blending-blur masks did *not* claim, per Fig 4's flow), select the
+//!   person-shaped component(s). Like DeepLabv3, the result is deliberately
+//!   imperfect — leak patches fused to the caller survive — which is exactly
+//!   what the §V-D color refinement repairs.
+
+use crate::bgmodel::median_model;
+use bb_imaging::{components, morph, Frame, Mask};
+use bb_video::VideoStream;
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the classical person segmenter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SegmenterParams {
+    /// Per-channel L∞ threshold against the background model above which a
+    /// pixel is "changed".
+    pub diff_tau: u8,
+    /// Radius of the morphological close that fills pinholes in the body.
+    pub close_radius: usize,
+    /// Radius of the morphological open that removes speckle.
+    pub open_radius: usize,
+    /// Components smaller than this fraction of the frame are discarded.
+    pub min_component_frac: f64,
+    /// Minimum fraction of skin-colored pixels for a candidate component to
+    /// score as a person without other evidence.
+    pub skin_evidence_frac: f64,
+}
+
+impl Default for SegmenterParams {
+    fn default() -> Self {
+        SegmenterParams {
+            diff_tau: 26,
+            close_radius: 2,
+            open_radius: 1,
+            min_component_frac: 0.004,
+            skin_evidence_frac: 0.02,
+        }
+    }
+}
+
+/// Skin-color prior: warm hue, moderate saturation, adequate brightness.
+/// Covers the synthetic skin-tone gamut (and most human skin under neutral
+/// light).
+pub fn is_skin(p: bb_imaging::Rgb) -> bool {
+    let hsv = p.to_hsv();
+    (hsv.h <= 50.0 || hsv.h >= 340.0) && (0.07..=0.72).contains(&hsv.s) && hsv.v >= 0.25
+}
+
+/// The classical person segmenter.
+///
+/// # Example
+///
+/// ```
+/// use bb_segment::PersonSegmenter;
+/// use bb_imaging::{Frame, Rgb, draw};
+/// use bb_video::VideoStream;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let video = VideoStream::generate(16, 30.0, |i| {
+///     let mut f = Frame::filled(48, 32, Rgb::grey(200));
+///     draw::fill_rect(&mut f, (i * 2) as i64, 10, 8, 16, Rgb::new(20, 40, 160));
+///     f
+/// })?;
+/// let segmenter = PersonSegmenter::fit(&video);
+/// let mask = segmenter.segment(video.frame(3));
+/// assert!(mask.count_set() > 50);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PersonSegmenter {
+    params: SegmenterParams,
+    model: Frame,
+}
+
+impl PersonSegmenter {
+    /// Fits the background model over the stream with default parameters.
+    pub fn fit(video: &VideoStream) -> Self {
+        Self::fit_with(video, SegmenterParams::default())
+    }
+
+    /// Fits with explicit parameters.
+    pub fn fit_with(video: &VideoStream, params: SegmenterParams) -> Self {
+        PersonSegmenter {
+            params,
+            model: median_model(video),
+        }
+    }
+
+    /// The fitted background model.
+    pub fn model(&self) -> &Frame {
+        &self.model
+    }
+
+    /// Standalone segmentation: change detection + cleanup + component
+    /// filtering.
+    ///
+    /// Frames of a different resolution yield an empty mask (the segmenter
+    /// is fitted to one geometry).
+    pub fn segment(&self, frame: &Frame) -> Mask {
+        let (w, h) = self.model.dims();
+        if frame.dims() != (w, h) {
+            return Mask::new(w, h);
+        }
+        let mut changed = Mask::new(w, h);
+        for (i, (a, b)) in frame.pixels().iter().zip(self.model.pixels()).enumerate() {
+            if a.linf(*b) > self.params.diff_tau {
+                changed.set_index(i, true);
+            }
+        }
+        let closed = morph::close(&changed, self.params.close_radius);
+        let opened = morph::open(&closed, self.params.open_radius);
+        let min_area = ((w * h) as f64 * self.params.min_component_frac) as usize;
+        components::remove_small_components(
+            &opened,
+            min_area.max(1),
+            components::Connectivity::Eight,
+        )
+    }
+
+    /// Pipeline segmentation: selects the person-shaped component(s) from a
+    /// candidate foreground mask.
+    ///
+    /// Candidates are scored by area, skin evidence and vertical anchoring
+    /// (a seated caller always reaches the lower third of the frame); the
+    /// best-scoring component is the caller, and every other component at
+    /// least 60 % its size with skin evidence joins it (two-component poses
+    /// like a detached waving hand).
+    ///
+    /// Mismatched dimensions yield an empty mask.
+    pub fn segment_candidates(&self, frame: &Frame, candidates: &Mask) -> Mask {
+        let (w, h) = frame.dims();
+        if candidates.dims() != (w, h) {
+            return Mask::new(w, h);
+        }
+        let cleaned = morph::close(candidates, self.params.close_radius);
+        let labeling = components::label(&cleaned, components::Connectivity::Eight);
+        if labeling.components().is_empty() {
+            return Mask::new(w, h);
+        }
+
+        let mut scored: Vec<(f64, u32)> = Vec::new();
+        for comp in labeling.components() {
+            let area_frac = comp.area as f64 / (w * h) as f64;
+            if area_frac < self.params.min_component_frac {
+                continue;
+            }
+            let comp_mask = labeling.component_mask(comp.label, h);
+            let skin = comp_mask
+                .iter_set()
+                .filter(|&(x, y)| is_skin(frame.get(x, y)))
+                .count() as f64
+                / comp.area as f64;
+            // Anchoring: does the component reach the lower third?
+            let reaches_bottom = comp.bbox.3 >= h * 2 / 3;
+            let score = area_frac + skin * 0.5 + if reaches_bottom { 0.3 } else { 0.0 };
+            scored.push((score, comp.label));
+        }
+        if scored.is_empty() {
+            return Mask::new(w, h);
+        }
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("scores are finite"));
+        let best_label = scored[0].1;
+        let best_area = labeling
+            .components()
+            .iter()
+            .find(|c| c.label == best_label)
+            .expect("label exists")
+            .area;
+
+        let mut out = labeling.component_mask(best_label, h);
+        for &(_, label) in &scored[1..] {
+            let comp = labeling
+                .components()
+                .iter()
+                .find(|c| c.label == label)
+                .expect("label exists");
+            if comp.area * 10 >= best_area * 6 {
+                let m = labeling.component_mask(label, h);
+                let skin_frac = m
+                    .iter_set()
+                    .filter(|&(x, y)| is_skin(frame.get(x, y)))
+                    .count() as f64
+                    / comp.area as f64;
+                if skin_frac >= self.params.skin_evidence_frac {
+                    out.union_in_place(&m).expect("same dims");
+                }
+            }
+        }
+        // Restrict to the original candidates (close() may have annexed a
+        // ring of pixels the other masks already claimed).
+        out.intersect(candidates).expect("same dims")
+    }
+
+    /// Segments every frame of a stream with [`PersonSegmenter::segment`].
+    pub fn segment_video(&self, video: &VideoStream) -> Vec<Mask> {
+        video.iter().map(|f| self.segment(f)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_imaging::{draw, Rgb};
+
+    /// A synthetic "composited call": static virtual background and a
+    /// moving blue person block (moves fast enough for the median model to
+    /// capture the background).
+    fn call_like_stream() -> VideoStream {
+        VideoStream::generate(24, 30.0, |i| {
+            let mut f = Frame::filled(40, 30, Rgb::new(90, 160, 210)); // "VB"
+            let px = 2 + i as i64;
+            draw::fill_rect(&mut f, px, 8, 8, 20, Rgb::new(150, 40, 40));
+            f
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn segments_the_moving_person() {
+        let v = call_like_stream();
+        let seg = PersonSegmenter::fit(&v);
+        let m = seg.segment(v.frame(12));
+        assert!(
+            m.count_set() >= 120,
+            "person undersegmented: {}",
+            m.count_set()
+        );
+        assert!(m.get(17, 18)); // inside the block at i=12 (px=14..22)
+        assert!(!m.get(1, 1));
+    }
+
+    #[test]
+    fn static_background_yields_empty_mask() {
+        let v = VideoStream::generate(10, 30.0, |_| Frame::filled(20, 20, Rgb::grey(128))).unwrap();
+        let seg = PersonSegmenter::fit(&v);
+        assert!(seg.segment(v.frame(3)).is_empty());
+    }
+
+    #[test]
+    fn wrong_resolution_yields_empty_mask() {
+        let v = call_like_stream();
+        let seg = PersonSegmenter::fit(&v);
+        let other = Frame::filled(10, 10, Rgb::WHITE);
+        assert!(seg.segment(&other).is_empty());
+        assert!(seg
+            .segment_candidates(&other, &Mask::full(40, 30))
+            .is_empty());
+    }
+
+    #[test]
+    fn speckle_is_removed() {
+        let v = VideoStream::generate(10, 30.0, |_| Frame::filled(30, 30, Rgb::grey(100))).unwrap();
+        let seg = PersonSegmenter::fit(&v);
+        let mut noisy = v.frame(0).clone();
+        noisy.put(5, 5, Rgb::WHITE);
+        noisy.put(20, 9, Rgb::BLACK);
+        assert!(seg.segment(&noisy).is_empty());
+    }
+
+    #[test]
+    fn segment_video_covers_all_frames() {
+        let v = call_like_stream();
+        let seg = PersonSegmenter::fit(&v);
+        let masks = seg.segment_video(&v);
+        assert_eq!(masks.len(), v.len());
+        assert!(masks.iter().all(|m| m.dims() == (40, 30)));
+    }
+
+    #[test]
+    fn candidates_select_person_not_leak() {
+        // Candidate mask = big caller blob (reaching the bottom, with skin)
+        // plus a small distant leak patch.
+        let mut frame = Frame::filled(60, 60, Rgb::new(90, 160, 210));
+        // Caller: apparel block + skin head reaching bottom.
+        draw::fill_rect(&mut frame, 20, 25, 20, 35, Rgb::new(30, 60, 150));
+        draw::fill_circle(&mut frame, 30, 18, 7, Rgb::new(235, 200, 170));
+        // Leak patch: wall-colored fragment far away.
+        draw::fill_rect(&mut frame, 2, 2, 5, 4, Rgb::new(220, 215, 200));
+        let candidates = Mask::from_fn(60, 60, |x, y| {
+            let caller = (20..40).contains(&x) && (25..60).contains(&y) || {
+                let dx = x as i64 - 30;
+                let dy = y as i64 - 18;
+                dx * dx + dy * dy <= 49
+            };
+            let leak = (2..7).contains(&x) && (2..6).contains(&y);
+            caller || leak
+        });
+        let v = VideoStream::generate(3, 30.0, |_| frame.clone()).unwrap();
+        let seg = PersonSegmenter::fit(&v);
+        let vcm = seg.segment_candidates(&frame, &candidates);
+        assert!(vcm.get(30, 40), "caller torso missing");
+        assert!(vcm.get(30, 18), "caller head missing");
+        assert!(!vcm.get(3, 3), "leak patch wrongly kept as caller");
+    }
+
+    #[test]
+    fn candidates_empty_in_empty_mask() {
+        let v = call_like_stream();
+        let seg = PersonSegmenter::fit(&v);
+        let empty = Mask::new(40, 30);
+        assert!(seg.segment_candidates(v.frame(0), &empty).is_empty());
+    }
+
+    #[test]
+    fn candidates_result_is_subset_of_candidates() {
+        let v = call_like_stream();
+        let seg = PersonSegmenter::fit(&v);
+        let candidates = Mask::from_fn(40, 30, |x, y| x > 5 && y > 4);
+        let vcm = seg.segment_candidates(v.frame(10), &candidates);
+        assert!(vcm.subtract(&candidates).unwrap().is_empty());
+    }
+
+    #[test]
+    fn skin_prior_accepts_skin_tones() {
+        for tone in [
+            Rgb::new(243, 211, 185),
+            Rgb::new(222, 180, 144),
+            Rgb::new(193, 142, 102),
+            Rgb::new(150, 103, 72),
+            Rgb::new(104, 72, 52),
+        ] {
+            assert!(is_skin(tone), "skin tone {tone} rejected");
+        }
+        assert!(!is_skin(Rgb::new(90, 160, 210)), "sky counted as skin");
+        assert!(!is_skin(Rgb::new(30, 60, 150)), "apparel counted as skin");
+    }
+
+    #[test]
+    fn tighter_threshold_segments_more() {
+        let v = call_like_stream();
+        let loose = PersonSegmenter::fit_with(
+            &v,
+            SegmenterParams {
+                diff_tau: 80,
+                ..Default::default()
+            },
+        );
+        let tight = PersonSegmenter::fit_with(
+            &v,
+            SegmenterParams {
+                diff_tau: 10,
+                ..Default::default()
+            },
+        );
+        let f = v.frame(12);
+        assert!(tight.segment(f).count_set() >= loose.segment(f).count_set());
+    }
+}

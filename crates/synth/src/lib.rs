@@ -1,0 +1,43 @@
+//! # bb-synth
+//!
+//! Synthetic world generator — the substitute for the paper's human-subject
+//! video corpora (E1/E2/E3, §VII).
+//!
+//! The paper collected 163 controlled clips from five participants (E1),
+//! 25 passive/active call recordings (E2), and 50 in-the-wild YouTube videos
+//! (E3). None of that data is available, and the attack consumes only pixels,
+//! so this crate generates deterministic synthetic equivalents with the same
+//! statistical structure:
+//!
+//! * [`room`] — rooms populated with the privacy-relevant object classes the
+//!   paper detects (§VIII-D: books, TVs, monitors, clocks, shirts, posters,
+//!   sticky notes with text, windows, doors, toys, paintings).
+//! * [`caller`] — an articulated caller with configurable skin/apparel colors
+//!   and accessories (hat, headphones — the Fig 9 variables).
+//! * [`action`] — the ten E1 actions at three speed classes (Fig 7/8).
+//! * [`camera`] — lighting states (Fig 10/11), camera pose perturbation
+//!   (the §VI "camera may have slightly rotated/shifted" challenge) and
+//!   sensor noise.
+//! * [`scenario`] — ties everything together: a [`scenario::Scenario`]
+//!   renders to a ground-truth video plus per-frame true foreground masks,
+//!   the inputs `bb-callsim` composites and `bb-core` evaluates against.
+//!
+//! Everything is seeded: the same scenario always renders the same pixels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod caller;
+pub mod camera;
+pub mod objects;
+pub mod palette;
+pub mod room;
+pub mod scenario;
+
+pub use action::{Action, Speed};
+pub use caller::{Accessory, CallerAppearance, CallerPose};
+pub use camera::{CameraPose, Lighting};
+pub use objects::{ObjectClass, SceneObject};
+pub use room::Room;
+pub use scenario::{GroundTruth, Scenario};

@@ -1,0 +1,125 @@
+//! Named colors and seeded color sampling for the synthetic world.
+
+use bb_imaging::Rgb;
+use rand::Rng;
+
+/// Warm off-white wall tone.
+pub const WALL_CREAM: Rgb = Rgb::new(232, 224, 205);
+/// Cool grey wall tone.
+pub const WALL_GREY: Rgb = Rgb::new(200, 204, 210);
+/// Pale blue wall tone.
+pub const WALL_BLUE: Rgb = Rgb::new(190, 207, 224);
+/// Pale green wall tone.
+pub const WALL_GREEN: Rgb = Rgb::new(203, 221, 197);
+/// Dusky pink wall tone.
+pub const WALL_PINK: Rgb = Rgb::new(226, 203, 206);
+
+/// The wall tones a random room picks from.
+pub const WALLS: [Rgb; 5] = [WALL_CREAM, WALL_GREY, WALL_BLUE, WALL_GREEN, WALL_PINK];
+
+/// Wood tone for furniture.
+pub const WOOD: Rgb = Rgb::new(139, 98, 60);
+/// Darker wood tone.
+pub const WOOD_DARK: Rgb = Rgb::new(94, 64, 38);
+/// Matte black for screens.
+pub const SCREEN_BLACK: Rgb = Rgb::new(24, 26, 30);
+/// Screen-glow blue for an "on" display.
+pub const SCREEN_GLOW: Rgb = Rgb::new(70, 110, 190);
+/// Sticky-note yellow.
+pub const NOTE_YELLOW: Rgb = Rgb::new(247, 224, 98);
+/// Ink for note/poster text.
+pub const INK: Rgb = Rgb::new(32, 30, 40);
+/// Daylight seen through a window.
+pub const DAYLIGHT: Rgb = Rgb::new(214, 232, 245);
+/// Clock face white.
+pub const CLOCK_FACE: Rgb = Rgb::new(242, 242, 238);
+
+/// Skin tones for callers (one per E1 participant).
+pub const SKIN_TONES: [Rgb; 5] = [
+    Rgb::new(243, 211, 185),
+    Rgb::new(222, 180, 144),
+    Rgb::new(193, 142, 102),
+    Rgb::new(150, 103, 72),
+    Rgb::new(104, 72, 52),
+];
+
+/// Saturated apparel colors.
+pub const APPAREL: [Rgb; 8] = [
+    Rgb::new(178, 34, 52),   // red
+    Rgb::new(26, 77, 156),   // blue
+    Rgb::new(34, 120, 62),   // green
+    Rgb::new(230, 126, 34),  // orange
+    Rgb::new(110, 64, 150),  // purple
+    Rgb::new(40, 40, 46),    // charcoal
+    Rgb::new(235, 230, 225), // white-ish
+    Rgb::new(196, 160, 46),  // mustard
+];
+
+/// Samples a vivid, saturated color (for posters, toys, book spines).
+pub fn vivid<R: Rng + ?Sized>(rng: &mut R) -> Rgb {
+    let h = rng.gen_range(0.0..360.0);
+    let s = rng.gen_range(0.55..0.95);
+    let v = rng.gen_range(0.55..0.95);
+    bb_imaging::Hsv::new(h, s, v).to_rgb()
+}
+
+/// Samples a muted, desaturated color (for furniture and walls).
+pub fn muted<R: Rng + ?Sized>(rng: &mut R) -> Rgb {
+    let h = rng.gen_range(0.0..360.0);
+    let s = rng.gen_range(0.08..0.3);
+    let v = rng.gen_range(0.5..0.9);
+    bb_imaging::Hsv::new(h, s, v).to_rgb()
+}
+
+/// Picks an element of a slice uniformly.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn pick<'a, T, R: Rng + ?Sized>(rng: &mut R, items: &'a [T]) -> &'a T {
+    assert!(!items.is_empty(), "cannot pick from an empty slice");
+    &items[rng.gen_range(0..items.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn vivid_colors_are_saturated() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let c = vivid(&mut rng);
+            let hsv = c.to_hsv();
+            assert!(hsv.s > 0.4, "vivid color {c} has low saturation {}", hsv.s);
+        }
+    }
+
+    #[test]
+    fn muted_colors_are_desaturated() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let c = muted(&mut rng);
+            assert!(c.to_hsv().s < 0.4);
+        }
+    }
+
+    #[test]
+    fn pick_is_deterministic_per_seed() {
+        let items = [1, 2, 3, 4, 5];
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            assert_eq!(pick(&mut a, &items), pick(&mut b, &items));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slice")]
+    fn pick_empty_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let empty: [u8; 0] = [];
+        let _ = pick(&mut rng, &empty);
+    }
+}

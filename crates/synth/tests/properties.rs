@@ -1,0 +1,81 @@
+//! Property-based tests for the synthetic world's invariants.
+
+use bb_synth::{Action, CallerAppearance, CallerPose, Room, Scenario, Speed};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    proptest::sample::select(Action::ALL.to_vec())
+}
+
+fn arb_speed() -> impl Strategy<Value = Speed> {
+    proptest::sample::select(Speed::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn poses_are_finite_and_deterministic(action in arb_action(), speed in arb_speed(), t in 0f32..120.0) {
+        let a = action.pose_at(t, speed);
+        let b = action.pose_at(t, speed);
+        prop_assert_eq!(a, b);
+        prop_assert!(a.center_x.is_finite());
+        prop_assert!(a.scale.is_finite() && a.scale > 0.0);
+        prop_assert!(a.rotate_deg.is_finite());
+        prop_assert!((0.0..=180.0).contains(&a.left_arm_deg));
+        prop_assert!((0.0..=180.0).contains(&a.right_arm_deg));
+    }
+
+    #[test]
+    fn caller_mask_exactly_covers_painted_pixels(
+        participant in 0usize..5,
+        action in arb_action(),
+        speed in arb_speed(),
+        t in 0f32..30.0,
+    ) {
+        use bb_imaging::{Frame, Rgb};
+        let appearance = CallerAppearance::participant(participant);
+        let pose: CallerPose = action.pose_at(t, speed);
+        let sentinel = Rgb::new(1, 255, 1);
+        let mut frame = Frame::filled(96, 72, sentinel);
+        let mask = bb_synth::caller::render_caller(&mut frame, &appearance, &pose);
+        // Painted ⇒ masked, and masked ⇒ painted: the ground-truth VCⁱ
+        // bitmap is exact for every pose the action model can produce.
+        for (x, y, p) in frame.enumerate() {
+            prop_assert_eq!(p != sentinel, mask.get(x, y), "mismatch at ({}, {})", x, y);
+        }
+    }
+
+    #[test]
+    fn room_render_is_deterministic_and_fills_frame(seed in any::<u64>(), objects in 0usize..8) {
+        let a = Room::sample(seed, 80, 60, objects, &mut StdRng::seed_from_u64(seed));
+        let b = Room::sample(seed, 80, 60, objects, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(&a, &b);
+        let img = a.render(80, 60);
+        prop_assert_eq!(img.dims(), (80, 60));
+        prop_assert_eq!(a.objects.len(), objects);
+    }
+
+    #[test]
+    fn scenario_ground_truth_is_consistent(seed in any::<u64>(), action in arb_action(), frames in 2usize..12) {
+        let room = Room::sample(seed, 48, 36, 2, &mut StdRng::seed_from_u64(seed));
+        let scenario = Scenario {
+            action,
+            width: 48,
+            height: 36,
+            frames,
+            seed,
+            ..Scenario::baseline(room)
+        };
+        let gt = scenario.render().expect("render");
+        prop_assert_eq!(gt.video.len(), frames);
+        prop_assert_eq!(gt.fg_masks.len(), frames);
+        for (i, m) in gt.fg_masks.iter().enumerate() {
+            prop_assert_eq!(m.dims(), (48, 36), "mask {} wrong dims", i);
+            // fg ∪ bg partitions the frame.
+            let union = m.union(&gt.bg_mask(i)).expect("same dims");
+            prop_assert_eq!(union.count_set(), 48 * 36);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! The `.bbv` raw video container.
+//!
+//! Experiment corpora are deterministic and regenerable, but caching them on
+//! disk between runs saves synthesis time. The format is deliberately dumb:
+//!
+//! ```text
+//! magic   "BBV1"            4 bytes
+//! fps     f64 little-endian 8 bytes
+//! width   u32 LE            4 bytes
+//! height  u32 LE            4 bytes
+//! count   u32 LE            4 bytes
+//! frames  count × (width × height × 3 bytes RGB, row-major)
+//! ```
+
+use crate::{VideoError, VideoStream};
+use bb_imaging::{Frame, Rgb};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"BBV1";
+/// Upper bound on frame count / dimensions accepted by the decoder, to
+/// reject corrupt headers before allocating.
+const MAX_DIM: u32 = 1 << 14;
+const MAX_FRAMES: u32 = 1 << 20;
+
+/// Serializes a stream into an in-memory buffer.
+pub fn encode(stream: &VideoStream) -> Bytes {
+    let (w, h) = stream.dims();
+    let mut buf = BytesMut::with_capacity(24 + stream.len() * w * h * 3);
+    buf.put_slice(MAGIC);
+    buf.put_f64_le(stream.fps());
+    buf.put_u32_le(w as u32);
+    buf.put_u32_le(h as u32);
+    buf.put_u32_le(stream.len() as u32);
+    for frame in stream {
+        for p in frame.pixels() {
+            buf.put_u8(p.r);
+            buf.put_u8(p.g);
+            buf.put_u8(p.b);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a stream from a buffer produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns [`VideoError::Decode`] on bad magic, implausible headers or
+/// truncated frame data.
+pub fn decode(mut data: impl Buf) -> Result<VideoStream, VideoError> {
+    if data.remaining() < 24 {
+        return Err(VideoError::Decode("header truncated".into()));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(VideoError::Decode(format!("bad magic {magic:?}")));
+    }
+    let fps = data.get_f64_le();
+    let w = data.get_u32_le();
+    let h = data.get_u32_le();
+    let count = data.get_u32_le();
+    if w == 0 || h == 0 || w > MAX_DIM || h > MAX_DIM {
+        return Err(VideoError::Decode(format!(
+            "implausible dimensions {w}x{h}"
+        )));
+    }
+    if count == 0 || count > MAX_FRAMES {
+        return Err(VideoError::Decode(format!(
+            "implausible frame count {count}"
+        )));
+    }
+    let frame_bytes = w as usize * h as usize * 3;
+    if data.remaining() < frame_bytes * count as usize {
+        return Err(VideoError::Decode(format!(
+            "payload truncated: need {} bytes, have {}",
+            frame_bytes * count as usize,
+            data.remaining()
+        )));
+    }
+    let mut frames = Vec::with_capacity(count as usize);
+    let mut raw = vec![0u8; frame_bytes];
+    for _ in 0..count {
+        data.copy_to_slice(&mut raw);
+        let pixels: Vec<Rgb> = raw
+            .chunks_exact(3)
+            .map(|c| Rgb::new(c[0], c[1], c[2]))
+            .collect();
+        frames.push(Frame::from_pixels(w as usize, h as usize, pixels)?);
+    }
+    VideoStream::from_frames(frames, fps)
+}
+
+/// Writes a stream to a `.bbv` file.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn save(stream: &VideoStream, path: impl AsRef<Path>) -> Result<(), VideoError> {
+    let bytes = encode(stream);
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Loads a stream from a `.bbv` file.
+///
+/// # Errors
+///
+/// Propagates I/O and decode failures.
+pub fn load(path: impl AsRef<Path>) -> Result<VideoStream, VideoError> {
+    let mut data = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut data)?;
+    decode(Bytes::from(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> VideoStream {
+        VideoStream::generate(4, 24.0, |i| {
+            Frame::from_fn(3, 2, |x, y| Rgb::new(i as u8, x as u8, y as u8))
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let v = sample();
+        let encoded = encode(&v);
+        let decoded = decode(encoded).unwrap();
+        assert_eq!(decoded, v);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let v = sample();
+        let mut bytes = encode(&v).to_vec();
+        bytes[0] = b'X';
+        assert!(matches!(
+            decode(Bytes::from(bytes)),
+            Err(VideoError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        assert!(decode(Bytes::from_static(b"BBV1\x00")).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let v = sample();
+        let bytes = encode(&v).to_vec();
+        let cut = Bytes::from(bytes[..bytes.len() - 5].to_vec());
+        assert!(matches!(decode(cut), Err(VideoError::Decode(_))));
+    }
+
+    #[test]
+    fn implausible_dimensions_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_f64_le(30.0);
+        buf.put_u32_le(0); // zero width
+        buf.put_u32_le(10);
+        buf.put_u32_le(1);
+        assert!(decode(buf.freeze()).is_err());
+
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_f64_le(30.0);
+        buf.put_u32_le(10);
+        buf.put_u32_le(10);
+        buf.put_u32_le(0); // zero frames
+        assert!(decode(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("bb_video_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.bbv");
+        let v = sample();
+        save(&v, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded, v);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = load("/nonexistent/nope.bbv").unwrap_err();
+        assert!(matches!(err, VideoError::Io(_)));
+    }
+}

@@ -1,0 +1,73 @@
+//! Location inference (§VI): where is the caller, really?
+//!
+//! Builds the 200-background dictionary, reconstructs an "active presenter"
+//! call, and ranks every dictionary background by hue similarity to the
+//! reconstruction — even though the camera was re-adjusted between the
+//! dictionary capture and the call.
+//!
+//! Run with: `cargo run --release --example location_attack`
+
+use bb_attacks::{LocationDictionary, LocationInference};
+use bb_callsim::{background, profile, run_session, Mitigation, VirtualBackground};
+use bb_core::pipeline::{Reconstructor, ReconstructorConfig, VbSource};
+use bb_datasets::{dictionary, e2_catalog, DatasetConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = DatasetConfig::default();
+
+    // The adversary's auxiliary knowledge: 200 labelled backgrounds.
+    println!("building the 200-background dictionary…");
+    let dict = LocationDictionary::new(dictionary(&data))?;
+
+    // The target: an active E2 call (presenters leak the most, Fig 12).
+    let clip = e2_catalog(&data)
+        .into_iter()
+        .find(|c| c.id.ends_with("active"))
+        .expect("catalog contains active clips");
+    let truth_label = clip.room_label();
+    println!("target call: {} (true location: {truth_label})", clip.id);
+
+    let gt = clip.render(&data)?;
+    let vb = VirtualBackground::Image(background::office(data.width, data.height));
+    let call = run_session(
+        &gt,
+        &vb,
+        &profile::zoom_like(),
+        Mitigation::None,
+        clip.lighting,
+        3,
+    )?;
+
+    let reconstructor = Reconstructor::new(
+        VbSource::KnownImages(background::builtin_images(data.width, data.height)),
+        ReconstructorConfig {
+            tau: 14,
+            phi: 5,
+            ..Default::default()
+        },
+    );
+    let result = reconstructor.reconstruct(&call.video)?;
+    println!("reconstructed {:.1}% of the background", result.rbrr());
+
+    let attack = LocationInference::default();
+    let ranking = attack.rank(&result.background, &result.recovered, &dict)?;
+
+    println!("\ntop 5 candidate locations:");
+    for (i, (label, score)) in ranking.ranked.iter().take(5).enumerate() {
+        let marker = if *label == truth_label {
+            "  <-- true location"
+        } else {
+            ""
+        };
+        println!("  {}. {label} (similarity {score:.3}){marker}", i + 1);
+    }
+    match ranking.rank_of(&truth_label) {
+        Some(rank) => println!("\ntrue location ranked #{rank} of {}", dict.len()),
+        None => println!("\ntrue location missing from the dictionary?!"),
+    }
+    println!(
+        "random guessing would hit top-5 with probability {:.1}%",
+        LocationInference::random_baseline(dict.len(), 5) * 100.0
+    );
+    Ok(())
+}

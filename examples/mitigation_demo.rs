@@ -1,0 +1,68 @@
+//! The §IX-A defence in action: dynamic virtual backgrounds poison the
+//! reconstruction.
+//!
+//! Runs the same call twice — once with a plain virtual background, once
+//! with the dynamic defence — and compares what the adversary gets.
+//!
+//! Run with: `cargo run --release --example mitigation_demo`
+
+use bb_callsim::mitigation::DynamicBackgroundParams;
+use bb_callsim::{background, profile, run_session, Mitigation, VirtualBackground};
+use bb_core::metrics;
+use bb_core::pipeline::{Reconstructor, ReconstructorConfig, VbSource};
+use bb_synth::{Action, Lighting, Room, Scenario};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let room = Room::sample(21, 160, 120, 5, &mut StdRng::seed_from_u64(21));
+    let scenario = Scenario {
+        action: Action::Stretching,
+        frames: 150,
+        ..Scenario::baseline(room)
+    };
+    let gt = scenario.render()?;
+    let vb = VirtualBackground::Image(background::beach(160, 120));
+    let reconstructor = Reconstructor::new(
+        VbSource::KnownImages(background::builtin_images(160, 120)),
+        ReconstructorConfig {
+            tau: 14,
+            phi: 5,
+            ..Default::default()
+        },
+    );
+
+    for (name, mitigation) in [
+        ("no defence", Mitigation::None),
+        (
+            "dynamic virtual background (§IX-A)",
+            Mitigation::DynamicBackground(DynamicBackgroundParams::default()),
+        ),
+        (
+            "frame dropping 1-in-3 (§IX-B)",
+            Mitigation::FrameDrop { keep_every: 3 },
+        ),
+        ("deepfake replay (§IX-B)", Mitigation::DeepfakeReplay),
+    ] {
+        let call = run_session(
+            &gt,
+            &vb,
+            &profile::zoom_like(),
+            mitigation,
+            Lighting::On,
+            11,
+        )?;
+        let result = reconstructor.reconstruct(&call.video)?;
+        let precision =
+            metrics::recovery_precision(&result.background, &result.recovered, &gt.background, 40)?;
+        println!(
+            "{name:38} apparent RBRR {:5.1}%   precision {:5.1}%",
+            result.rbrr(),
+            precision
+        );
+    }
+    println!(
+        "\nNote the dynamic defence *raises* apparent RBRR while precision collapses:\n\
+         the \"recovered\" pixels are mostly poisoned virtual-background colors (Fig 15)."
+    );
+    Ok(())
+}

@@ -1,0 +1,156 @@
+//! Failure injection: malformed inputs must error, never panic.
+
+use bb_callsim::{background, profile, run_session, Mitigation, VirtualBackground};
+use bb_core::pipeline::{Reconstructor, ReconstructorConfig, VbSource};
+use bb_core::CoreError;
+use bb_imaging::{Frame, Rgb};
+use bb_synth::{GroundTruth, Lighting, Room, Scenario};
+use bb_video::{VideoError, VideoStream};
+use rand::{rngs::StdRng, SeedableRng};
+
+#[test]
+fn corrupted_video_container_is_rejected() {
+    let good = VideoStream::generate(3, 30.0, |_| Frame::new(4, 4)).unwrap();
+    let mut bytes = bb_video::io::encode(&good).to_vec();
+    // Flip the magic, truncate, and scramble the header.
+    bytes[0] ^= 0xFF;
+    assert!(bb_video::io::decode(bytes::Bytes::from(bytes.clone())).is_err());
+    let truncated = bytes::Bytes::from(bb_video::io::encode(&good)[..10].to_vec());
+    assert!(bb_video::io::decode(truncated).is_err());
+    assert!(bb_video::io::decode(bytes::Bytes::new()).is_err());
+}
+
+#[test]
+fn zero_length_video_is_rejected_everywhere() {
+    assert!(matches!(
+        VideoStream::from_frames(vec![], 30.0),
+        Err(VideoError::EmptyStream)
+    ));
+    let room = Room::sample(1, 32, 24, 2, &mut StdRng::seed_from_u64(1));
+    let mut sc = Scenario::baseline(room);
+    sc.frames = 0;
+    assert!(sc.render().is_err());
+}
+
+#[test]
+fn mismatched_ground_truth_is_rejected_by_session() {
+    let room = Room::sample(2, 32, 24, 2, &mut StdRng::seed_from_u64(2));
+    let mut gt = Scenario {
+        width: 32,
+        height: 24,
+        frames: 6,
+        ..Scenario::baseline(room)
+    }
+    .render()
+    .unwrap();
+    gt.fg_masks.pop(); // break the frame/mask pairing
+    let vb = VirtualBackground::Image(background::beach(32, 24));
+    let result = run_session(
+        &gt,
+        &vb,
+        &profile::zoom_like(),
+        Mitigation::None,
+        Lighting::On,
+        1,
+    );
+    assert!(result.is_err(), "mask/frame mismatch must error");
+}
+
+#[test]
+fn short_call_cannot_support_unknown_vb_derivation() {
+    let video = VideoStream::generate(4, 30.0, |_| Frame::filled(16, 12, Rgb::grey(80))).unwrap();
+    let r = Reconstructor::new(VbSource::UnknownImage, ReconstructorConfig::default())
+        .reconstruct(&video);
+    assert!(matches!(r, Err(CoreError::VideoTooShort { .. })));
+}
+
+#[test]
+fn empty_candidate_sets_are_rejected() {
+    let video = VideoStream::generate(12, 30.0, |_| Frame::filled(16, 12, Rgb::grey(80))).unwrap();
+    let cfg = ReconstructorConfig::default();
+    assert!(matches!(
+        Reconstructor::new(VbSource::KnownImages(vec![]), cfg).reconstruct(&video),
+        Err(CoreError::EmptyCandidateSet)
+    ));
+    assert!(matches!(
+        Reconstructor::new(VbSource::KnownVideos(vec![]), cfg).reconstruct(&video),
+        Err(CoreError::EmptyCandidateSet)
+    ));
+}
+
+#[test]
+fn aperiodic_call_yields_no_virtual_video_period() {
+    let video = VideoStream::generate(80, 30.0, |i| {
+        Frame::from_fn(16, 12, |x, y| {
+            Rgb::grey(((x * 7 + y * 5 + i * i * 3) % 255) as u8)
+        })
+    })
+    .unwrap();
+    let r = Reconstructor::new(
+        VbSource::UnknownVideo {
+            min_period: 2,
+            max_period: 12,
+        },
+        ReconstructorConfig {
+            tau: 2,
+            ..Default::default()
+        },
+    )
+    .reconstruct(&video);
+    assert!(matches!(r, Err(CoreError::NoPeriodFound)));
+}
+
+#[test]
+fn degenerate_mitigation_parameters_error() {
+    let room = Room::sample(3, 32, 24, 2, &mut StdRng::seed_from_u64(3));
+    let gt: GroundTruth = Scenario {
+        width: 32,
+        height: 24,
+        frames: 6,
+        ..Scenario::baseline(room)
+    }
+    .render()
+    .unwrap();
+    let vb = VirtualBackground::Image(background::beach(32, 24));
+    let r = run_session(
+        &gt,
+        &vb,
+        &profile::zoom_like(),
+        Mitigation::FrameDrop { keep_every: 0 },
+        Lighting::On,
+        1,
+    );
+    assert!(r.is_err(), "FrameDrop(0) must error");
+}
+
+#[test]
+fn attacks_reject_empty_reconstructions() {
+    let empty_frame = Frame::new(32, 24);
+    let empty_mask = bb_imaging::Mask::new(32, 24);
+    let dict = bb_attacks::LocationDictionary::new(vec![("a".into(), Frame::new(32, 24))]).unwrap();
+    assert!(bb_attacks::LocationInference::default()
+        .rank(&empty_frame, &empty_mask, &dict)
+        .is_err());
+    assert!(bb_attacks::ObjectTracker::default()
+        .search(&empty_frame, &empty_mask, &Frame::filled(8, 8, Rgb::WHITE))
+        .is_err());
+    assert!(bb_attacks::ObjectDetector::train(2, 1)
+        .detect(&empty_frame, &empty_mask)
+        .is_err());
+    assert!(bb_attacks::TextReader::default()
+        .read(&empty_frame, &empty_mask)
+        .is_err());
+}
+
+#[test]
+fn ppm_decoder_survives_garbage() {
+    for garbage in [
+        &b""[..],
+        &b"P6"[..],
+        &b"P6\n-1 5\n255\n"[..],
+        &b"P6\n2 2\n999\n"[..],
+        &b"NOTPPM AT ALL"[..],
+    ] {
+        assert!(bb_imaging::io::read_ppm(std::io::Cursor::new(garbage.to_vec())).is_err());
+    }
+}
