@@ -18,6 +18,7 @@ use bb_imaging::components::{label, Connectivity};
 use bb_imaging::hist::{hue_histogram, hue_similarity, ShapeMoments, HUE_BINS};
 use bb_imaging::{Frame, Mask, Rgb};
 use bb_synth::{ObjectClass, SceneObject};
+use bb_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -145,6 +146,23 @@ impl ObjectDetector {
         background: &Frame,
         recovered: &Mask,
     ) -> Result<Vec<Detection>, AttackError> {
+        self.detect_traced(background, recovered, &Telemetry::disabled())
+    }
+
+    /// [`ObjectDetector::detect`] with instrumentation: wall time lands in
+    /// the `attacks/generic` stage; proposal/detection volumes in
+    /// `attacks/generic/*` counters.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ObjectDetector::detect`].
+    pub fn detect_traced(
+        &self,
+        background: &Frame,
+        recovered: &Mask,
+        telemetry: &Telemetry,
+    ) -> Result<Vec<Detection>, AttackError> {
+        let _span = telemetry.time("attacks/generic");
         if recovered.is_empty() {
             return Err(AttackError::NothingRecovered);
         }
@@ -154,12 +172,14 @@ impl ObjectDetector {
         let labeling = label(&merged, Connectivity::Eight);
         let unit = (w.min(h) / 10).max(3);
         let mut detections: Vec<Detection> = Vec::new();
+        let proposals = std::cell::Cell::new(0u64);
 
         let consider =
             |mask: &Mask, bbox: (usize, usize, usize, usize), detections: &mut Vec<Detection>| {
                 if mask.count_set() < self.min_area / 2 {
                     return;
                 }
+                proposals.set(proposals.get() + 1);
                 if let Some((class, confidence)) = self.classify_region(background, mask) {
                     if confidence >= self.min_confidence {
                         detections.push(Detection {
@@ -224,6 +244,8 @@ impl ObjectDetector {
                 kept.push(d);
             }
         }
+        telemetry.add("attacks/generic/proposals", proposals.get());
+        telemetry.add("attacks/generic/detections", kept.len() as u64);
         Ok(kept)
     }
 }

@@ -14,6 +14,7 @@
 
 use crate::AttackError;
 use bb_imaging::{geom, Frame, Hsv, Mask};
+use bb_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
 /// A labelled dictionary of candidate backgrounds (the adversary's auxiliary
@@ -149,6 +150,24 @@ impl LocationInference {
         recovered: &Mask,
         dictionary: &LocationDictionary,
     ) -> Result<Ranking, AttackError> {
+        self.rank_traced(background, recovered, dictionary, &Telemetry::disabled())
+    }
+
+    /// [`LocationInference::rank`] with instrumentation: the wall time lands
+    /// in the `attacks/location` stage and alignment/scoring volumes in
+    /// `attacks/location/*` counters.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`LocationInference::rank`].
+    pub fn rank_traced(
+        &self,
+        background: &Frame,
+        recovered: &Mask,
+        dictionary: &LocationDictionary,
+        telemetry: &Telemetry,
+    ) -> Result<Ranking, AttackError> {
+        let _span = telemetry.time("attacks/location");
         if recovered.is_empty() {
             return Err(AttackError::NothingRecovered);
         }
@@ -175,6 +194,16 @@ impl LocationInference {
                 }
             }
         }
+
+        telemetry.add("attacks/location/variants", variants.len() as u64);
+        telemetry.add(
+            "attacks/location/entries_scored",
+            dictionary.entries.len() as u64,
+        );
+        telemetry.add(
+            "attacks/location/recovered_pixels",
+            recovered.count_set() as u64,
+        );
 
         let mut ranked: Vec<(String, f64)> = dictionary
             .entries

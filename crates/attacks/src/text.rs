@@ -18,6 +18,7 @@ use crate::AttackError;
 use bb_imaging::components::{label, Connectivity};
 use bb_imaging::font::{self, ADVANCE, GLYPH_H, GLYPH_W};
 use bb_imaging::{Frame, Mask};
+use bb_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
 /// A recognised piece of text.
@@ -75,6 +76,23 @@ impl TextReader {
         background: &Frame,
         recovered: &Mask,
     ) -> Result<Vec<TextFinding>, AttackError> {
+        self.read_traced(background, recovered, &Telemetry::disabled())
+    }
+
+    /// [`TextReader::read`] with instrumentation: wall time lands in the
+    /// `attacks/text` stage; ink/glyph/finding volumes in `attacks/text/*`
+    /// counters.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`TextReader::read`].
+    pub fn read_traced(
+        &self,
+        background: &Frame,
+        recovered: &Mask,
+        telemetry: &Telemetry,
+    ) -> Result<Vec<TextFinding>, AttackError> {
+        let _span = telemetry.time("attacks/text");
         if recovered.is_empty() {
             return Err(AttackError::NothingRecovered);
         }
@@ -128,6 +146,8 @@ impl TextReader {
             .map(|c| c.bbox)
             .collect();
         glyphs.sort_by_key(|b| (b.1, b.0));
+        telemetry.add("attacks/text/ink_pixels", ink.count_set() as u64);
+        telemetry.add("attacks/text/glyph_anchors", glyphs.len() as u64);
 
         // Each glyph cluster is an exact grid anchor: read the whole line
         // through it, left and right, on the shared font grid. Pollution
@@ -177,6 +197,7 @@ impl TextReader {
                 .partial_cmp(&a.legibility)
                 .expect("legibility is finite")
         });
+        telemetry.add("attacks/text/findings", findings.len() as u64);
         Ok(findings)
     }
 

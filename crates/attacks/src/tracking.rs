@@ -13,6 +13,7 @@
 
 use crate::AttackError;
 use bb_imaging::{filter, geom, Frame, Hsv, Mask, Rgb};
+use bb_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
 /// The neutral backdrop color used by `SceneObject::template` renders;
@@ -85,6 +86,25 @@ impl ObjectTracker {
         recovered: &Mask,
         template: &Frame,
     ) -> Result<Option<TrackMatch>, AttackError> {
+        self.search_traced(background, recovered, template, &Telemetry::disabled())
+    }
+
+    /// [`ObjectTracker::search`] with instrumentation: wall time lands in the
+    /// `attacks/tracking` stage; sweep volumes (configurations swept, windows
+    /// actually scored past the §VIII-D guards) in `attacks/tracking/*`
+    /// counters.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ObjectTracker::search`].
+    pub fn search_traced(
+        &self,
+        background: &Frame,
+        recovered: &Mask,
+        template: &Frame,
+        telemetry: &Telemetry,
+    ) -> Result<Option<TrackMatch>, AttackError> {
+        let _span = telemetry.time("attacks/tracking");
         if recovered.is_empty() {
             return Err(AttackError::NothingRecovered);
         }
@@ -92,6 +112,8 @@ impl ObjectTracker {
         let frame_pixels = (fw * fh) as f64;
         let recovered_integral = bb_imaging::integral::Integral::of_mask(recovered);
         let mut best: Option<TrackMatch> = None;
+        let mut configs_swept = 0u64;
+        let mut windows_scored = 0u64;
 
         for &scale in &self.scales {
             let (tw0, th0) = template.dims();
@@ -120,6 +142,7 @@ impl ObjectTracker {
                 if (tw * th) as f64 / frame_pixels < self.min_window_frac {
                     continue;
                 }
+                configs_swept += 1;
 
                 let mut y = 0usize;
                 while y + th <= fh {
@@ -128,6 +151,7 @@ impl ObjectTracker {
                         // Recovered-fraction guard (integral image: O(1)).
                         let rec = recovered_integral.window_sum(x, y, tw, th) as f64;
                         if rec / (tw * th) as f64 >= self.min_recovered_frac {
+                            windows_scored += 1;
                             let score = self.window_score(background, recovered, &object, x, y);
                             if score > best.as_ref().map_or(0.0, |b| b.score) {
                                 best = Some(TrackMatch {
@@ -145,6 +169,8 @@ impl ObjectTracker {
                 }
             }
         }
+        telemetry.add("attacks/tracking/configs_swept", configs_swept);
+        telemetry.add("attacks/tracking/windows_scored", windows_scored);
         Ok(best)
     }
 

@@ -5,16 +5,14 @@ use bb_imaging::{Frame, Mask, Rgb};
 use proptest::prelude::*;
 
 fn arb_frame(w: usize, h: usize) -> impl Strategy<Value = Frame> {
-    proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), w * h).prop_map(
-        move |px| {
-            Frame::from_pixels(
-                w,
-                h,
-                px.into_iter().map(|(r, g, b)| Rgb::new(r, g, b)).collect(),
-            )
-            .expect("sized correctly")
-        },
-    )
+    proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), w * h).prop_map(move |px| {
+        Frame::from_pixels(
+            w,
+            h,
+            px.into_iter().map(|(r, g, b)| Rgb::new(r, g, b)).collect(),
+        )
+        .expect("sized correctly")
+    })
 }
 
 fn arb_nonempty_mask(w: usize, h: usize) -> impl Strategy<Value = Mask> {

@@ -1,0 +1,197 @@
+//! Deterministic performance baseline for the reconstruction pipeline.
+//!
+//! Renders a seeded synthetic call, composites it, and reconstructs it once
+//! per [`CollectMode`] (the legacy mutex collector vs the lock-free
+//! worker-local collector), emitting `BENCH_pipeline.json`:
+//!
+//! * wall time and throughput (frames/sec, Mpix/sec) per mode,
+//! * the telemetry per-stage breakdown (`reconstruct/pass1`, …),
+//! * reconstruction quality (RBRR) — identical across modes by construction,
+//! * the locked→worker-local speedup.
+//!
+//! The workload is fixed (seed, dimensions, frame count), so numbers are
+//! comparable across commits on the same machine. Pass an output path to
+//! override the default `BENCH_pipeline.json`; pass `--quick` for a smaller
+//! workload (CI smoke, numbers not comparable with the default).
+
+use bb_callsim::{background, profile, run_session, Mitigation, VirtualBackground};
+use bb_core::pipeline::{Reconstructor, ReconstructorConfig, VbSource};
+use bb_core::CollectMode;
+use bb_synth::{Action, GroundTruth, Lighting, Room, Scenario};
+use bb_telemetry::json::{self, Json};
+use bb_telemetry::Telemetry;
+use bb_video::VideoStream;
+use rand::{rngs::StdRng, SeedableRng};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+const SEED: u64 = 42;
+const PARALLELISM: usize = 8;
+
+struct Workload {
+    width: usize,
+    height: usize,
+    frames: usize,
+}
+
+fn render_call(w: &Workload) -> (GroundTruth, VideoStream) {
+    let room = Room::sample(SEED, w.width, w.height, 5, &mut StdRng::seed_from_u64(SEED));
+    let gt = Scenario {
+        action: Action::ArmWaving,
+        width: w.width,
+        height: w.height,
+        frames: w.frames,
+        seed: SEED,
+        ..Scenario::baseline(room)
+    }
+    .render()
+    .expect("scenario renders");
+    let vb = VirtualBackground::Image(background::beach(w.width, w.height));
+    let call = run_session(
+        &gt,
+        &vb,
+        &profile::zoom_like(),
+        Mitigation::None,
+        Lighting::On,
+        SEED,
+    )
+    .expect("session composites");
+    (gt, call.video)
+}
+
+struct ModeResult {
+    wall_secs: f64,
+    frames_per_sec: f64,
+    mpix_per_sec: f64,
+    rbrr_percent: f64,
+    report: bb_telemetry::RunReport,
+}
+
+fn run_mode(video: &VideoStream, mode: CollectMode) -> ModeResult {
+    let (w, h) = video.dims();
+    let config = ReconstructorConfig {
+        phi: (h / 24).max(2),
+        parallelism: PARALLELISM,
+        collect_mode: mode,
+        ..Default::default()
+    };
+    let telemetry = Telemetry::enabled();
+    let reconstructor = Reconstructor::new(
+        VbSource::KnownImages(background::builtin_images(w, h)),
+        config,
+    )
+    .with_telemetry(telemetry.clone());
+    let started = Instant::now();
+    let reconstruction = reconstructor.reconstruct(video).expect("reconstruction");
+    let wall_secs = started.elapsed().as_secs_f64();
+    let frames = video.len() as f64;
+    ModeResult {
+        wall_secs,
+        frames_per_sec: frames / wall_secs,
+        mpix_per_sec: frames * (w * h) as f64 / 1e6 / wall_secs,
+        rbrr_percent: reconstruction.rbrr(),
+        report: telemetry.report(),
+    }
+}
+
+fn mode_json(r: &ModeResult) -> Json {
+    let mut stages = BTreeMap::new();
+    for (name, s) in &r.report.stages {
+        let mut stage = BTreeMap::new();
+        stage.insert("calls".into(), Json::Number(s.calls as f64));
+        stage.insert("total_ms".into(), Json::Number(s.total_ns as f64 / 1e6));
+        stage.insert("mean_ms".into(), Json::Number(s.mean_ns() as f64 / 1e6));
+        stages.insert(name.clone(), Json::Object(stage));
+    }
+    let counters: BTreeMap<String, Json> = r
+        .report
+        .counters
+        .iter()
+        .map(|(k, v)| (k.clone(), Json::Number(*v as f64)))
+        .collect();
+    let mut obj = BTreeMap::new();
+    obj.insert("wall_secs".into(), Json::Number(r.wall_secs));
+    obj.insert("frames_per_sec".into(), Json::Number(r.frames_per_sec));
+    obj.insert("mpix_per_sec".into(), Json::Number(r.mpix_per_sec));
+    obj.insert("rbrr_percent".into(), Json::Number(r.rbrr_percent));
+    obj.insert("stages".into(), Json::Object(stages));
+    obj.insert("counters".into(), Json::Object(counters));
+    Json::Object(obj)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let workload = if quick {
+        Workload {
+            width: 96,
+            height: 72,
+            frames: 36,
+        }
+    } else {
+        Workload {
+            width: 160,
+            height: 120,
+            frames: 96,
+        }
+    };
+
+    eprintln!(
+        "rendering {}x{} x {} frames (seed {SEED})…",
+        workload.width, workload.height, workload.frames
+    );
+    let (_gt, video) = render_call(&workload);
+
+    eprintln!("reconstructing with CollectMode::LockedVec (before)…");
+    let locked = run_mode(&video, CollectMode::LockedVec);
+    eprintln!(
+        "  {:.2}s wall, {:.1} frames/s, RBRR {:.2}%",
+        locked.wall_secs, locked.frames_per_sec, locked.rbrr_percent
+    );
+    eprintln!("reconstructing with CollectMode::WorkerLocal (after)…");
+    let worker_local = run_mode(&video, CollectMode::WorkerLocal);
+    eprintln!(
+        "  {:.2}s wall, {:.1} frames/s, RBRR {:.2}%",
+        worker_local.wall_secs, worker_local.frames_per_sec, worker_local.rbrr_percent
+    );
+    assert_eq!(
+        locked.rbrr_percent, worker_local.rbrr_percent,
+        "collect modes must not change the reconstruction"
+    );
+
+    let mut scenario = BTreeMap::new();
+    scenario.insert("width".into(), Json::Number(workload.width as f64));
+    scenario.insert("height".into(), Json::Number(workload.height as f64));
+    scenario.insert("frames".into(), Json::Number(workload.frames as f64));
+    scenario.insert("seed".into(), Json::Number(SEED as f64));
+    scenario.insert("parallelism".into(), Json::Number(PARALLELISM as f64));
+    scenario.insert("quick".into(), Json::Bool(quick));
+
+    let mut modes = BTreeMap::new();
+    modes.insert("locked_vec".into(), mode_json(&locked));
+    modes.insert("worker_local".into(), mode_json(&worker_local));
+
+    let mut root = BTreeMap::new();
+    root.insert(
+        "schema".into(),
+        Json::String("bb-bench/pipeline-baseline/v1".into()),
+    );
+    root.insert("scenario".into(), Json::Object(scenario));
+    root.insert("modes".into(), Json::Object(modes));
+    root.insert(
+        "speedup_worker_local_vs_locked".into(),
+        Json::Number(locked.wall_secs / worker_local.wall_secs),
+    );
+
+    let text = json::to_pretty_string(&Json::Object(root));
+    std::fs::write(&out, format!("{text}\n")).expect("write baseline");
+    eprintln!(
+        "wrote {out} (speedup worker-local vs locked: {:.2}x)",
+        locked.wall_secs / worker_local.wall_secs
+    );
+}

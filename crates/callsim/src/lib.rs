@@ -42,7 +42,7 @@ pub use blend::BlendMode;
 pub use matting::MattingParams;
 pub use mitigation::Mitigation;
 pub use profile::SoftwareProfile;
-pub use session::{run_session, CallTruth, CompositedCall};
+pub use session::{run_session, run_session_traced, CallTruth, CompositedCall};
 
 /// Errors from the call simulator.
 #[derive(Debug, Clone, PartialEq)]

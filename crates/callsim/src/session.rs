@@ -14,6 +14,7 @@ use crate::profile::SoftwareProfile;
 use crate::CallSimError;
 use bb_imaging::{Frame, Mask};
 use bb_synth::{GroundTruth, Lighting};
+use bb_telemetry::Telemetry;
 use bb_video::VideoStream;
 
 /// Evaluation-only ground truth retained alongside the composited call.
@@ -78,6 +79,35 @@ pub fn run_session(
     lighting: Lighting,
     seed: u64,
 ) -> Result<CompositedCall, CallSimError> {
+    run_session_traced(
+        gt,
+        virtual_bg,
+        profile,
+        mitigation,
+        lighting,
+        seed,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`run_session`] with instrumentation: wall time lands in the
+/// `callsim/session` stage (matting and compositing split out underneath it)
+/// and frame/leak volumes in `callsim/*` counters.
+///
+/// # Errors
+///
+/// Same contract as [`run_session`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_session_traced(
+    gt: &GroundTruth,
+    virtual_bg: &VirtualBackground,
+    profile: &SoftwareProfile,
+    mitigation: Mitigation,
+    lighting: Lighting,
+    seed: u64,
+    telemetry: &Telemetry,
+) -> Result<CompositedCall, CallSimError> {
+    let _span = telemetry.time("callsim/session");
     if gt.fg_masks.len() != gt.video.len() {
         return Err(CallSimError::Inconsistent(format!(
             "{} masks for {} frames",
@@ -115,16 +145,19 @@ pub fn run_session(
 
     for (out_i, &i) in kept_indices.iter().enumerate() {
         let frame = gt.video.frame(i);
-        let est = estimate_mask(
-            &profile.matting,
-            &MattingInput {
-                frame,
-                true_fg: &gt.fg_masks,
-                index: i,
-                low_light,
-            },
-            seed,
-        );
+        let est = {
+            let _matting = telemetry.time("callsim/session/matting");
+            estimate_mask(
+                &profile.matting,
+                &MattingInput {
+                    frame,
+                    true_fg: &gt.fg_masks,
+                    index: i,
+                    low_light,
+                },
+                seed,
+            )
+        };
 
         // Virtual background for this frame, possibly adapted.
         let mut vb_frame = virtual_bg.frame_at(i, w, h);
@@ -132,9 +165,12 @@ pub fn run_session(
             vb_frame = adapt_virtual_background(&vb_frame, frame, &params, seed, i);
         }
 
-        let composited = match (mitigation, &first_composited) {
-            (Mitigation::DeepfakeReplay, Some(first)) => deepfake_frame(first, out_i),
-            _ => composite(frame, &vb_frame, &est, profile.blend)?,
+        let composited = {
+            let _compose = telemetry.time("callsim/session/composite");
+            match (mitigation, &first_composited) {
+                (Mitigation::DeepfakeReplay, Some(first)) => deepfake_frame(first, out_i),
+                _ => composite(frame, &vb_frame, &est, profile.blend)?,
+            }
         };
         if first_composited.is_none() {
             first_composited = Some(composited.clone());
@@ -157,6 +193,13 @@ pub fn run_session(
         Mitigation::FrameDrop { keep_every } => gt.video.fps() / keep_every as f64,
         _ => gt.video.fps(),
     };
+
+    telemetry.add("callsim/frames_in", gt.video.len() as u64);
+    telemetry.add("callsim/frames_out", out_frames.len() as u64);
+    telemetry.add(
+        "callsim/pixels_leaked",
+        leaked.iter().map(|m| m.count_set() as u64).sum(),
+    );
 
     Ok(CompositedCall {
         video: VideoStream::from_frames(out_frames, fps)?,

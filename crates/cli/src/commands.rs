@@ -1,9 +1,10 @@
 //! Subcommand implementations.
 
 use crate::args::Flags;
-use bb_callsim::{background, profile, run_session, Mitigation, VirtualBackground};
+use bb_callsim::{background, profile, run_session_traced, Mitigation, VirtualBackground};
 use bb_core::pipeline::{Reconstructor, ReconstructorConfig, VbSource};
 use bb_synth::{Action, Lighting, Room, Scenario};
+use bb_telemetry::Telemetry;
 use rand::{rngs::StdRng, SeedableRng};
 
 const HELP: &str = "\
@@ -24,6 +25,9 @@ COMMANDS:
               flags: --top N (default 5)  [same attack flags]
     inspect   print stream metadata for a .bbv file
     help      this message
+
+    synth/attack/locate also accept --telemetry-out FILE.json: per-stage
+    timings and counters for the run are written there as a RunReport.
 
 EXAMPLES:
     bbuster synth --out demo --action enter-exit --frames 180
@@ -49,6 +53,31 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         }
         Some(other) => Err(format!("unknown command {other:?}; try `bbuster help`")),
     }
+}
+
+/// Builds the run's [`Telemetry`] handle from `--telemetry-out`: enabled
+/// (with the destination path) when the flag is present, disabled otherwise.
+///
+/// # Errors
+///
+/// Rejects a valueless `--telemetry-out` instead of silently writing nothing.
+fn telemetry_from(flags: &Flags) -> Result<(Telemetry, Option<String>), String> {
+    match flags.get("telemetry-out") {
+        Some(path) => Ok((Telemetry::enabled(), Some(path.to_string()))),
+        None if flags.has("telemetry-out") => {
+            Err("--telemetry-out requires a file path".to_string())
+        }
+        None => Ok((Telemetry::disabled(), None)),
+    }
+}
+
+/// Writes the accumulated report as JSON when `--telemetry-out` was given.
+fn flush_telemetry(telemetry: &Telemetry, out: Option<String>) -> Result<(), String> {
+    let Some(path) = out else { return Ok(()) };
+    let report = telemetry.report();
+    std::fs::write(&path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;
+    println!("wrote {path} (telemetry report)");
+    Ok(())
 }
 
 fn action_by_name(name: &str) -> Result<Action, String> {
@@ -99,9 +128,21 @@ fn synth(flags: &Flags) -> Result<(), String> {
         seed,
         ..Scenario::baseline(room)
     };
-    let gt = scenario.render().map_err(|e| e.to_string())?;
-    let call = run_session(&gt, &vb, &software, Mitigation::None, lighting, seed)
-        .map_err(|e| e.to_string())?;
+    let (telemetry, telemetry_out) = telemetry_from(flags)?;
+    let gt = {
+        let _span = telemetry.time("synth/render");
+        scenario.render().map_err(|e| e.to_string())?
+    };
+    let call = run_session_traced(
+        &gt,
+        &vb,
+        &software,
+        Mitigation::None,
+        lighting,
+        seed,
+        &telemetry,
+    )
+    .map_err(|e| e.to_string())?;
 
     let raw_path = format!("{out}.raw.bbv");
     let call_path = format!("{out}.call.bbv");
@@ -115,7 +156,7 @@ fn synth(flags: &Flags) -> Result<(), String> {
         call.video.len()
     );
     println!("wrote {bg_path} (true background)");
-    Ok(())
+    flush_telemetry(&telemetry, telemetry_out)
 }
 
 fn load_call(flags: &Flags) -> Result<bb_video::VideoStream, String> {
@@ -123,7 +164,10 @@ fn load_call(flags: &Flags) -> Result<bb_video::VideoStream, String> {
     bb_video::io::load(path).map_err(|e| format!("{path}: {e}"))
 }
 
-fn reconstruct(flags: &Flags) -> Result<bb_core::pipeline::Reconstruction, String> {
+fn reconstruct(
+    flags: &Flags,
+    telemetry: &Telemetry,
+) -> Result<bb_core::pipeline::Reconstruction, String> {
     let video = load_call(flags)?;
     let (w, h) = video.dims();
     let config = ReconstructorConfig {
@@ -137,21 +181,24 @@ fn reconstruct(flags: &Flags) -> Result<bb_core::pipeline::Reconstruction, Strin
         VbSource::KnownImages(background::builtin_images(w, h))
     };
     Reconstructor::new(source, config)
+        .with_telemetry(telemetry.clone())
         .reconstruct(&video)
         .map_err(|e| e.to_string())
 }
 
 fn attack(flags: &Flags) -> Result<(), String> {
-    let result = reconstruct(flags)?;
+    let (telemetry, telemetry_out) = telemetry_from(flags)?;
+    let result = reconstruct(flags, &telemetry)?;
     let out = flags.get_or("out", "recovered.ppm");
     bb_imaging::io::save_ppm(&result.background, out).map_err(|e| e.to_string())?;
     println!("recovered {:.1}% of the frame", result.rbrr());
     println!("wrote {out}");
-    Ok(())
+    flush_telemetry(&telemetry, telemetry_out)
 }
 
 fn locate(flags: &Flags) -> Result<(), String> {
-    let result = reconstruct(flags)?;
+    let (telemetry, telemetry_out) = telemetry_from(flags)?;
+    let result = reconstruct(flags, &telemetry)?;
     let top: usize = flags.get_num("top", 5)?;
     let (w, h) = result.background.dims();
     let data = bb_datasets::DatasetConfig {
@@ -167,13 +214,18 @@ fn locate(flags: &Flags) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let attack = bb_attacks::LocationInference::default();
     let ranking = attack
-        .rank(&result.background, &result.recovered, &dictionary)
+        .rank_traced(
+            &result.background,
+            &result.recovered,
+            &dictionary,
+            &telemetry,
+        )
         .map_err(|e| e.to_string())?;
     println!("top {top} candidate rooms:");
     for (i, (label, score)) in ranking.ranked.iter().take(top).enumerate() {
         println!("  {}. {label} (similarity {score:.3})", i + 1);
     }
-    Ok(())
+    flush_telemetry(&telemetry, telemetry_out)
 }
 
 fn inspect(flags: &Flags) -> Result<(), String> {
@@ -231,8 +283,25 @@ mod tests {
         .expect("synth");
         let call = format!("{prefix}.call.bbv");
         let out = dir.join("rec.ppm").to_string_lossy().to_string();
-        run(&["attack", &call, "--out", &out, "--phi", "2"]).expect("attack");
+        let report = dir.join("report.json").to_string_lossy().to_string();
+        run(&[
+            "attack",
+            &call,
+            "--out",
+            &out,
+            "--phi",
+            "2",
+            "--telemetry-out",
+            &report,
+        ])
+        .expect("attack");
         assert!(std::path::Path::new(&out).exists());
+        // The telemetry report must be valid RunReport JSON with the
+        // pipeline's stages present.
+        let json = std::fs::read_to_string(&report).expect("telemetry report written");
+        let parsed = bb_telemetry::RunReport::from_json(&json).expect("valid report");
+        assert!(parsed.stages.contains_key("reconstruct"));
+        assert!(parsed.counters.contains_key("frames/input"));
         run(&["inspect", &call]).expect("inspect");
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -50,9 +50,11 @@ pub mod pipeline;
 pub mod recon;
 pub mod vbmask;
 pub mod vcmask;
+pub mod workers;
 
 pub use pipeline::{Reconstruction, Reconstructor, ReconstructorConfig, VbSource};
 pub use recon::ReconstructionCanvas;
+pub use workers::CollectMode;
 
 /// Errors produced by the reconstruction framework.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +72,10 @@ pub enum CoreError {
     },
     /// Loop-period detection failed for an unknown virtual video.
     NoPeriodFound,
+    /// A worker thread panicked while processing a frame; the payload
+    /// message is preserved. Surfaced as an error instead of aborting the
+    /// whole process.
+    WorkerPanic(String),
     /// Propagated imaging failure.
     Imaging(bb_imaging::ImagingError),
     /// Propagated video failure.
@@ -84,6 +90,7 @@ impl std::fmt::Display for CoreError {
                 write!(f, "video too short: need {needed} frames, have {have}")
             }
             CoreError::NoPeriodFound => write!(f, "no loop period found for virtual video"),
+            CoreError::WorkerPanic(msg) => write!(f, "worker thread panicked: {msg}"),
             CoreError::Imaging(e) => write!(f, "imaging error: {e}"),
             CoreError::Video(e) => write!(f, "video error: {e}"),
         }

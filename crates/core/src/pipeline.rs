@@ -9,11 +9,12 @@ use crate::vbmask::{
     vb_mask, VirtualReference, STABILITY_THRESHOLD,
 };
 use crate::vcmask::VcMaskParams;
+use crate::workers::{run_stage, CollectMode};
 use crate::CoreError;
 use bb_imaging::{Frame, Mask, Rgb};
 use bb_segment::PersonSegmenter;
+use bb_telemetry::Telemetry;
 use bb_video::VideoStream;
-use parking_lot::Mutex;
 
 /// Where the adversary's virtual-background reference comes from (§V-B's
 /// four scenarios).
@@ -56,6 +57,10 @@ pub struct ReconstructorConfig {
     /// (1 keeps everything; higher values harden against the dynamic-VB
     /// mitigation's one-frame artifacts).
     pub min_observations: u32,
+    /// How parallel passes collect per-frame results; the default lock-free
+    /// mode is the one to use, [`CollectMode::LockedVec`] exists so
+    /// `perf_baseline` can keep measuring the difference.
+    pub collect_mode: CollectMode,
 }
 
 impl Default for ReconstructorConfig {
@@ -67,6 +72,7 @@ impl Default for ReconstructorConfig {
             vc: VcMaskParams::default(),
             parallelism: 4,
             min_observations: 1,
+            collect_mode: CollectMode::default(),
         }
     }
 }
@@ -104,12 +110,25 @@ impl Reconstruction {
 pub struct Reconstructor {
     source: VbSource,
     config: ReconstructorConfig,
+    telemetry: Telemetry,
 }
 
 impl Reconstructor {
-    /// Creates a reconstructor.
+    /// Creates a reconstructor (telemetry disabled).
     pub fn new(source: VbSource, config: ReconstructorConfig) -> Self {
-        Reconstructor { source, config }
+        Reconstructor {
+            source,
+            config,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry handle; stage timings land under `reconstruct/…`
+    /// and worker-pool statistics under `workers/…`.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The configuration in use.
@@ -124,6 +143,7 @@ impl Reconstructor {
     ///
     /// Propagates identification/derivation failures.
     pub fn resolve_reference(&self, video: &VideoStream) -> Result<VirtualReference, CoreError> {
+        let _span = self.telemetry.time("resolve_reference");
         let (w, h) = video.dims();
         match &self.source {
             VbSource::KnownImages(candidates) => {
@@ -193,111 +213,106 @@ impl Reconstructor {
         video: &VideoStream,
         reference: VirtualReference,
     ) -> Result<Reconstruction, CoreError> {
+        let telemetry = &self.telemetry;
+        let _whole = telemetry.time("reconstruct");
         let (w, h) = video.dims();
-        let segmenter = PersonSegmenter::fit(video);
         let n = video.len();
-        let workers = self.config.parallelism.max(1).min(n);
+        let workers = self.config.parallelism.max(1).min(n.max(1));
+        if telemetry.is_enabled() {
+            telemetry.set_meta("frames", n);
+            telemetry.set_meta("width", w);
+            telemetry.set_meta("height", h);
+            telemetry.set_meta("parallelism", workers);
+            telemetry.set_meta("collect_mode", format!("{:?}", self.config.collect_mode));
+            telemetry.add("frames/input", n as u64);
+        }
 
-        // Runs `job(i)` over all frame indices on the worker pool,
-        // propagating the first error.
-        let run_indexed =
-            |job: &(dyn Fn(usize) -> Result<(), CoreError> + Sync)| -> Result<(), CoreError> {
-                if workers <= 1 {
-                    for i in 0..n {
-                        job(i)?;
-                    }
-                    return Ok(());
-                }
-                let first_error: Mutex<Option<CoreError>> = Mutex::new(None);
-                crossbeam::thread::scope(|scope| {
-                    for worker in 0..workers {
-                        let first_error = &first_error;
-                        scope.spawn(move |_| {
-                            let mut i = worker;
-                            while i < n {
-                                if first_error.lock().is_some() {
-                                    return;
-                                }
-                                if let Err(e) = job(i) {
-                                    let mut slot = first_error.lock();
-                                    if slot.is_none() {
-                                        *slot = Some(e);
-                                    }
-                                    return;
-                                }
-                                i += workers;
-                            }
-                        });
-                    }
-                })
-                .expect("worker threads do not panic");
-                match first_error.into_inner() {
-                    Some(e) => Err(e),
-                    None => Ok(()),
-                }
-            };
+        let segmenter = {
+            let _span = telemetry.time("reconstruct/segmenter_fit");
+            PersonSegmenter::fit(video)
+        };
 
-        // Pass 1: VBM (§V-B) and BBM (§V-C) per frame.
-        let vbms: Mutex<Vec<Option<Mask>>> = Mutex::new(vec![None; n]);
-        let removeds: Mutex<Vec<Option<Mask>>> = Mutex::new(vec![None; n]);
-        run_indexed(&|i| {
-            let frame = video.frame(i);
-            let (ref_frame, ref_valid) = reference.for_frame(i);
-            let vbm = vb_mask(frame, ref_frame, ref_valid, self.config.tau)?;
-            let bbm = bb_mask(&vbm, self.config.phi);
-            let removed = vbm.union(&bbm)?;
-            vbms.lock()[i] = Some(vbm);
-            removeds.lock()[i] = Some(removed);
-            Ok(())
-        })?;
-        let vbms: Vec<Mask> = vbms
-            .into_inner()
-            .into_iter()
-            .map(|m| m.expect("pass 1 processed every frame"))
-            .collect();
-        let removeds: Vec<Mask> = removeds
-            .into_inner()
-            .into_iter()
-            .map(|m| m.expect("pass 1 processed every frame"))
-            .collect();
+        // Pass 1: VBM (§V-B) and BBM (§V-C) per frame, on the worker pool.
+        let pass1: Vec<(Mask, Mask)> = {
+            let _span = telemetry.time("reconstruct/pass1");
+            run_stage(
+                n,
+                workers,
+                self.config.collect_mode,
+                telemetry,
+                "pass1",
+                |i| {
+                    let frame = video.frame(i);
+                    let (ref_frame, ref_valid) = reference.for_frame(i);
+                    let vbm = vb_mask(frame, ref_frame, ref_valid, self.config.tau)?;
+                    let bbm = bb_mask(&vbm, self.config.phi);
+                    let removed = vbm.union(&bbm)?;
+                    if telemetry.is_enabled() {
+                        telemetry.add("frames/pass1", 1);
+                        telemetry.add("pixels/vbm", vbm.count_set() as u64);
+                        telemetry.add("pixels/removed", removed.count_set() as u64);
+                    }
+                    Ok((vbm, removed))
+                },
+            )?
+        };
+        let (vbms, removeds): (Vec<Mask>, Vec<Mask>) = pass1.into_iter().unzip();
         let candidates: Vec<Mask> = removeds.iter().map(|r| r.complement()).collect();
 
         // Cross-frame caller color model from the quietest frames (§V-D
         // color analysis across frames).
-        let pairs: Vec<(&Frame, &Mask)> =
-            (0..n).map(|i| (video.frame(i), &candidates[i])).collect();
-        let model = crate::vcmask::CallerColorModel::fit(&pairs, self.config.vc.refine_bits);
+        let model = {
+            let _span = telemetry.time("reconstruct/color_model");
+            let pairs: Vec<(&Frame, &Mask)> =
+                (0..n).map(|i| (video.frame(i), &candidates[i])).collect();
+            crate::vcmask::CallerColorModel::fit(&pairs, self.config.vc.refine_bits)
+        };
 
         // Pass 2: VCM (§V-D) in parallel, then sequential residue
         // accumulation (§V-E) — the canvas's majority vote is
         // order-sensitive, and accumulation is cheap next to segmentation.
-        let leaks: Mutex<Vec<Option<Mask>>> = Mutex::new(vec![None; n]);
-        run_indexed(&|i| {
-            let frame = video.frame(i);
-            let vc = crate::vcmask::vc_mask_with_model(
-                &segmenter,
-                frame,
-                &candidates[i],
-                &self.config.vc,
-                model.as_ref(),
-            );
-            let leak = candidates[i].subtract(&vc.vcm)?;
-            leaks.lock()[i] = Some(leak);
-            Ok(())
-        })?;
-        let per_frame_leak: Vec<Mask> = leaks
-            .into_inner()
-            .into_iter()
-            .map(|m| m.expect("pass 2 processed every frame"))
-            .collect();
-        let mut canvas = ReconstructionCanvas::new(w, h);
-        for (i, leak) in per_frame_leak.iter().enumerate() {
-            canvas.accumulate(video.frame(i), leak);
-        }
+        let per_frame_leak: Vec<Mask> = {
+            let _span = telemetry.time("reconstruct/pass2");
+            run_stage(
+                n,
+                workers,
+                self.config.collect_mode,
+                telemetry,
+                "pass2",
+                |i| {
+                    let frame = video.frame(i);
+                    let vc = crate::vcmask::vc_mask_with_model(
+                        &segmenter,
+                        frame,
+                        &candidates[i],
+                        &self.config.vc,
+                        model.as_ref(),
+                    );
+                    let leak = candidates[i].subtract(&vc.vcm)?;
+                    if telemetry.is_enabled() {
+                        telemetry.add("frames/pass2", 1);
+                        telemetry.add("pixels/leak", leak.count_set() as u64);
+                    }
+                    Ok(leak)
+                },
+            )?
+        };
+        let mut canvas = {
+            let _span = telemetry.time("reconstruct/accumulate");
+            let mut canvas = ReconstructionCanvas::new(w, h);
+            for (i, leak) in per_frame_leak.iter().enumerate() {
+                canvas.accumulate(video.frame(i), leak);
+            }
+            canvas
+        };
         if self.config.min_observations > 1 {
+            let _span = telemetry.time("reconstruct/filter");
             canvas = canvas.filtered(self.config.min_observations);
         }
         let recovered = canvas.recovered_mask();
+        if telemetry.is_enabled() {
+            telemetry.add("pixels/recovered", recovered.count_set() as u64);
+        }
         Ok(Reconstruction {
             background: canvas.to_frame(Rgb::BLACK),
             recovered,

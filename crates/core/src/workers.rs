@@ -1,0 +1,372 @@
+//! The pipeline's worker pool: runs a fallible per-frame job over every
+//! frame index and collects the results in frame order.
+//!
+//! Two result-collection strategies exist so the perf baseline can keep
+//! measuring the win:
+//!
+//! * [`CollectMode::WorkerLocal`] (default) — workers pull indices from an
+//!   atomic dispenser and append `(index, value)` pairs to a thread-local
+//!   vector; results merge into the ordered output after the join. The hot
+//!   loop takes **no lock**.
+//! * [`CollectMode::LockedVec`] — the seed implementation's shape: every
+//!   completed frame locks a shared `Mutex<Vec<Option<T>>>` to deposit its
+//!   result. Kept only as the `perf_baseline` before-case.
+//!
+//! Both strategies catch worker panics and surface them as
+//! [`CoreError::WorkerPanic`] instead of aborting the process, and both
+//! record per-worker job counts and busy time into a [`Telemetry`] handle
+//! under `workers/<stage>/…`.
+
+use crate::CoreError;
+use bb_telemetry::Telemetry;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How [`run_stage`] collects per-frame results (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CollectMode {
+    /// Lock-free worker-local collection, merged after the join (default).
+    #[default]
+    WorkerLocal,
+    /// The legacy whole-`Vec` mutex, kept for before/after benchmarking.
+    LockedVec,
+}
+
+/// Runs `job(i)` for every `i in 0..n` on up to `workers` threads and
+/// returns the results in index order.
+///
+/// The first job error cancels the remaining work (already-started jobs
+/// finish) and is returned. A panicking job is caught at the thread join and
+/// surfaced as [`CoreError::WorkerPanic`]; the process is not aborted.
+///
+/// `stage` names the telemetry namespace: per-worker busy spans land in
+/// `workers/<stage>/busy` and job counts in `workers/<stage>/jobs/w<k>`.
+///
+/// # Errors
+///
+/// Returns the first job error, or [`CoreError::WorkerPanic`] when a worker
+/// panicked.
+pub fn run_stage<T, F>(
+    n: usize,
+    workers: usize,
+    mode: CollectMode,
+    telemetry: &Telemetry,
+    stage: &str,
+    job: F,
+) -> Result<Vec<T>, CoreError>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, CoreError> + Sync,
+{
+    let workers = workers.max(1).min(n.max(1));
+    if workers <= 1 {
+        let started = Instant::now();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(job(i)?);
+        }
+        if telemetry.is_enabled() {
+            telemetry.record_duration(&format!("workers/{stage}/busy"), started.elapsed());
+            telemetry.add(&format!("workers/{stage}/jobs/w0"), n as u64);
+        }
+        return Ok(out);
+    }
+    match mode {
+        CollectMode::WorkerLocal => run_worker_local(n, workers, telemetry, stage, &job),
+        CollectMode::LockedVec => run_locked_vec(n, workers, telemetry, stage, &job),
+    }
+}
+
+/// Lock-free strategy: atomic index dispenser + per-worker result vectors.
+fn run_worker_local<T, F>(
+    n: usize,
+    workers: usize,
+    telemetry: &Telemetry,
+    stage: &str,
+    job: &F,
+) -> Result<Vec<T>, CoreError>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, CoreError> + Sync,
+{
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let per_worker: Vec<WorkerOutcome<T>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let started = Instant::now();
+                    let mut local: Vec<(usize, T)> = Vec::with_capacity(n / workers + 1);
+                    let mut error = None;
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        match job(i) {
+                            Ok(v) => local.push((i, v)),
+                            Err(e) => {
+                                stop.store(true, Ordering::Relaxed);
+                                error = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    (local, error, started.elapsed())
+                })
+            })
+            .collect();
+        handles.into_iter().map(join_worker).collect()
+    });
+    collect_outcomes(n, per_worker, telemetry, stage)
+}
+
+/// Legacy strategy: strided indices, results deposited through one mutex.
+fn run_locked_vec<T, F>(
+    n: usize,
+    workers: usize,
+    telemetry: &Telemetry,
+    stage: &str,
+    job: &F,
+) -> Result<Vec<T>, CoreError>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, CoreError> + Sync,
+{
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let stop = AtomicBool::new(false);
+    let per_worker: Vec<WorkerOutcome<()>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                let slots = &slots;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let started = Instant::now();
+                    let mut jobs = Vec::new();
+                    let mut error = None;
+                    let mut i = worker;
+                    while i < n {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        match job(i) {
+                            Ok(v) => {
+                                slots.lock().expect("result vector poisoned")[i] = Some(v);
+                                // Record the slot index as a stand-in for
+                                // the value (merged from `slots` later).
+                                jobs.push((i, ()));
+                            }
+                            Err(e) => {
+                                stop.store(true, Ordering::Relaxed);
+                                error = Some(e);
+                                break;
+                            }
+                        }
+                        i += workers;
+                    }
+                    (jobs, error, started.elapsed())
+                })
+            })
+            .collect();
+        handles.into_iter().map(join_worker).collect()
+    });
+    // Surface panics/errors and telemetry exactly like the lock-free path…
+    collect_outcomes(n, per_worker, telemetry, stage)?;
+    // …then drain the mutex-guarded slots into the ordered output.
+    let slots = slots.into_inner().expect("result vector poisoned");
+    let mut out = Vec::with_capacity(n);
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(v) => out.push(v),
+            None => {
+                return Err(CoreError::WorkerPanic(format!(
+                    "frame {i} produced no result"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// What one worker thread produced: `(index, value)` pairs, the first error
+/// it hit, and its busy time — or the panic payload.
+type WorkerResult<T> = (Vec<(usize, T)>, Option<CoreError>, std::time::Duration);
+type WorkerOutcome<T> = Result<WorkerResult<T>, String>;
+
+fn join_worker<T>(handle: std::thread::ScopedJoinHandle<'_, WorkerResult<T>>) -> WorkerOutcome<T> {
+    handle.join().map_err(|payload| {
+        if let Some(msg) = payload.downcast_ref::<&str>() {
+            (*msg).to_string()
+        } else if let Some(msg) = payload.downcast_ref::<String>() {
+            msg.clone()
+        } else {
+            "worker panicked with a non-string payload".to_string()
+        }
+    })
+}
+
+/// Merges per-worker outcomes into the ordered output, preferring panic
+/// reports over job errors (a panic means the stage itself is broken).
+fn collect_outcomes<T>(
+    n: usize,
+    per_worker: Vec<WorkerOutcome<T>>,
+    telemetry: &Telemetry,
+    stage: &str,
+) -> Result<Vec<T>, CoreError> {
+    let mut first_error = None;
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (worker, outcome) in per_worker.into_iter().enumerate() {
+        match outcome {
+            Err(panic_msg) => {
+                return Err(CoreError::WorkerPanic(format!(
+                    "worker {worker} panicked: {panic_msg}"
+                )));
+            }
+            Ok((local, error, busy)) => {
+                if telemetry.is_enabled() {
+                    telemetry.record_duration(&format!("workers/{stage}/busy"), busy);
+                    telemetry.add(
+                        &format!("workers/{stage}/jobs/w{worker}"),
+                        local.len() as u64,
+                    );
+                }
+                if first_error.is_none() {
+                    first_error = error;
+                }
+                for (i, v) in local {
+                    slots[i] = Some(v);
+                }
+            }
+        }
+    }
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    let mut out = Vec::with_capacity(n);
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(v) => out.push(v),
+            None => {
+                return Err(CoreError::WorkerPanic(format!(
+                    "frame {i} produced no result"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MODES: [CollectMode; 2] = [CollectMode::WorkerLocal, CollectMode::LockedVec];
+
+    #[test]
+    fn results_are_index_ordered() {
+        for mode in MODES {
+            for workers in [1, 2, 8] {
+                let out = run_stage(
+                    37,
+                    workers,
+                    mode,
+                    &Telemetry::disabled(),
+                    "t",
+                    |i| Ok(i * 3),
+                )
+                .unwrap();
+                assert_eq!(out, (0..37).map(|i| i * 3).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        for mode in MODES {
+            let out: Vec<usize> = run_stage(0, 4, mode, &Telemetry::disabled(), "t", Ok).unwrap();
+            assert!(out.is_empty());
+        }
+    }
+
+    #[test]
+    fn job_error_is_propagated() {
+        for mode in MODES {
+            for workers in [1, 4] {
+                let r = run_stage(20, workers, mode, &Telemetry::disabled(), "t", |i| {
+                    if i == 11 {
+                        Err(CoreError::NoPeriodFound)
+                    } else {
+                        Ok(i)
+                    }
+                });
+                assert_eq!(r.unwrap_err(), CoreError::NoPeriodFound);
+            }
+        }
+    }
+
+    #[test]
+    fn worker_panic_becomes_core_error() {
+        for mode in MODES {
+            for workers in [2, 8] {
+                let r = run_stage(16, workers, mode, &Telemetry::disabled(), "t", |i| {
+                    if i == 7 {
+                        panic!("injected failure in frame {i}");
+                    }
+                    Ok(i)
+                });
+                match r {
+                    Err(CoreError::WorkerPanic(msg)) => {
+                        assert!(msg.contains("injected failure"), "message: {msg}");
+                    }
+                    other => panic!("expected WorkerPanic, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_path_panics_are_not_caught() {
+        // workers == 1 runs inline: a panic propagates to the caller like
+        // any other function call (no thread boundary to absorb it).
+        let caught = std::panic::catch_unwind(|| {
+            let _ = run_stage(
+                4,
+                1,
+                CollectMode::WorkerLocal,
+                &Telemetry::disabled(),
+                "t",
+                |i| {
+                    if i == 2 {
+                        panic!("inline");
+                    }
+                    Ok(i)
+                },
+            );
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn telemetry_records_worker_jobs() {
+        let t = Telemetry::enabled();
+        run_stage(24, 3, CollectMode::WorkerLocal, &t, "stage", Ok).unwrap();
+        let report = t.report();
+        let total: u64 = (0..3)
+            .map(|w| {
+                report
+                    .counters
+                    .get(&format!("workers/stage/jobs/w{w}"))
+                    .copied()
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(total, 24);
+        assert_eq!(report.stages["workers/stage/busy"].calls, 3);
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access. The workspace only uses
+//! serde as `#[derive(Serialize, Deserialize)]` markers on plain data types —
+//! actual serialization (telemetry reports, bench JSON) is hand-rolled — so
+//! this crate provides empty marker traits and re-exports the no-op derives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

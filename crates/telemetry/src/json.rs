@@ -1,0 +1,439 @@
+//! A small JSON value type, parser, and writer.
+//!
+//! The offline build has no serde_json, and telemetry/bench reports only
+//! need objects, strings, numbers, booleans, and arrays. The writer emits
+//! deterministic output (object keys sorted by the backing `BTreeMap`), so
+//! reports diff cleanly across runs and PRs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with sorted keys.
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The value as an object, or a shape error naming `context`.
+    pub fn as_object(&self, context: &str) -> Result<&BTreeMap<String, Json>, JsonError> {
+        match self {
+            Json::Object(map) => Ok(map),
+            other => Err(JsonError::shape(format!(
+                "{context}: expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The value as a string, or a shape error naming `context`.
+    pub fn as_string(&self, context: &str) -> Result<&str, JsonError> {
+        match self {
+            Json::String(s) => Ok(s),
+            other => Err(JsonError::shape(format!(
+                "{context}: expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The value as an `f64`, or a shape error naming `context`.
+    pub fn as_f64(&self, context: &str) -> Result<f64, JsonError> {
+        match self {
+            Json::Number(n) => Ok(*n),
+            other => Err(JsonError::shape(format!(
+                "{context}: expected number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The value as a non-negative integer, or a shape error.
+    pub fn as_u64(&self, context: &str) -> Result<u64, JsonError> {
+        let n = self.as_f64(context)?;
+        if n < 0.0 || n.fract() != 0.0 || n > u64::MAX as f64 {
+            return Err(JsonError::shape(format!(
+                "{context}: expected unsigned integer, found {n}"
+            )));
+        }
+        Ok(n as u64)
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Number(_) => "number",
+            Json::String(_) => "string",
+            Json::Array(_) => "array",
+            Json::Object(_) => "object",
+        }
+    }
+}
+
+/// Parse or shape failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonError {
+    /// The text is not valid JSON (message includes byte offset).
+    Parse(String),
+    /// The JSON is valid but not the expected shape.
+    Shape(String),
+}
+
+impl JsonError {
+    pub(crate) fn shape(msg: impl Into<String>) -> JsonError {
+        JsonError::Shape(msg.into())
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonError::Parse(m) => write!(f, "JSON parse error: {m}"),
+            JsonError::Shape(m) => write!(f, "JSON shape error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Serializes with 2-space indentation and sorted object keys.
+pub fn to_pretty_string(value: &Json) -> String {
+    let mut out = String::new();
+    write_value(value, 0, &mut out);
+    out.push('\n');
+    out
+}
+
+fn write_value(value: &Json, indent: usize, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Json::Number(n) => write_number(*n, out),
+        Json::String(s) => write_string(s, out),
+        Json::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(indent + 1, out);
+                write_value(item, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push(']');
+        }
+        Json::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(indent + 1, out);
+                write_string(key, out);
+                out.push_str(": ");
+                write_value(item, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push('}');
+        }
+    }
+}
+
+fn push_indent(indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns [`JsonError::Parse`] on malformed input or trailing garbage.
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(JsonError::Parse(format!("trailing data at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(JsonError::Parse("unexpected end of input".into())),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: Json,
+) -> Result<Json, JsonError> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(JsonError::Parse(format!(
+            "invalid literal at byte {pos}",
+            pos = *pos
+        )))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Number)
+        .ok_or_else(|| JsonError::Parse(format!("invalid number at byte {start}")))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(JsonError::Parse("unterminated string".into())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| {
+                                JsonError::Parse(format!(
+                                    "bad \\u escape at byte {pos}",
+                                    pos = *pos
+                                ))
+                            })?;
+                        // Surrogate pairs are not needed for telemetry
+                        // reports; map unpaired surrogates to U+FFFD.
+                        out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => {
+                        return Err(JsonError::Parse(format!(
+                            "bad escape at byte {pos}",
+                            pos = *pos
+                        )))
+                    }
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so boundaries
+                // are valid).
+                let rest = &bytes[*pos..];
+                let s = std::str::from_utf8(rest)
+                    .map_err(|_| JsonError::Parse("invalid UTF-8".into()))?;
+                let c = s.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    *pos += 1; // consume '{'
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(JsonError::Parse(format!(
+                "expected object key at byte {pos}",
+                pos = *pos
+            )));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(JsonError::Parse(format!(
+                "expected ':' at byte {pos}",
+                pos = *pos
+            )));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(map));
+            }
+            _ => {
+                return Err(JsonError::Parse(format!(
+                    "expected ',' or '}}' at byte {pos}",
+                    pos = *pos
+                )))
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => {
+                return Err(JsonError::Parse(format!(
+                    "expected ',' or ']' at byte {pos}",
+                    pos = *pos
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_nested_values() {
+        let mut obj = BTreeMap::new();
+        obj.insert("a".to_string(), Json::Number(1.5));
+        obj.insert(
+            "b".to_string(),
+            Json::Array(vec![
+                Json::Bool(true),
+                Json::Null,
+                Json::String("x\"y".into()),
+            ]),
+        );
+        let v = Json::Object(obj);
+        let text = to_pretty_string(&v);
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let v = parse(r#""a\n\tAé""#).unwrap();
+        assert_eq!(v, Json::String("a\n\tAé".into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("tru").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse(r#"{"a" 1}"#).is_err());
+    }
+
+    #[test]
+    fn integers_print_without_decimal_point() {
+        let text = to_pretty_string(&Json::Number(5_000_000.0));
+        assert_eq!(text.trim(), "5000000");
+    }
+}

@@ -1,0 +1,237 @@
+//! # bb-telemetry
+//!
+//! Lightweight instrumentation for the Background Buster pipeline: stage
+//! timers, monotone counters, and a serializable [`RunReport`].
+//!
+//! Every handle is either **enabled** (backed by a shared sink) or
+//! **disabled** (a `None`, the default). Disabled handles never allocate and
+//! every operation returns after one branch, so instrumented hot paths pay
+//! nothing in production runs. Handles clone cheaply and are thread-safe, so
+//! a pipeline can hand the same telemetry to its worker pool.
+//!
+//! Stage names form a `/`-separated hierarchy, e.g. `reconstruct/pass1` is a
+//! child of `reconstruct`. When child stages run sequentially inside their
+//! parent's span (which is how the pipeline is instrumented), the sum of the
+//! children's totals never exceeds the parent's total — a property the test
+//! net pins. Per-worker busy spans, which legitimately overlap in wall time,
+//! are recorded under the separate `workers/` namespace.
+//!
+//! ```
+//! use bb_telemetry::Telemetry;
+//!
+//! let telemetry = Telemetry::enabled();
+//! {
+//!     let _outer = telemetry.time("reconstruct");
+//!     let _inner = telemetry.time("reconstruct/pass1");
+//!     telemetry.add("frames", 60);
+//! }
+//! let report = telemetry.report();
+//! assert_eq!(report.counters["frames"], 60);
+//! let json = report.to_json();
+//! assert_eq!(bb_telemetry::RunReport::from_json(&json).unwrap(), report);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod report;
+
+pub use report::{RunReport, StageStats};
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default)]
+struct Sink {
+    stages: BTreeMap<String, StageStats>,
+    counters: BTreeMap<String, u64>,
+    meta: BTreeMap<String, String>,
+}
+
+/// A cheaply-clonable instrumentation handle; see the crate docs.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    sink: Option<Arc<Mutex<Sink>>>,
+}
+
+impl Telemetry {
+    /// A disabled handle: every operation is a no-op, [`Telemetry::report`]
+    /// is empty. This is also the [`Default`].
+    pub fn disabled() -> Telemetry {
+        Telemetry { sink: None }
+    }
+
+    /// An enabled handle with a fresh, empty sink.
+    pub fn enabled() -> Telemetry {
+        Telemetry {
+            sink: Some(Arc::new(Mutex::new(Sink::default()))),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Starts a stage span; the elapsed time is recorded under `name` when
+    /// the returned guard drops. No-op (and allocation-free) when disabled.
+    #[must_use = "the span ends when the returned guard is dropped"]
+    pub fn time(&self, name: &str) -> StageTimer<'_> {
+        StageTimer {
+            telemetry: self,
+            name: self
+                .sink
+                .as_ref()
+                .map(|_| (name.to_string(), Instant::now())),
+        }
+    }
+
+    /// Records one completed span of `dur` under stage `name` directly
+    /// (used by worker pools that time sections themselves).
+    pub fn record_duration(&self, name: &str, dur: Duration) {
+        let Some(sink) = &self.sink else { return };
+        let mut sink = sink.lock().expect("telemetry sink poisoned");
+        sink.stages
+            .entry(name.to_string())
+            .or_default()
+            .record(dur.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Adds `n` to counter `name` (counters only ever grow).
+    pub fn add(&self, name: &str, n: u64) {
+        let Some(sink) = &self.sink else { return };
+        let mut sink = sink.lock().expect("telemetry sink poisoned");
+        *sink.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Sets metadata `key` to `value` (last write wins).
+    pub fn set_meta(&self, key: &str, value: impl ToString) {
+        let Some(sink) = &self.sink else { return };
+        let mut sink = sink.lock().expect("telemetry sink poisoned");
+        sink.meta.insert(key.to_string(), value.to_string());
+    }
+
+    /// A snapshot of everything recorded so far.
+    pub fn report(&self) -> RunReport {
+        let Some(sink) = &self.sink else {
+            return RunReport::default();
+        };
+        let sink = sink.lock().expect("telemetry sink poisoned");
+        RunReport {
+            meta: sink.meta.clone(),
+            stages: sink.stages.clone(),
+            counters: sink.counters.clone(),
+        }
+    }
+}
+
+/// Guard returned by [`Telemetry::time`]; records the span on drop.
+#[derive(Debug)]
+pub struct StageTimer<'a> {
+    telemetry: &'a Telemetry,
+    /// `None` when the parent handle is disabled.
+    name: Option<(String, Instant)>,
+}
+
+impl Drop for StageTimer<'_> {
+    fn drop(&mut self) {
+        if let Some((name, start)) = self.name.take() {
+            self.telemetry.record_duration(&name, start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let t = Telemetry::disabled();
+        {
+            let _g = t.time("stage");
+            t.add("counter", 5);
+            t.set_meta("k", "v");
+            t.record_duration("direct", Duration::from_millis(1));
+        }
+        assert!(!t.is_enabled());
+        assert_eq!(t.report(), RunReport::default());
+    }
+
+    #[test]
+    fn timers_and_counters_accumulate() {
+        let t = Telemetry::enabled();
+        for _ in 0..3 {
+            let _g = t.time("s");
+        }
+        t.add("c", 2);
+        t.add("c", 3);
+        let r = t.report();
+        assert_eq!(r.stages["s"].calls, 3);
+        assert_eq!(r.counters["c"], 5);
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let t = Telemetry::enabled();
+        let u = t.clone();
+        u.add("shared", 1);
+        assert_eq!(t.report().counters["shared"], 1);
+    }
+
+    #[test]
+    fn counters_are_monotone_across_snapshots() {
+        let t = Telemetry::enabled();
+        let mut last = 0u64;
+        for round in 1..=20u64 {
+            t.add("events", round % 3); // including zero-increments
+            let now = t.report().counters["events"];
+            assert!(now >= last, "counter decreased: {last} -> {now}");
+            last = now;
+        }
+        assert_eq!(last, (1..=20u64).map(|r| r % 3).sum::<u64>());
+    }
+
+    #[test]
+    fn sequential_child_spans_sum_to_at_most_parent() {
+        let t = Telemetry::enabled();
+        {
+            let _parent = t.time("parent");
+            for child in ["parent/a", "parent/b", "parent/c"] {
+                let _c = t.time(child);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        let r = t.report();
+        let children = r.children_total_ns("parent");
+        assert!(children > 0);
+        assert!(
+            children <= r.stages["parent"].total_ns,
+            "children {} ns exceed parent {} ns",
+            children,
+            r.stages["parent"].total_ns
+        );
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        let t = Telemetry::enabled();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let t = t.clone();
+                scope.spawn(move || {
+                    for _ in 0..250 {
+                        t.add("hits", 1);
+                        t.record_duration("work", Duration::from_nanos(10));
+                    }
+                });
+            }
+        });
+        let r = t.report();
+        assert_eq!(r.counters["hits"], 1000);
+        assert_eq!(r.stages["work"].calls, 1000);
+        assert_eq!(r.stages["work"].total_ns, 10_000);
+    }
+}

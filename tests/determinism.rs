@@ -1,0 +1,206 @@
+//! Determinism and telemetry guarantees of the end-to-end pipeline.
+//!
+//! * Reconstruction output is **byte-identical** across worker counts and
+//!   result-collection strategies — parallelism is an implementation detail,
+//!   never an observable one.
+//! * A golden FNV-1a hash pins the full seeded end-to-end output, so any
+//!   behavioral drift in synth → callsim → reconstruction shows up as a
+//!   one-line failure here before it shows up as a mysterious experiment
+//!   delta.
+//! * Telemetry on a real run satisfies the nesting invariant (sequential
+//!   child stage totals never exceed the parent's), counts what the run
+//!   actually did, round-trips through JSON, and stays completely empty when
+//!   disabled.
+
+use bb_callsim::{background, profile, run_session, Mitigation, VirtualBackground};
+use bb_core::pipeline::{Reconstruction, Reconstructor, ReconstructorConfig, VbSource};
+use bb_core::CollectMode;
+use bb_imaging::{Frame, Mask};
+use bb_synth::{Action, Lighting, Room, Scenario};
+use bb_telemetry::{RunReport, Telemetry};
+use bb_video::VideoStream;
+use rand::{rngs::StdRng, SeedableRng};
+
+const SEED: u64 = 7;
+const W: usize = 96;
+const H: usize = 72;
+const FRAMES: usize = 30;
+
+/// The shared seeded scenario: one composited call, deterministic in `SEED`.
+fn seeded_call() -> VideoStream {
+    let room = Room::sample(SEED, W, H, 4, &mut StdRng::seed_from_u64(SEED));
+    let gt = Scenario {
+        action: Action::ArmWaving,
+        width: W,
+        height: H,
+        frames: FRAMES,
+        seed: SEED,
+        ..Scenario::baseline(room)
+    }
+    .render()
+    .expect("scenario renders");
+    let vb = VirtualBackground::Image(background::beach(W, H));
+    run_session(
+        &gt,
+        &vb,
+        &profile::zoom_like(),
+        Mitigation::None,
+        Lighting::On,
+        SEED,
+    )
+    .expect("session composites")
+    .video
+}
+
+fn reconstruct(
+    video: &VideoStream,
+    parallelism: usize,
+    collect_mode: CollectMode,
+    telemetry: &Telemetry,
+) -> Reconstruction {
+    let config = ReconstructorConfig {
+        phi: 3,
+        parallelism,
+        collect_mode,
+        ..Default::default()
+    };
+    Reconstructor::new(
+        VbSource::KnownImages(background::builtin_images(W, H)),
+        config,
+    )
+    .with_telemetry(telemetry.clone())
+    .reconstruct(video)
+    .expect("reconstruction succeeds")
+}
+
+fn assert_identical(a: &Reconstruction, b: &Reconstruction, what: &str) {
+    assert_eq!(a.background, b.background, "{what}: background differs");
+    assert_eq!(a.recovered, b.recovered, "{what}: recovered mask differs");
+    assert_eq!(
+        a.per_frame_leak, b.per_frame_leak,
+        "{what}: leak masks differ"
+    );
+    assert_eq!(a.per_frame_vbm, b.per_frame_vbm, "{what}: VBMs differ");
+    assert_eq!(
+        a.per_frame_removed, b.per_frame_removed,
+        "{what}: removed masks differ"
+    );
+}
+
+#[test]
+fn output_is_byte_identical_across_parallelism_and_collect_modes() {
+    let video = seeded_call();
+    let baseline = reconstruct(&video, 1, CollectMode::WorkerLocal, &Telemetry::disabled());
+    for parallelism in [1usize, 8] {
+        for mode in [CollectMode::WorkerLocal, CollectMode::LockedVec] {
+            let other = reconstruct(&video, parallelism, mode, &Telemetry::disabled());
+            assert_identical(
+                &baseline,
+                &other,
+                &format!("parallelism={parallelism} mode={mode:?}"),
+            );
+        }
+    }
+}
+
+/// FNV-1a over the reconstruction's observable output.
+fn fnv1a_of(recon: &Reconstruction) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    let feed_frame = |eat: &mut dyn FnMut(u8), f: &Frame| {
+        for p in f.pixels() {
+            eat(p.r);
+            eat(p.g);
+            eat(p.b);
+        }
+    };
+    let feed_mask = |eat: &mut dyn FnMut(u8), m: &Mask| {
+        let (w, h) = m.dims();
+        for y in 0..h {
+            for x in 0..w {
+                eat(u8::from(m.get(x, y)));
+            }
+        }
+    };
+    feed_frame(&mut eat, &recon.background);
+    feed_mask(&mut eat, &recon.recovered);
+    for leak in &recon.per_frame_leak {
+        feed_mask(&mut eat, leak);
+    }
+    hash
+}
+
+/// Pinned output hash for the seeded scenario above. If an intentional
+/// behavior change moves it, re-pin and record the change in CHANGES.md —
+/// an *unintentional* move here is a regression.
+const GOLDEN_HASH: u64 = 0x4743_d504_77e5_052c;
+
+#[test]
+fn golden_hash_regression() {
+    let video = seeded_call();
+    let recon = reconstruct(&video, 8, CollectMode::WorkerLocal, &Telemetry::disabled());
+    let hash = fnv1a_of(&recon);
+    assert_eq!(
+        hash, GOLDEN_HASH,
+        "end-to-end output drifted: got {hash:#018x}, pinned {GOLDEN_HASH:#018x}"
+    );
+}
+
+#[test]
+fn telemetry_on_a_real_run_is_consistent() {
+    let video = seeded_call();
+    let telemetry = Telemetry::enabled();
+    let recon = reconstruct(&video, 4, CollectMode::WorkerLocal, &telemetry);
+    let report = telemetry.report();
+
+    // The pipeline's stages are present and the nesting invariant holds:
+    // sequential child stages sum to at most the parent's span.
+    let parent = report.stages["reconstruct"].total_ns;
+    let children = report.children_total_ns("reconstruct");
+    assert!(children > 0, "no child stages recorded");
+    assert!(
+        children <= parent,
+        "child stages ({children} ns) exceed the reconstruct span ({parent} ns)"
+    );
+    for stage in [
+        "reconstruct/segmenter_fit",
+        "reconstruct/pass1",
+        "reconstruct/color_model",
+        "reconstruct/pass2",
+        "reconstruct/accumulate",
+    ] {
+        assert!(report.stages.contains_key(stage), "missing stage {stage}");
+    }
+
+    // Counters describe what the run actually did.
+    assert_eq!(report.counters["frames/input"], FRAMES as u64);
+    assert_eq!(report.counters["frames/pass1"], FRAMES as u64);
+    assert_eq!(report.counters["frames/pass2"], FRAMES as u64);
+    assert_eq!(
+        report.counters["pixels/recovered"],
+        recon.recovered.count_set() as u64
+    );
+    // Worker-pool jobs are attributed per worker and sum to the frame count.
+    let pass1_jobs: u64 = report
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("workers/pass1/jobs/"))
+        .map(|(_, v)| *v)
+        .sum();
+    assert_eq!(pass1_jobs, FRAMES as u64);
+
+    // The report survives serialization losslessly.
+    let round_tripped = RunReport::from_json(&report.to_json()).expect("valid JSON");
+    assert_eq!(round_tripped, report);
+}
+
+#[test]
+fn disabled_telemetry_stays_empty_through_a_real_run() {
+    let video = seeded_call();
+    let telemetry = Telemetry::disabled();
+    let _ = reconstruct(&video, 4, CollectMode::WorkerLocal, &telemetry);
+    assert_eq!(telemetry.report(), RunReport::default());
+}
