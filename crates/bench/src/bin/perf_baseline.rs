@@ -17,12 +17,14 @@
 use bb_callsim::{background, profile, run_session, Mitigation, VirtualBackground};
 use bb_core::pipeline::{Reconstructor, ReconstructorConfig, VbSource};
 use bb_core::CollectMode;
+use bb_imaging::Mask;
 use bb_synth::{Action, GroundTruth, Lighting, Room, Scenario};
 use bb_telemetry::json::{self, Json};
 use bb_telemetry::Telemetry;
 use bb_video::VideoStream;
-use rand::{rngs::StdRng, SeedableRng};
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::BTreeMap;
+use std::hint::black_box;
 use std::time::Instant;
 
 const SEED: u64 = 42;
@@ -119,6 +121,180 @@ fn mode_json(r: &ModeResult) -> Json {
     Json::Object(obj)
 }
 
+/// The pre-bit-packing mask shape: one `bool` per pixel, row-major. Kept
+/// here (not in `bb-imaging`) purely as the microbenchmark's "before" side.
+struct BoolMask {
+    width: usize,
+    bits: Vec<bool>,
+}
+
+impl BoolMask {
+    fn seeded(width: usize, height: usize, density: f64, rng: &mut StdRng) -> BoolMask {
+        BoolMask {
+            width,
+            bits: (0..width * height).map(|_| rng.gen_bool(density)).collect(),
+        }
+    }
+
+    fn union(&self, other: &BoolMask) -> BoolMask {
+        BoolMask {
+            width: self.width,
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(&a, &b)| a | b)
+                .collect(),
+        }
+    }
+
+    fn intersect(&self, other: &BoolMask) -> BoolMask {
+        BoolMask {
+            width: self.width,
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(&a, &b)| a & b)
+                .collect(),
+        }
+    }
+
+    fn count_set(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    fn iter_set_sum(&self) -> usize {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| (i % self.width) + (i / self.width))
+            .sum()
+    }
+
+    fn to_packed(&self) -> Mask {
+        Mask::from_fn(self.width, self.bits.len() / self.width, |x, y| {
+            self.bits[y * self.width + x]
+        })
+    }
+}
+
+/// Times `op` over `reps` iterations and returns mean nanoseconds per call.
+fn time_ns(reps: usize, mut op: impl FnMut()) -> f64 {
+    // One warm-up call keeps first-touch page faults out of the numbers.
+    op();
+    let started = Instant::now();
+    for _ in 0..reps {
+        op();
+    }
+    started.elapsed().as_nanos() as f64 / reps as f64
+}
+
+/// Benchmarks the bit-packed mask ops against the historical `Vec<bool>`
+/// shape on seeded full-HD masks (the resolution class of a real call),
+/// returning the per-op JSON section.
+fn mask_ops_bench() -> Json {
+    const W: usize = 1920;
+    const H: usize = 1080;
+    let mut rng = StdRng::seed_from_u64(SEED);
+    // Dense operands for the algebra/count ops, a sparse one for iter_set
+    // (the word-skipping path the residue scan actually exercises).
+    let na = BoolMask::seeded(W, H, 0.5, &mut rng);
+    let nb = BoolMask::seeded(W, H, 0.5, &mut rng);
+    let ns = BoolMask::seeded(W, H, 0.03, &mut rng);
+    let (pa, pb, ps) = (na.to_packed(), nb.to_packed(), ns.to_packed());
+    assert_eq!(
+        na.count_set(),
+        pa.count_set(),
+        "packed mask must match naive"
+    );
+
+    let reps = 100;
+    let ops: [(&str, f64, f64); 4] = [
+        (
+            "union",
+            time_ns(reps, || {
+                black_box(black_box(&na).union(black_box(&nb)));
+            }),
+            time_ns(reps, || {
+                black_box(black_box(&pa).union(black_box(&pb)).unwrap());
+            }),
+        ),
+        (
+            "intersect",
+            time_ns(reps, || {
+                black_box(black_box(&na).intersect(black_box(&nb)));
+            }),
+            time_ns(reps, || {
+                black_box(black_box(&pa).intersect(black_box(&pb)).unwrap());
+            }),
+        ),
+        (
+            "count_set",
+            time_ns(reps, || {
+                black_box(black_box(&na).count_set());
+            }),
+            time_ns(reps, || {
+                black_box(black_box(&pa).count_set());
+            }),
+        ),
+        (
+            "iter_set_sparse",
+            time_ns(reps, || {
+                black_box(black_box(&ns).iter_set_sum());
+            }),
+            time_ns(reps, || {
+                let sum: usize = black_box(&ps).iter_set().map(|(x, y)| x + y).sum();
+                black_box(sum);
+            }),
+        ),
+    ];
+
+    let mut section = BTreeMap::new();
+    let mut shape = BTreeMap::new();
+    shape.insert("width".into(), Json::Number(W as f64));
+    shape.insert("height".into(), Json::Number(H as f64));
+    shape.insert("reps".into(), Json::Number(reps as f64));
+    section.insert("workload".into(), Json::Object(shape));
+    for (name, naive_ns, packed_ns) in ops {
+        let speedup = naive_ns / packed_ns;
+        eprintln!("  mask {name}: {naive_ns:.0}ns naive → {packed_ns:.0}ns packed ({speedup:.1}x)");
+        let mut op = BTreeMap::new();
+        op.insert("naive_ns".into(), Json::Number(naive_ns));
+        op.insert("packed_ns".into(), Json::Number(packed_ns));
+        op.insert("speedup".into(), Json::Number(speedup));
+        section.insert(name.into(), Json::Object(op));
+    }
+    Json::Object(section)
+}
+
+/// Pulls `modes.worker_local.wall_secs` out of a previously written baseline
+/// at `path`, provided its scenario matches the current one (same schema,
+/// same quick flag) — otherwise the comparison would be meaningless.
+fn previous_wall_secs(path: &str, quick: bool) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let root = json::parse(&text).ok()?;
+    let obj = root.as_object("baseline root").ok()?;
+    if obj.get("schema")?.as_string("schema").ok()? != "bb-bench/pipeline-baseline/v1" {
+        return None;
+    }
+    let scenario = obj.get("scenario")?.as_object("scenario").ok()?;
+    match scenario.get("quick")? {
+        Json::Bool(prev_quick) if *prev_quick == quick => {}
+        _ => return None,
+    }
+    obj.get("modes")?
+        .as_object("modes")
+        .ok()?
+        .get("worker_local")?
+        .as_object("worker_local")
+        .ok()?
+        .get("wall_secs")?
+        .as_f64("wall_secs")
+        .ok()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -176,6 +352,9 @@ fn main() {
     modes.insert("locked_vec".into(), mode_json(&locked));
     modes.insert("worker_local".into(), mode_json(&worker_local));
 
+    eprintln!("benchmarking mask ops (packed vs naive Vec<bool>)…");
+    let mask_ops = mask_ops_bench();
+
     let mut root = BTreeMap::new();
     root.insert(
         "schema".into(),
@@ -183,10 +362,28 @@ fn main() {
     );
     root.insert("scenario".into(), Json::Object(scenario));
     root.insert("modes".into(), Json::Object(modes));
+    root.insert("mask_ops".into(), mask_ops);
     root.insert(
         "speedup_worker_local_vs_locked".into(),
         Json::Number(locked.wall_secs / worker_local.wall_secs),
     );
+    // End-to-end comparison against the baseline committed by the previous
+    // run (read before we overwrite it below).
+    match previous_wall_secs(&out, quick) {
+        Some(prev) => {
+            let speedup = prev / worker_local.wall_secs;
+            eprintln!(
+                "end-to-end vs previous baseline: {prev:.2}s → {:.2}s ({speedup:.2}x)",
+                worker_local.wall_secs
+            );
+            root.insert("previous_wall_secs".into(), Json::Number(prev));
+            root.insert("speedup_vs_previous".into(), Json::Number(speedup));
+        }
+        None => {
+            eprintln!("no comparable previous baseline at {out}; skipping comparison");
+            root.insert("speedup_vs_previous".into(), Json::Null);
+        }
+    }
 
     let text = json::to_pretty_string(&Json::Object(root));
     std::fs::write(&out, format!("{text}\n")).expect("write baseline");

@@ -116,7 +116,7 @@ pub fn deepfake_frame(first: &Frame, i: usize) -> Frame {
     let (out, valid) = geom::warp(first, &transform);
     // Invalid border pixels keep the original content.
     let mut filled = out;
-    for (idx, ok) in valid.bits().iter().enumerate() {
+    for (idx, ok) in valid.iter().enumerate() {
         if !ok {
             filled.pixels_mut()[idx] = first.pixels()[idx];
         }

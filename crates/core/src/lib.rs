@@ -76,6 +76,15 @@ pub enum CoreError {
     /// message is preserved. Surfaced as an error instead of aborting the
     /// whole process.
     WorkerPanic(String),
+    /// A frame or mask fed to the reconstruction canvas does not match the
+    /// canvas geometry. Surfaced as an error because silently skipping the
+    /// frame would drop its entire residue from the reconstruction.
+    CanvasDimensionMismatch {
+        /// Canvas `(width, height)`.
+        expected: (usize, usize),
+        /// Offending input `(width, height)`.
+        got: (usize, usize),
+    },
     /// Propagated imaging failure.
     Imaging(bb_imaging::ImagingError),
     /// Propagated video failure.
@@ -91,6 +100,11 @@ impl std::fmt::Display for CoreError {
             }
             CoreError::NoPeriodFound => write!(f, "no loop period found for virtual video"),
             CoreError::WorkerPanic(msg) => write!(f, "worker thread panicked: {msg}"),
+            CoreError::CanvasDimensionMismatch { expected, got } => write!(
+                f,
+                "canvas dimension mismatch: canvas is {}x{}, input is {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
             CoreError::Imaging(e) => write!(f, "imaging error: {e}"),
             CoreError::Video(e) => write!(f, "video error: {e}"),
         }

@@ -301,7 +301,7 @@ impl Reconstructor {
             let _span = telemetry.time("reconstruct/accumulate");
             let mut canvas = ReconstructionCanvas::new(w, h);
             for (i, leak) in per_frame_leak.iter().enumerate() {
-                canvas.accumulate(video.frame(i), leak);
+                canvas.accumulate(video.frame(i), leak)?;
             }
             canvas
         };

@@ -8,6 +8,7 @@
 //! so the majority color is the background with high probability. The
 //! observation count doubles as a confidence signal for the attacks.
 
+use crate::CoreError;
 use bb_imaging::{Frame, Mask, Rgb};
 
 /// Color agreement tolerance for the majority vote (absorbs sensor noise
@@ -31,7 +32,7 @@ pub const VOTE_TAU: u8 = 14;
 /// let frame = Frame::filled(8, 8, Rgb::new(10, 20, 30));
 /// let mut leak = Mask::new(8, 8);
 /// leak.set(3, 3, true);
-/// canvas.accumulate(&frame, &leak);
+/// canvas.accumulate(&frame, &leak).unwrap();
 /// assert_eq!(canvas.recovered_mask().count_set(), 1);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
@@ -70,14 +71,24 @@ impl ReconstructionCanvas {
 
     /// Adds one frame's leaked residue (call in frame order).
     ///
-    /// Per pixel, colors compete by majority vote: an observation matching
-    /// the current candidate (within [`VOTE_TAU`]) reinforces it; a
-    /// mismatching observation weakens it and eventually replaces it.
-    /// Pixels outside the canvas geometry are ignored (the caller validated
-    /// dimensions upstream).
-    pub fn accumulate(&mut self, frame: &Frame, leak: &Mask) {
-        if frame.dims() != (self.width, self.height) || leak.dims() != (self.width, self.height) {
-            return;
+    /// Per pixel, colors compete by Boyer–Moore majority vote: an
+    /// observation matching the current candidate (within [`VOTE_TAU`])
+    /// reinforces it; a mismatching observation weakens it, and the
+    /// observation that drains the candidate's votes to zero replaces it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::CanvasDimensionMismatch`] when `frame` or `leak`
+    /// does not match the canvas geometry — an entire frame's residue would
+    /// otherwise be silently dropped.
+    pub fn accumulate(&mut self, frame: &Frame, leak: &Mask) -> Result<(), CoreError> {
+        for got in [frame.dims(), leak.dims()] {
+            if got != (self.width, self.height) {
+                return Err(CoreError::CanvasDimensionMismatch {
+                    expected: (self.width, self.height),
+                    got,
+                });
+            }
         }
         for (x, y) in leak.iter_set() {
             let idx = y * self.width + x;
@@ -93,7 +104,11 @@ impl ReconstructionCanvas {
                         self.votes[idx] += 1;
                     } else {
                         self.votes[idx] -= 1;
-                        if self.votes[idx] < 0 {
+                        // Boyer–Moore: the dissenting observation that takes
+                        // the count to zero becomes the new candidate. (The
+                        // historical `< 0` threshold let a deposed color
+                        // survive one extra dissent.)
+                        if self.votes[idx] == 0 {
                             self.colors[idx] = Some(observed);
                             self.votes[idx] = 1;
                         }
@@ -101,6 +116,7 @@ impl ReconstructionCanvas {
                 }
             }
         }
+        Ok(())
     }
 
     /// Number of recovered pixels.
@@ -110,13 +126,9 @@ impl ReconstructionCanvas {
 
     /// The mask of recovered pixels.
     pub fn recovered_mask(&self) -> Mask {
-        let mut m = Mask::new(self.width, self.height);
-        for (i, c) in self.colors.iter().enumerate() {
-            if c.is_some() {
-                m.set_index(i, true);
-            }
-        }
-        m
+        Mask::from_fn(self.width, self.height, |x, y| {
+            self.colors[y * self.width + x].is_some()
+        })
     }
 
     /// The reconstructed background: recovered pixels in their majority
@@ -177,12 +189,37 @@ mod tests {
         let mut leak = Mask::new(4, 4);
         leak.set(1, 1, true);
         // Pollution first, then repeated truth.
-        canvas.accumulate(&bad, &leak);
-        canvas.accumulate(&good, &leak);
-        canvas.accumulate(&good, &leak);
-        canvas.accumulate(&good, &leak);
+        canvas.accumulate(&bad, &leak).unwrap();
+        canvas.accumulate(&good, &leak).unwrap();
+        canvas.accumulate(&good, &leak).unwrap();
+        canvas.accumulate(&good, &leak).unwrap();
         assert_eq!(canvas.color_at(1, 1), Some(Rgb::new(10, 200, 10)));
         assert_eq!(canvas.count_at(1, 1), 4);
+    }
+
+    #[test]
+    fn dissent_that_zeroes_votes_replaces_candidate() {
+        // Boyer–Moore regression for the off-by-one threshold: one pollution
+        // observation holds exactly one vote, so the very first dissenting
+        // truth observation drains it to zero and must take over. The old
+        // `votes < 0` threshold kept the pollution color alive here.
+        let mut canvas = ReconstructionCanvas::new(2, 2);
+        let pollution = Frame::filled(2, 2, Rgb::new(200, 10, 10));
+        let truth = Frame::filled(2, 2, Rgb::new(10, 200, 10));
+        let mut leak = Mask::new(2, 2);
+        leak.set(0, 0, true);
+        canvas.accumulate(&pollution, &leak).unwrap();
+        canvas.accumulate(&truth, &leak).unwrap();
+        assert_eq!(canvas.color_at(0, 0), Some(Rgb::new(10, 200, 10)));
+
+        // And the exact sequence P T P T T: votes walk 1→(replace)1→0/replace
+        // →1→2, ending on truth with two supporting votes.
+        let mut canvas = ReconstructionCanvas::new(2, 2);
+        for f in [&pollution, &truth, &pollution, &truth, &truth] {
+            canvas.accumulate(f, &leak).unwrap();
+        }
+        assert_eq!(canvas.color_at(0, 0), Some(Rgb::new(10, 200, 10)));
+        assert_eq!(canvas.count_at(0, 0), 5);
     }
 
     #[test]
@@ -191,7 +228,7 @@ mod tests {
         let f = Frame::filled(4, 4, Rgb::new(1, 2, 3));
         let mut leak = Mask::new(4, 4);
         leak.set(0, 0, true);
-        canvas.accumulate(&f, &leak);
+        canvas.accumulate(&f, &leak).unwrap();
         assert_eq!(canvas.color_at(0, 0), Some(Rgb::new(1, 2, 3)));
         assert_eq!(canvas.recovered_count(), 1);
     }
@@ -203,7 +240,7 @@ mod tests {
         leak.set(0, 0, true);
         for d in 0..10u8 {
             let f = Frame::filled(2, 2, Rgb::new(100 + d % 3, 100, 100));
-            canvas.accumulate(&f, &leak);
+            canvas.accumulate(&f, &leak).unwrap();
         }
         // All within VOTE_TAU of the first → candidate survives.
         let c = canvas.color_at(0, 0).unwrap();
@@ -218,7 +255,7 @@ mod tests {
         for i in 0..6 {
             let mut leak = Mask::new(6, 6);
             leak.set(i, i, true);
-            canvas.accumulate(&f, &leak);
+            canvas.accumulate(&f, &leak).unwrap();
             assert!(canvas.recovered_count() >= prev);
             prev = canvas.recovered_count();
         }
@@ -226,9 +263,26 @@ mod tests {
     }
 
     #[test]
-    fn mismatched_dims_ignored() {
+    fn mismatched_dims_is_error() {
         let mut canvas = ReconstructionCanvas::new(4, 4);
-        canvas.accumulate(&Frame::filled(5, 5, Rgb::WHITE), &Mask::full(5, 5));
+        let r = canvas.accumulate(&Frame::filled(5, 5, Rgb::WHITE), &Mask::full(5, 5));
+        assert_eq!(
+            r,
+            Err(CoreError::CanvasDimensionMismatch {
+                expected: (4, 4),
+                got: (5, 5),
+            })
+        );
+        // A frame matching the canvas but a leak mask that doesn't is also
+        // rejected, and nothing is accumulated either way.
+        let r = canvas.accumulate(&Frame::filled(4, 4, Rgb::WHITE), &Mask::full(4, 5));
+        assert_eq!(
+            r,
+            Err(CoreError::CanvasDimensionMismatch {
+                expected: (4, 4),
+                got: (4, 5),
+            })
+        );
         assert_eq!(canvas.recovered_count(), 0);
     }
 
@@ -238,7 +292,7 @@ mod tests {
         let f = Frame::filled(3, 3, Rgb::new(9, 9, 9));
         let mut leak = Mask::new(3, 3);
         leak.set(0, 0, true);
-        canvas.accumulate(&f, &leak);
+        canvas.accumulate(&f, &leak).unwrap();
         let out = canvas.to_frame(Rgb::BLACK);
         assert_eq!(out.get(0, 0), Rgb::new(9, 9, 9));
         assert_eq!(out.get(2, 2), Rgb::BLACK);
@@ -252,9 +306,9 @@ mod tests {
         leak_once.set(0, 0, true);
         let mut leak_thrice = Mask::new(4, 4);
         leak_thrice.set(1, 1, true);
-        canvas.accumulate(&f, &leak_once);
+        canvas.accumulate(&f, &leak_once).unwrap();
         for _ in 0..3 {
-            canvas.accumulate(&f, &leak_thrice);
+            canvas.accumulate(&f, &leak_thrice).unwrap();
         }
         let filtered = canvas.filtered(2);
         assert_eq!(filtered.recovered_count(), 1);

@@ -61,7 +61,7 @@ proptest! {
         let mut prev = 0usize;
         let mut union = Mask::new(6, 6);
         for leak in &leaks {
-            canvas.accumulate(&frame, leak);
+            canvas.accumulate(&frame, leak).unwrap();
             prop_assert!(canvas.recovered_count() >= prev);
             prev = canvas.recovered_count();
             union.union_in_place(leak).unwrap();
@@ -77,9 +77,9 @@ proptest! {
         let mut leak = Mask::new(4, 4);
         leak.set(x, y, true);
         let mut canvas = ReconstructionCanvas::new(4, 4);
-        canvas.accumulate(&bad, &leak);
+        canvas.accumulate(&bad, &leak).unwrap();
         for _ in 0..n_good {
-            canvas.accumulate(&good, &leak);
+            canvas.accumulate(&good, &leak).unwrap();
         }
         prop_assert_eq!(canvas.color_at(x, y), Some(Rgb::new(20, 200, 20)));
     }

@@ -73,13 +73,9 @@ impl Labeling {
     ///
     /// Returns an all-background mask when the label does not exist.
     pub fn component_mask(&self, label: u32, height: usize) -> Mask {
-        let mut m = Mask::new(self.width, height);
-        for (i, &l) in self.labels.iter().enumerate() {
-            if l == label {
-                m.set_index(i, true);
-            }
-        }
-        m
+        Mask::from_fn(self.width, height, |x, y| {
+            self.labels[y * self.width + x] == label
+        })
     }
 }
 
@@ -110,14 +106,17 @@ pub fn label(mask: &Mask, connectivity: Connectivity) -> Labeling {
         Connectivity::Eight => offsets_8,
     };
 
-    for start in 0..w * h {
-        if !mask.get_index(start) || labels[start] != 0 {
+    // iter_set visits foreground pixels in row-major order — the same
+    // discovery order (and therefore the same labels) as the historical
+    // `0..w*h` scan — while skipping empty 64-pixel words outright.
+    for (sx, sy) in mask.iter_set() {
+        let start = sy * w + sx;
+        if labels[start] != 0 {
             continue;
         }
         let this_label = next_label;
         next_label += 1;
         let mut area = 0usize;
-        let (sx, sy) = (start % w, start / w);
         let (mut x0, mut y0, mut x1, mut y1) = (sx, sy, sx, sy);
         labels[start] = this_label;
         queue.push_back(start);
@@ -135,7 +134,7 @@ pub fn label(mask: &Mask, connectivity: Connectivity) -> Labeling {
                     continue;
                 }
                 let nidx = ny as usize * w + nx as usize;
-                if mask.get_index(nidx) && labels[nidx] == 0 {
+                if mask.get(nx as usize, ny as usize) && labels[nidx] == 0 {
                     labels[nidx] = this_label;
                     queue.push_back(nidx);
                 }
@@ -165,14 +164,10 @@ pub fn remove_small_components(mask: &Mask, min_area: usize, connectivity: Conne
         .filter(|c| c.area >= min_area)
         .map(|c| c.label)
         .collect();
-    let mut out = Mask::new(w, h);
-    for i in 0..w * h {
-        let l = labeling.labels[i];
-        if l != 0 && keep.contains(&l) {
-            out.set_index(i, true);
-        }
-    }
-    out
+    Mask::from_fn(w, h, |x, y| {
+        let l = labeling.labels[y * w + x];
+        l != 0 && keep.contains(&l)
+    })
 }
 
 #[cfg(test)]

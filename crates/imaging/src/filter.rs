@@ -45,11 +45,19 @@ fn directional_box(frame: &Frame, radius: usize, horizontal: bool) -> Frame {
             out.put(
                 x,
                 y,
-                Rgb::new((sr / n) as u8, (sg / n) as u8, (sb / n) as u8),
+                Rgb::new(round_div(sr, n), round_div(sg, n), round_div(sb, n)),
             );
         }
     }
     out
+}
+
+/// Round-to-nearest integer division for channel means. Truncating here
+/// (`(sum / n) as u8`) darkens every averaged pixel by up to 1 LSB — a
+/// systematic bias that leaks into the BBM detection thresholds.
+#[inline]
+fn round_div(sum: u32, n: u32) -> u8 {
+    ((sum + n / 2) / n) as u8
 }
 
 /// Builds a normalised 1-D Gaussian kernel with the given `sigma`, truncated
@@ -147,7 +155,7 @@ pub fn motion_blur(frame: &Frame, length: usize) -> Frame {
             out.put(
                 x,
                 y,
-                Rgb::new((sr / n) as u8, (sg / n) as u8, (sb / n) as u8),
+                Rgb::new(round_div(sr, n), round_div(sg, n), round_div(sb, n)),
             );
         }
     }
@@ -172,7 +180,11 @@ pub fn downsample(frame: &Frame) -> Frame {
                 }
             }
         }
-        Rgb::new((acc[0] / n) as u8, (acc[1] / n) as u8, (acc[2] / n) as u8)
+        Rgb::new(
+            round_div(acc[0], n),
+            round_div(acc[1], n),
+            round_div(acc[2], n),
+        )
     })
 }
 
@@ -291,7 +303,7 @@ pub fn laplacian_blend(
     let mut fg_pyr = vec![fg.clone()];
     let mut bg_pyr = vec![bg.clone()];
     let (w, h) = fg.dims();
-    let mut matte: Vec<Vec<f32>> = vec![mask.bits().iter().map(|&b| b as u8 as f32).collect()];
+    let mut matte: Vec<Vec<f32>> = vec![mask.iter().map(|b| u8::from(b) as f32).collect()];
     let mut sizes = vec![(w, h)];
     for _ in 1..levels {
         let (lw, lh) = *sizes.last().expect("sizes is non-empty");
@@ -379,6 +391,34 @@ mod tests {
         let b = box_blur(&f, 1);
         let mid = b.get(5, 2).luma();
         assert!(mid > 0 && mid < 255, "edge should be smoothed, got {mid}");
+    }
+
+    #[test]
+    fn box_blur_rounds_to_nearest() {
+        // A [1, 2, 2] row under radius 1: the centre mean is 5/3 ≈ 1.67,
+        // which must round to 2 (truncation gave 1 — a darkening bias).
+        let mut f = Frame::new(3, 1);
+        f.put(0, 0, Rgb::grey(1));
+        f.put(1, 0, Rgb::grey(2));
+        f.put(2, 0, Rgb::grey(2));
+        let b = box_blur(&f, 1);
+        assert_eq!(b.get(1, 0), Rgb::grey(2));
+    }
+
+    #[test]
+    fn downsample_rounds_to_nearest() {
+        // 2×2 patch [1, 2, 2, 2]: mean 1.75 → 2 (truncation gave 1).
+        let mut f = Frame::filled(2, 2, Rgb::grey(2));
+        f.put(0, 0, Rgb::grey(1));
+        assert_eq!(downsample(&f).get(0, 0), Rgb::grey(2));
+    }
+
+    #[test]
+    fn motion_blur_rounds_to_nearest() {
+        // Trailing window [2, 2, 1] at x = 2: mean 5/3 → 2 (truncation: 1).
+        let mut f = Frame::filled(3, 1, Rgb::grey(2));
+        f.put(2, 0, Rgb::grey(1));
+        assert_eq!(motion_blur(&f, 3).get(2, 0), Rgb::grey(2));
     }
 
     #[test]

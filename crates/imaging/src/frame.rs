@@ -287,8 +287,8 @@ impl Frame {
     pub fn paint_masked(&self, mask: &Mask, color: Rgb) -> Result<Frame, ImagingError> {
         self.check_mask_dims(mask)?;
         let mut out = self.clone();
-        for (i, p) in out.data.iter_mut().enumerate() {
-            if mask.get_index(i) {
+        for (p, on) in out.data.iter_mut().zip(mask.iter()) {
+            if on {
                 *p = color;
             }
         }
@@ -304,13 +304,11 @@ impl Frame {
     /// Returns [`ImagingError::DimensionMismatch`] when sizes differ.
     pub fn match_mask(&self, other: &Frame, tau: u8) -> Result<Mask, ImagingError> {
         self.check_same_dims(other)?;
-        let mut m = Mask::new(self.width, self.height);
-        for i in 0..self.data.len() {
-            if self.data[i].matches(other.data[i], tau) {
-                m.set_index(i, true);
-            }
-        }
-        Ok(m)
+        // from_fn packs the comparison results straight into mask words.
+        Ok(Mask::from_fn(self.width, self.height, |x, y| {
+            let i = y * self.width + x;
+            self.data[i].matches(other.data[i], tau)
+        }))
     }
 
     /// Number of pixels that match `other` within tolerance `tau` — the

@@ -65,8 +65,8 @@ impl ColorHistogram {
         if frame.dims() != mask.dims() {
             return;
         }
-        for (i, &p) in frame.pixels().iter().enumerate() {
-            if mask.get_index(i) {
+        for (&p, on) in frame.pixels().iter().zip(mask.iter()) {
+            if on {
                 self.add(p);
             }
         }
@@ -126,8 +126,8 @@ pub fn hue_histogram(frame: &Frame, mask: &Mask) -> [f64; HUE_BINS] {
         return bins;
     }
     let mut n = 0u64;
-    for (i, &p) in frame.pixels().iter().enumerate() {
-        if !mask.get_index(i) {
+    for (&p, on) in frame.pixels().iter().zip(mask.iter()) {
+        if !on {
             continue;
         }
         let hsv = p.to_hsv();

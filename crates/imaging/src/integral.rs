@@ -37,9 +37,27 @@ impl Integral {
     }
 
     /// Integral of a mask (1 per foreground pixel).
+    ///
+    /// Reads the packed rows directly: each pixel costs one shift-and-mask
+    /// of the row word it lives in, with no per-pixel bounds checks or row
+    /// re-indexing.
     pub fn of_mask(mask: &Mask) -> Self {
         let (w, h) = mask.dims();
-        Integral::from_fn(w, h, |x, y| mask.get(x, y) as u64)
+        let tw = w + 1;
+        let mut table = vec![0u64; tw * (h + 1)];
+        for y in 0..h {
+            let row = mask.row_words(y);
+            let mut row_sum = 0u64;
+            for x in 0..w {
+                row_sum += (row[x / 64] >> (x % 64)) & 1;
+                table[(y + 1) * tw + (x + 1)] = table[y * tw + (x + 1)] + row_sum;
+            }
+        }
+        Integral {
+            width: w,
+            height: h,
+            table,
+        }
     }
 
     /// Integral of a frame's luma channel.

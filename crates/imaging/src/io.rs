@@ -127,11 +127,7 @@ pub fn load_ppm(path: impl AsRef<Path>) -> Result<Frame, ImagingError> {
 pub fn write_pgm<W: Write>(mask: &Mask, mut out: W) -> Result<(), ImagingError> {
     let (w, h) = mask.dims();
     write!(out, "P5\n{w} {h}\n255\n")?;
-    let buf: Vec<u8> = mask
-        .bits()
-        .iter()
-        .map(|&b| if b { 255 } else { 0 })
-        .collect();
+    let buf: Vec<u8> = mask.iter().map(|b| if b { 255 } else { 0 }).collect();
     out.write_all(&buf)?;
     Ok(())
 }

@@ -57,5 +57,5 @@ pub mod pixel;
 
 pub use error::ImagingError;
 pub use frame::Frame;
-pub use mask::{Mask, TriState, Trimap};
+pub use mask::{Mask, TriState, Trimap, WORD_BITS};
 pub use pixel::{Hsv, Rgb};

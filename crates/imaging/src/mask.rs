@@ -5,14 +5,39 @@
 //! The reconstruction framework manipulates three binary masks per frame
 //! (VBMⁱ, BBMⁱ, VCMⁱ) and relies on set algebra over them (§V-E), so [`Mask`]
 //! provides union/intersection/difference/complement plus counting helpers.
+//!
+//! # Representation
+//!
+//! A mask is stored as bit-packed `u64` rows: each image row occupies
+//! `⌈width / 64⌉` words, pixel `x` living in bit `x % 64` of word `x / 64`.
+//! All set algebra, counting and iteration run word-parallel — one `u64`
+//! operation covers 64 pixels — which is what keeps the per-frame mask
+//! pipeline (VBM → BBM → VCM → residue) cheap at scale. Any bits of a row's
+//! last word beyond `width` are **always zero**; every constructor and
+//! mutator maintains that invariant, so equality, popcounts and word-level
+//! consumers never have to mask the tail themselves.
 
 use crate::error::ImagingError;
 use serde::{Deserialize, Serialize};
 
+/// Bits per storage word.
+pub const WORD_BITS: usize = 64;
+
+/// Mask of the bits actually used by the *last* word of a row of the given
+/// `width` (all-ones when the row ends exactly on a word boundary).
+#[inline]
+fn tail_mask(width: usize) -> u64 {
+    match width % WORD_BITS {
+        0 => !0u64,
+        rem => (1u64 << rem) - 1,
+    }
+}
+
 /// A binary bitmap with the same resolution as its frame.
 ///
 /// `true` marks foreground (the paper's `(255,255,255)` value), `false`
-/// background (§III).
+/// background (§III). Pixels are bit-packed into `u64` words row by row;
+/// see the module docs for the layout and the zero-tail invariant.
 ///
 /// # Example
 ///
@@ -27,7 +52,8 @@ use serde::{Deserialize, Serialize};
 pub struct Mask {
     width: usize,
     height: usize,
-    bits: Vec<bool>,
+    words_per_row: usize,
+    words: Vec<u64>,
 }
 
 impl Mask {
@@ -38,26 +64,41 @@ impl Mask {
     /// Panics when either dimension is zero.
     pub fn new(width: usize, height: usize) -> Self {
         assert!(width > 0 && height > 0, "mask dimensions must be non-zero");
+        let words_per_row = width.div_ceil(WORD_BITS);
         Mask {
             width,
             height,
-            bits: vec![false; width * height],
+            words_per_row,
+            words: vec![0u64; words_per_row * height],
         }
     }
 
     /// Creates an all-foreground mask.
     pub fn full(width: usize, height: usize) -> Self {
         let mut m = Mask::new(width, height);
-        m.bits.fill(true);
+        m.words.fill(!0u64);
+        let tail = tail_mask(width);
+        for y in 0..height {
+            m.words[(y + 1) * m.words_per_row - 1] &= tail;
+        }
         m
     }
 
-    /// Builds a mask from a predicate called as `f(x, y)`.
+    /// Builds a mask from a predicate called as `f(x, y)`, row-major with
+    /// `x` fastest (the same visit order as the historical `Vec<bool>`
+    /// implementation, so stateful predicates behave identically).
     pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> bool) -> Self {
         let mut m = Mask::new(width, height);
         for y in 0..height {
-            for x in 0..width {
-                m.bits[y * width + x] = f(x, y);
+            let base = y * m.words_per_row;
+            for wi in 0..m.words_per_row {
+                let lo = wi * WORD_BITS;
+                let hi = (lo + WORD_BITS).min(width);
+                let mut word = 0u64;
+                for x in lo..hi {
+                    word |= u64::from(f(x, y)) << (x - lo);
+                }
+                m.words[base + wi] = word;
             }
         }
         m
@@ -81,6 +122,40 @@ impl Mask {
         (self.width, self.height)
     }
 
+    /// Number of `u64` words backing each row (`⌈width / 64⌉`).
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The packed words of row `y`. Bit `x % 64` of word `x / 64` is pixel
+    /// `(x, y)`; bits at or beyond `width` in the last word are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `y` is out of bounds.
+    #[inline]
+    pub fn row_words(&self, y: usize) -> &[u64] {
+        &self.words[y * self.words_per_row..(y + 1) * self.words_per_row]
+    }
+
+    /// Overwrites word `wi` of row `y`. Bits beyond `width` in a row's last
+    /// word are cleared automatically, preserving the zero-tail invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `y` or `wi` is out of bounds.
+    #[inline]
+    pub fn set_row_word(&mut self, y: usize, wi: usize, word: u64) {
+        assert!(y < self.height && wi < self.words_per_row);
+        let masked = if wi + 1 == self.words_per_row {
+            word & tail_mask(self.width)
+        } else {
+            word
+        };
+        self.words[y * self.words_per_row + wi] = masked;
+    }
+
     /// Value at `(x, y)`.
     ///
     /// # Panics
@@ -89,23 +164,25 @@ impl Mask {
     #[inline]
     pub fn get(&self, x: usize, y: usize) -> bool {
         debug_assert!(x < self.width && y < self.height);
-        self.bits[y * self.width + x]
+        let word = self.words[y * self.words_per_row + x / WORD_BITS];
+        (word >> (x % WORD_BITS)) & 1 == 1
     }
 
     /// Value at `(x, y)`, or `false` when out of bounds.
     #[inline]
     pub fn get_or_false(&self, x: i64, y: i64) -> bool {
         if x >= 0 && y >= 0 && (x as usize) < self.width && (y as usize) < self.height {
-            self.bits[y as usize * self.width + x as usize]
+            self.get(x as usize, y as usize)
         } else {
             false
         }
     }
 
-    /// Value at flat row-major index `i`.
+    /// Value at flat row-major *pixel* index `i` (i.e. `y * width + x`; not
+    /// a word index).
     #[inline]
     pub fn get_index(&self, i: usize) -> bool {
-        self.bits[i]
+        self.get(i % self.width, i / self.width)
     }
 
     /// Sets the value at `(x, y)`.
@@ -116,34 +193,43 @@ impl Mask {
     #[inline]
     pub fn set(&mut self, x: usize, y: usize, v: bool) {
         debug_assert!(x < self.width && y < self.height);
-        self.bits[y * self.width + x] = v;
+        let word = &mut self.words[y * self.words_per_row + x / WORD_BITS];
+        let bit = 1u64 << (x % WORD_BITS);
+        if v {
+            *word |= bit;
+        } else {
+            *word &= !bit;
+        }
     }
 
-    /// Sets the value at flat row-major index `i`.
+    /// Sets the value at flat row-major *pixel* index `i`.
     #[inline]
     pub fn set_index(&mut self, i: usize, v: bool) {
-        self.bits[i] = v;
+        self.set(i % self.width, i / self.width, v);
     }
 
-    /// Raw bit buffer, row-major.
-    #[inline]
-    pub fn bits(&self) -> &[bool] {
-        &self.bits
+    /// Iterates every pixel value in row-major order (the replacement for
+    /// the historical `bits()` slice accessor).
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.height).flat_map(move |y| {
+            let row = self.row_words(y);
+            (0..self.width).map(move |x| (row[x / WORD_BITS] >> (x % WORD_BITS)) & 1 == 1)
+        })
     }
 
-    /// Number of foreground pixels.
+    /// Number of foreground pixels (word-parallel popcount).
     pub fn count_set(&self) -> usize {
-        self.bits.iter().filter(|&&b| b).count()
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Fraction of foreground pixels in `[0, 1]`.
     pub fn coverage(&self) -> f64 {
-        self.count_set() as f64 / self.bits.len() as f64
+        self.count_set() as f64 / (self.width * self.height) as f64
     }
 
     /// True when no pixel is set.
     pub fn is_empty(&self) -> bool {
-        !self.bits.iter().any(|&b| b)
+        self.words.iter().all(|&w| w == 0)
     }
 
     /// Checks dimension equality with another mask.
@@ -171,7 +257,7 @@ impl Mask {
     pub fn union(&self, other: &Mask) -> Result<Mask, ImagingError> {
         self.check_same_dims(other)?;
         let mut out = self.clone();
-        for (a, b) in out.bits.iter_mut().zip(&other.bits) {
+        for (a, b) in out.words.iter_mut().zip(&other.words) {
             *a |= *b;
         }
         Ok(out)
@@ -185,7 +271,7 @@ impl Mask {
     pub fn intersect(&self, other: &Mask) -> Result<Mask, ImagingError> {
         self.check_same_dims(other)?;
         let mut out = self.clone();
-        for (a, b) in out.bits.iter_mut().zip(&other.bits) {
+        for (a, b) in out.words.iter_mut().zip(&other.words) {
             *a &= *b;
         }
         Ok(out)
@@ -200,7 +286,7 @@ impl Mask {
     pub fn subtract(&self, other: &Mask) -> Result<Mask, ImagingError> {
         self.check_same_dims(other)?;
         let mut out = self.clone();
-        for (a, b) in out.bits.iter_mut().zip(&other.bits) {
+        for (a, b) in out.words.iter_mut().zip(&other.words) {
             *a &= !*b;
         }
         Ok(out)
@@ -209,8 +295,12 @@ impl Mask {
     /// Complement (`¬self`).
     pub fn complement(&self) -> Mask {
         let mut out = self.clone();
-        for b in &mut out.bits {
-            *b = !*b;
+        for w in &mut out.words {
+            *w = !*w;
+        }
+        let tail = tail_mask(self.width);
+        for y in 0..self.height {
+            out.words[(y + 1) * self.words_per_row - 1] &= tail;
         }
         out
     }
@@ -222,33 +312,69 @@ impl Mask {
     /// Returns [`ImagingError::DimensionMismatch`] when sizes differ.
     pub fn union_in_place(&mut self, other: &Mask) -> Result<(), ImagingError> {
         self.check_same_dims(other)?;
-        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a |= *b;
         }
         Ok(())
     }
 
-    /// Iterates over the `(x, y)` coordinates of all foreground pixels.
+    /// Iterates over the `(x, y)` coordinates of all foreground pixels in
+    /// row-major order, skipping all-zero words entirely — leak masks are
+    /// sparse, so most words cost one comparison.
     pub fn iter_set(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        let w = self.width;
-        self.bits
+        let wpr = self.words_per_row;
+        self.words
             .iter()
             .enumerate()
-            .filter(|(_, &b)| b)
-            .map(move |(i, _)| (i % w, i / w))
+            .filter(|(_, &w)| w != 0)
+            .flat_map(move |(wi, &word)| {
+                let y = wi / wpr;
+                let x_base = (wi % wpr) * WORD_BITS;
+                SetBits(word).map(move |b| (x_base + b, y))
+            })
     }
 
     /// Bounding box `(x0, y0, x1, y1)` of the foreground (inclusive), or
-    /// `None` when empty.
+    /// `None` when empty. Scans word-wise: per non-zero word one
+    /// trailing/leading-zero count, no per-pixel work.
     pub fn bounding_box(&self) -> Option<(usize, usize, usize, usize)> {
-        let mut bb: Option<(usize, usize, usize, usize)> = None;
-        for (x, y) in self.iter_set() {
-            bb = Some(match bb {
-                None => (x, y, x, y),
-                Some((x0, y0, x1, y1)) => (x0.min(x), y0.min(y), x1.max(x), y1.max(y)),
-            });
+        let mut rows = None;
+        let (mut x0, mut x1) = (usize::MAX, 0usize);
+        for y in 0..self.height {
+            let mut row_has_any = false;
+            for (wi, &word) in self.row_words(y).iter().enumerate() {
+                if word == 0 {
+                    continue;
+                }
+                row_has_any = true;
+                x0 = x0.min(wi * WORD_BITS + word.trailing_zeros() as usize);
+                x1 = x1.max(wi * WORD_BITS + (WORD_BITS - 1) - word.leading_zeros() as usize);
+            }
+            if row_has_any {
+                rows = Some(match rows {
+                    None => (y, y),
+                    Some((y0, _)) => (y0, y),
+                });
+            }
         }
-        bb
+        rows.map(|(y0, y1)| (x0, y0, x1, y1))
+    }
+}
+
+/// Iterator over the set bit positions of a single word (ascending).
+struct SetBits(u64);
+
+impl Iterator for SetBits {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let b = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(b)
     }
 }
 
@@ -343,16 +469,13 @@ impl Trimap {
     /// Collapses the trimap to a binary mask, resolving
     /// [`TriState::Unknown`] as foreground when `unknown_is_foreground`.
     pub fn to_mask(&self, unknown_is_foreground: bool) -> Mask {
-        let mut m = Mask::new(self.width, self.height);
-        for (i, s) in self.states.iter().enumerate() {
-            let v = match s {
+        Mask::from_fn(self.width, self.height, |x, y| {
+            match self.states[y * self.width + x] {
                 TriState::Foreground => true,
                 TriState::Unknown => unknown_is_foreground,
                 TriState::Background => false,
-            };
-            m.set_index(i, v);
-        }
-        m
+            }
+        })
     }
 
     /// Counts pixels in a given state.
@@ -384,6 +507,16 @@ mod tests {
     }
 
     #[test]
+    fn full_keeps_tail_bits_clear_on_partial_words() {
+        // Width 70 spills 6 bits into a second word per row; the unused 58
+        // bits must stay zero so popcounts stay exact.
+        let m = Mask::full(70, 3);
+        assert_eq!(m.count_set(), 210);
+        assert_eq!(m.words_per_row(), 2);
+        assert_eq!(m.row_words(1)[1], (1u64 << 6) - 1);
+    }
+
+    #[test]
     fn union_intersect_difference() {
         let a = checker(4, 4);
         let b = a.complement();
@@ -397,6 +530,14 @@ mod tests {
     fn complement_involution() {
         let a = checker(5, 3);
         assert_eq!(a.complement().complement(), a);
+    }
+
+    #[test]
+    fn complement_respects_partial_tail_word() {
+        let m = Mask::new(65, 2);
+        let c = m.complement();
+        assert_eq!(c.count_set(), 130);
+        assert_eq!(c, Mask::full(65, 2));
     }
 
     #[test]
@@ -426,6 +567,33 @@ mod tests {
     }
 
     #[test]
+    fn index_accessors_are_row_major_pixel_indices() {
+        let mut m = Mask::new(100, 3);
+        m.set_index(2 * 100 + 97, true);
+        assert!(m.get(97, 2));
+        assert!(m.get_index(297));
+        assert_eq!(m.count_set(), 1);
+    }
+
+    #[test]
+    fn iter_matches_get_across_word_boundary() {
+        let m = Mask::from_fn(67, 2, |x, y| (x * 7 + y) % 3 == 0);
+        let flat: Vec<bool> = m.iter().collect();
+        assert_eq!(flat.len(), 134);
+        for (i, v) in flat.iter().enumerate() {
+            assert_eq!(*v, m.get(i % 67, i / 67));
+        }
+    }
+
+    #[test]
+    fn set_row_word_clears_tail() {
+        let mut m = Mask::new(65, 1);
+        m.set_row_word(0, 1, !0u64);
+        assert_eq!(m.count_set(), 1);
+        assert!(m.get(64, 0));
+    }
+
+    #[test]
     fn bounding_box_of_empty_is_none() {
         assert_eq!(Mask::new(4, 4).bounding_box(), None);
     }
@@ -439,11 +607,34 @@ mod tests {
     }
 
     #[test]
+    fn bounding_box_spans_words() {
+        let mut m = Mask::new(130, 4);
+        m.set(1, 1, true);
+        m.set(128, 3, true);
+        assert_eq!(m.bounding_box(), Some((1, 1, 128, 3)));
+    }
+
+    #[test]
     fn iter_set_yields_coordinates() {
         let mut m = Mask::new(3, 2);
         m.set(2, 1, true);
         let v: Vec<_> = m.iter_set().collect();
         assert_eq!(v, vec![(2, 1)]);
+    }
+
+    #[test]
+    fn iter_set_order_is_row_major() {
+        let m = Mask::from_fn(70, 3, |x, y| (x + y) % 13 == 0);
+        let via_iter: Vec<(usize, usize)> = m.iter_set().collect();
+        let mut naive = Vec::new();
+        for y in 0..3 {
+            for x in 0..70 {
+                if m.get(x, y) {
+                    naive.push((x, y));
+                }
+            }
+        }
+        assert_eq!(via_iter, naive);
     }
 
     #[test]

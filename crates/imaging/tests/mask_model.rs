@@ -1,0 +1,219 @@
+//! Model-based property tests for the bit-packed [`Mask`].
+//!
+//! Every packed operation is checked against [`BoolModel`], a naive
+//! `Vec<bool>` implementation of the same semantics (the representation the
+//! engine used before bit-packing). Widths are drawn from `1..=130` so each
+//! case set covers sub-word masks, exact word multiples, and masks whose last
+//! word is partial — the regimes where tail-bit handling can go wrong.
+
+use bb_imaging::{Mask, WORD_BITS};
+use proptest::prelude::*;
+
+/// The naive reference: one `bool` per pixel, row-major.
+#[derive(Debug, Clone, PartialEq)]
+struct BoolModel {
+    width: usize,
+    height: usize,
+    bits: Vec<bool>,
+}
+
+impl BoolModel {
+    fn new(width: usize, height: usize, bits: Vec<bool>) -> Self {
+        assert_eq!(bits.len(), width * height);
+        BoolModel {
+            width,
+            height,
+            bits,
+        }
+    }
+
+    fn get(&self, x: usize, y: usize) -> bool {
+        self.bits[y * self.width + x]
+    }
+
+    fn count_set(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    fn zip_with(&self, other: &BoolModel, f: impl Fn(bool, bool) -> bool) -> BoolModel {
+        let bits = self
+            .bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        BoolModel::new(self.width, self.height, bits)
+    }
+
+    fn complement(&self) -> BoolModel {
+        BoolModel::new(
+            self.width,
+            self.height,
+            self.bits.iter().map(|&b| !b).collect(),
+        )
+    }
+
+    fn iter_set(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for y in 0..self.height {
+            for x in 0..self.width {
+                if self.get(x, y) {
+                    out.push((x, y));
+                }
+            }
+        }
+        out
+    }
+
+    fn bounding_box(&self) -> Option<(usize, usize, usize, usize)> {
+        let set = self.iter_set();
+        if set.is_empty() {
+            return None;
+        }
+        let min_x = set.iter().map(|&(x, _)| x).min().unwrap();
+        let max_x = set.iter().map(|&(x, _)| x).max().unwrap();
+        let min_y = set.iter().map(|&(_, y)| y).min().unwrap();
+        let max_y = set.iter().map(|&(_, y)| y).max().unwrap();
+        Some((min_x, min_y, max_x, max_y))
+    }
+}
+
+/// Dimensions biased toward word-boundary widths: the strategy mixes a free
+/// draw from `1..=130` with exact multiples and off-by-one neighbours of the
+/// 64-bit word size.
+fn arb_dims() -> impl Strategy<Value = (usize, usize)> {
+    (
+        proptest::sample::select(vec![
+            0,
+            WORD_BITS - 1,
+            WORD_BITS,
+            WORD_BITS + 1,
+            2 * WORD_BITS,
+            2 * WORD_BITS + 2,
+        ]),
+        1usize..=130,
+        1usize..=8,
+    )
+        .prop_map(|(special, free, h)| {
+            let w = if special == 0 { free } else { special };
+            (w, h)
+        })
+}
+
+/// A packed mask and its reference model with identical contents.
+fn arb_pair(w: usize, h: usize, rng: &mut impl Iterator<Item = bool>) -> (Mask, BoolModel) {
+    let bits: Vec<bool> = rng.take(w * h).collect();
+    let mask = Mask::from_fn(w, h, |x, y| bits[y * w + x]);
+    (mask, BoolModel::new(w, h, bits))
+}
+
+/// Checks a packed mask pixel-for-pixel against the model, plus the packed
+/// invariant that no bit beyond `width` survives in any row's last word.
+fn assert_agrees(mask: &Mask, model: &BoolModel) {
+    assert_eq!(mask.dims(), (model.width, model.height));
+    for y in 0..model.height {
+        for x in 0..model.width {
+            assert_eq!(
+                mask.get(x, y),
+                model.get(x, y),
+                "pixel ({x},{y}) of {}x{} disagrees",
+                model.width,
+                model.height
+            );
+        }
+        // Zero-tail invariant: bits at and past `width` must be clear.
+        let tail_bits = model.width % WORD_BITS;
+        if tail_bits != 0 {
+            let last = mask.row_words(y)[mask.words_per_row() - 1];
+            assert_eq!(
+                last & !((1u64 << tail_bits) - 1),
+                0,
+                "row {y} has set bits past width {}",
+                model.width
+            );
+        }
+    }
+    assert_eq!(mask.count_set(), model.count_set());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn construction_and_access_match_model(
+        (w, h) in arb_dims(),
+        raw in proptest::collection::vec(any::<bool>(), 130 * 8),
+    ) {
+        let mut stream = raw.into_iter().cycle();
+        let (mask, model) = arb_pair(w, h, &mut stream);
+        assert_agrees(&mask, &model);
+        // iter() replays the exact row-major bool sequence.
+        prop_assert_eq!(mask.iter().collect::<Vec<_>>(), model.bits.clone());
+        // Flat pixel-index accessors agree with (x, y) addressing.
+        for i in 0..w * h {
+            prop_assert_eq!(mask.get_index(i), model.bits[i]);
+        }
+    }
+
+    #[test]
+    fn set_algebra_matches_model(
+        (w, h) in arb_dims(),
+        raw in proptest::collection::vec(any::<bool>(), 2 * 130 * 8),
+    ) {
+        let mut stream = raw.into_iter().cycle();
+        let (ma, va) = arb_pair(w, h, &mut stream);
+        let (mb, vb) = arb_pair(w, h, &mut stream);
+
+        assert_agrees(&ma.union(&mb).unwrap(), &va.zip_with(&vb, |a, b| a | b));
+        assert_agrees(&ma.intersect(&mb).unwrap(), &va.zip_with(&vb, |a, b| a & b));
+        assert_agrees(&ma.subtract(&mb).unwrap(), &va.zip_with(&vb, |a, b| a & !b));
+        assert_agrees(&ma.complement(), &va.complement());
+
+        let mut acc = ma.clone();
+        acc.union_in_place(&mb).unwrap();
+        prop_assert_eq!(acc, ma.union(&mb).unwrap());
+    }
+
+    #[test]
+    fn queries_match_model(
+        (w, h) in arb_dims(),
+        raw in proptest::collection::vec(any::<bool>(), 130 * 8),
+    ) {
+        let mut stream = raw.into_iter().cycle();
+        let (mask, model) = arb_pair(w, h, &mut stream);
+
+        prop_assert_eq!(mask.count_set(), model.count_set());
+        prop_assert_eq!(mask.is_empty(), model.count_set() == 0);
+        let expected_cov = model.count_set() as f64 / (w * h) as f64;
+        prop_assert!((mask.coverage() - expected_cov).abs() < 1e-12);
+        // iter_set yields exactly the model's set pixels, in row-major order.
+        prop_assert_eq!(mask.iter_set().collect::<Vec<_>>(), model.iter_set());
+        prop_assert_eq!(mask.bounding_box(), model.bounding_box());
+    }
+
+    #[test]
+    fn point_mutation_matches_model(
+        (w, h) in arb_dims(),
+        raw in proptest::collection::vec(any::<bool>(), 130 * 8),
+        edits in proptest::collection::vec((0usize..130 * 8, any::<bool>()), 1..32),
+    ) {
+        let mut stream = raw.into_iter().cycle();
+        let (mut mask, mut model) = arb_pair(w, h, &mut stream);
+        for (pos, v) in edits {
+            let (x, y) = (pos % w, (pos / w) % h);
+            mask.set(x, y, v);
+            model.bits[y * w + x] = v;
+        }
+        assert_agrees(&mask, &model);
+    }
+
+    #[test]
+    fn full_and_empty_match_model(
+        (w, h) in arb_dims(),
+    ) {
+        assert_agrees(&Mask::new(w, h), &BoolModel::new(w, h, vec![false; w * h]));
+        assert_agrees(&Mask::full(w, h), &BoolModel::new(w, h, vec![true; w * h]));
+        // A full mask complemented is empty even when the tail word is partial.
+        prop_assert!(Mask::full(w, h).complement().is_empty());
+    }
+}
