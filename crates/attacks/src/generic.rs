@@ -246,6 +246,20 @@ impl ObjectDetector {
         }
         telemetry.add("attacks/generic/proposals", proposals.get());
         telemetry.add("attacks/generic/detections", kept.len() as u64);
+        for d in &kept {
+            telemetry.event(
+                "attacks/generic/detection",
+                None,
+                &[
+                    ("confidence", d.confidence),
+                    ("class", d.class as u8 as f64),
+                    (
+                        "area_px",
+                        ((d.bbox.2 - d.bbox.0 + 1) * (d.bbox.3 - d.bbox.1 + 1)) as f64,
+                    ),
+                ],
+            );
+        }
         Ok(kept)
     }
 }

@@ -220,6 +220,18 @@ impl LocationInference {
             })
             .collect();
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite"));
+        if let Some((_, top)) = ranked.first() {
+            let runner_up = ranked.get(1).map_or(0.0, |(_, s)| *s);
+            telemetry.event(
+                "attacks/location/ranking",
+                None,
+                &[
+                    ("top_score", *top),
+                    ("margin", *top - runner_up),
+                    ("entries", ranked.len() as f64),
+                ],
+            );
+        }
         Ok(Ranking { ranked })
     }
 

@@ -198,6 +198,16 @@ impl TextReader {
                 .expect("legibility is finite")
         });
         telemetry.add("attacks/text/findings", findings.len() as u64);
+        for f in &findings {
+            telemetry.event(
+                "attacks/text/finding",
+                None,
+                &[
+                    ("legibility", f.legibility),
+                    ("chars", f.text.chars().count() as f64),
+                ],
+            );
+        }
         Ok(findings)
     }
 

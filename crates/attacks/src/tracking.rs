@@ -171,6 +171,18 @@ impl ObjectTracker {
         }
         telemetry.add("attacks/tracking/configs_swept", configs_swept);
         telemetry.add("attacks/tracking/windows_scored", windows_scored);
+        if let Some(m) = &best {
+            telemetry.event(
+                "attacks/tracking/match",
+                None,
+                &[
+                    ("score", m.score),
+                    ("x", m.x as f64),
+                    ("y", m.y as f64),
+                    ("scale", m.scale as f64),
+                ],
+            );
+        }
         Ok(best)
     }
 

@@ -7,7 +7,10 @@
 //! * wall time and throughput (frames/sec, Mpix/sec) per mode,
 //! * the telemetry per-stage breakdown (`reconstruct/pass1`, …),
 //! * reconstruction quality (RBRR) — identical across modes by construction,
-//! * the locked→worker-local speedup.
+//! * the locked→worker-local speedup,
+//! * the telemetry hot-path overhead (`telemetry_overhead`): the same
+//!   reconstruction with observability fully off vs sink + journal on,
+//!   against a 5% budget.
 //!
 //! The workload is fixed (seed, dimensions, frame count), so numbers are
 //! comparable across commits on the same machine. Pass an output path to
@@ -20,7 +23,7 @@ use bb_core::CollectMode;
 use bb_imaging::Mask;
 use bb_synth::{Action, GroundTruth, Lighting, Room, Scenario};
 use bb_telemetry::json::{self, Json};
-use bb_telemetry::Telemetry;
+use bb_telemetry::{Journal, Telemetry};
 use bb_video::VideoStream;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -269,6 +272,51 @@ fn mask_ops_bench() -> Json {
     Json::Object(section)
 }
 
+/// Measures the observability hot-path cost: the same reconstruction, once
+/// with telemetry fully off and once with the sink *and* the event journal
+/// attached (the most expensive configuration a CLI run can ask for). Best
+/// of `reps` runs per side, interleaved so thermal drift hits both equally.
+fn telemetry_overhead_bench(video: &VideoStream) -> Json {
+    let (w, h) = video.dims();
+    let config = ReconstructorConfig {
+        phi: (h / 24).max(2),
+        parallelism: PARALLELISM,
+        ..Default::default()
+    };
+    let run = |telemetry: Telemetry| -> f64 {
+        let reconstructor = Reconstructor::new(
+            VbSource::KnownImages(background::builtin_images(w, h)),
+            config,
+        )
+        .with_telemetry(telemetry);
+        let started = Instant::now();
+        black_box(reconstructor.reconstruct(video).expect("reconstruction"));
+        started.elapsed().as_secs_f64()
+    };
+    let reps = 3;
+    let mut disabled_secs = f64::INFINITY;
+    let mut enabled_secs = f64::INFINITY;
+    for _ in 0..reps {
+        disabled_secs = disabled_secs.min(run(Telemetry::disabled()));
+        enabled_secs = enabled_secs.min(run(Telemetry::enabled().with_journal(Journal::default())));
+    }
+    let overhead_pct = (enabled_secs - disabled_secs) / disabled_secs * 100.0;
+    eprintln!(
+        "  telemetry off {disabled_secs:.3}s, on+journal {enabled_secs:.3}s \
+         ({overhead_pct:+.2}% overhead)"
+    );
+    if overhead_pct >= 5.0 {
+        eprintln!("  WARNING: telemetry overhead {overhead_pct:.2}% exceeds the 5% budget");
+    }
+    let mut section = BTreeMap::new();
+    section.insert("reps".into(), Json::Number(reps as f64));
+    section.insert("disabled_secs".into(), Json::Number(disabled_secs));
+    section.insert("enabled_secs".into(), Json::Number(enabled_secs));
+    section.insert("overhead_pct".into(), Json::Number(overhead_pct));
+    section.insert("budget_pct".into(), Json::Number(5.0));
+    Json::Object(section)
+}
+
 /// Pulls `modes.worker_local.wall_secs` out of a previously written baseline
 /// at `path`, provided its scenario matches the current one (same schema,
 /// same quick flag) — otherwise the comparison would be meaningless.
@@ -355,6 +403,9 @@ fn main() {
     eprintln!("benchmarking mask ops (packed vs naive Vec<bool>)…");
     let mask_ops = mask_ops_bench();
 
+    eprintln!("benchmarking telemetry overhead (off vs sink+journal)…");
+    let telemetry_overhead = telemetry_overhead_bench(&video);
+
     let mut root = BTreeMap::new();
     root.insert(
         "schema".into(),
@@ -363,6 +414,7 @@ fn main() {
     root.insert("scenario".into(), Json::Object(scenario));
     root.insert("modes".into(), Json::Object(modes));
     root.insert("mask_ops".into(), mask_ops);
+    root.insert("telemetry_overhead".into(), telemetry_overhead);
     root.insert(
         "speedup_worker_local_vs_locked".into(),
         Json::Number(locked.wall_secs / worker_local.wall_secs),

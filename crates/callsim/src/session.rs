@@ -178,6 +178,17 @@ pub fn run_session_traced(
 
         let leak = est.subtract(&gt.fg_masks[i])?;
         let band = blend_band(&est, profile.blend);
+        if telemetry.has_journal() {
+            telemetry.event(
+                "callsim/frame",
+                Some(out_i as u64),
+                &[
+                    ("source_frame", i as f64),
+                    ("leak_px", leak.count_set() as f64),
+                    ("est_fg_px", est.count_set() as f64),
+                ],
+            );
+        }
 
         out_frames.push(composited);
         est_masks.push(est);

@@ -4,7 +4,7 @@ use crate::args::Flags;
 use bb_callsim::{background, profile, run_session_traced, Mitigation, VirtualBackground};
 use bb_core::pipeline::{Reconstructor, ReconstructorConfig, VbSource};
 use bb_synth::{Action, Lighting, Room, Scenario};
-use bb_telemetry::Telemetry;
+use bb_telemetry::{chrome_trace, Journal, Telemetry};
 use rand::{rngs::StdRng, SeedableRng};
 
 const HELP: &str = "\
@@ -24,59 +24,116 @@ COMMANDS:
     locate    rank the built-in 200-room dictionary against a call
               flags: --top N (default 5)  [same attack flags]
     inspect   print stream metadata for a .bbv file
+    report    summarize a RunReport, or gate on a regression
+              summary: bbuster report run.json
+              diff:    bbuster report --diff NEW.json [BASELINE.json]
+                         --fail-over-pct N (default 15)  --min-ms N (default 1)
+              BASELINE defaults to BENCH_pipeline.json; both RunReport JSON
+              and the perf-baseline schema are accepted. Exit code 3 means a
+              stage slowed down past the threshold.
     help      this message
 
-    synth/attack/locate also accept --telemetry-out FILE.json: per-stage
-    timings and counters for the run are written there as a RunReport.
+    synth/attack/locate also accept:
+      --telemetry-out FILE.json   per-stage timings, counters, and latency
+                                  histograms, written as a RunReport
+      --journal-out FILE.jsonl    per-frame structured event journal
+      --trace-out FILE.json       Chrome/Perfetto trace (load in ui.perfetto.dev;
+                                  one lane per worker thread)
 
 EXAMPLES:
     bbuster synth --out demo --action enter-exit --frames 180
-    bbuster attack demo.call.bbv --out recovered.ppm
+    bbuster attack demo.call.bbv --out recovered.ppm --trace-out trace.json
     bbuster locate demo.call.bbv --top 5
+    bbuster report run.json
+    bbuster report --diff run.json BENCH_pipeline.json --fail-over-pct 25
 ";
 
-/// Dispatches a parsed command line.
+/// Dispatches a parsed command line and returns the process exit code.
 ///
 /// # Errors
 ///
-/// Returns a human-readable message on any failure.
-pub fn dispatch(argv: &[String]) -> Result<(), String> {
+/// Returns a human-readable message on any failure (exit code 2).
+pub fn dispatch(argv: &[String]) -> Result<i32, String> {
     let flags = Flags::parse(argv);
     match flags.positional().first().map(String::as_str) {
-        Some("synth") => synth(&flags),
-        Some("attack") => attack(&flags),
-        Some("locate") => locate(&flags),
-        Some("inspect") => inspect(&flags),
+        Some("synth") => synth(&flags).map(|()| 0),
+        Some("attack") => attack(&flags).map(|()| 0),
+        Some("locate") => locate(&flags).map(|()| 0),
+        Some("inspect") => inspect(&flags).map(|()| 0),
+        Some("report") => crate::report_cmd::report(&flags),
         Some("help") | None => {
             print!("{HELP}");
-            Ok(())
+            Ok(0)
         }
         Some(other) => Err(format!("unknown command {other:?}; try `bbuster help`")),
     }
 }
 
-/// Builds the run's [`Telemetry`] handle from `--telemetry-out`: enabled
-/// (with the destination path) when the flag is present, disabled otherwise.
+/// Where a run's observability artifacts go (all optional).
+#[derive(Debug, Default)]
+struct ObservabilityOut {
+    report: Option<String>,
+    journal: Option<String>,
+    trace: Option<String>,
+}
+
+/// Builds the run's [`Telemetry`] handle from the output flags: the sink is
+/// enabled by `--telemetry-out` or `--trace-out` (the trace needs stage
+/// spans), and a journal is attached whenever `--journal-out` or
+/// `--trace-out` asks for per-event data.
 ///
 /// # Errors
 ///
-/// Rejects a valueless `--telemetry-out` instead of silently writing nothing.
-fn telemetry_from(flags: &Flags) -> Result<(Telemetry, Option<String>), String> {
-    match flags.get("telemetry-out") {
-        Some(path) => Ok((Telemetry::enabled(), Some(path.to_string()))),
-        None if flags.has("telemetry-out") => {
-            Err("--telemetry-out requires a file path".to_string())
+/// Rejects valueless output flags instead of silently writing nothing.
+fn telemetry_from(flags: &Flags) -> Result<(Telemetry, ObservabilityOut), String> {
+    for key in ["telemetry-out", "journal-out", "trace-out"] {
+        if flags.has(key) && flags.get(key).is_none() {
+            return Err(format!("--{key} requires a file path"));
         }
-        None => Ok((Telemetry::disabled(), None)),
     }
+    let out = ObservabilityOut {
+        report: flags.get("telemetry-out").map(str::to_string),
+        journal: flags.get("journal-out").map(str::to_string),
+        trace: flags.get("trace-out").map(str::to_string),
+    };
+    let mut telemetry = if out.report.is_some() || out.trace.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    if out.journal.is_some() || out.trace.is_some() {
+        telemetry = telemetry.with_journal(Journal::default());
+    }
+    Ok((telemetry, out))
 }
 
-/// Writes the accumulated report as JSON when `--telemetry-out` was given.
-fn flush_telemetry(telemetry: &Telemetry, out: Option<String>) -> Result<(), String> {
-    let Some(path) = out else { return Ok(()) };
-    let report = telemetry.report();
-    std::fs::write(&path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;
-    println!("wrote {path} (telemetry report)");
+/// Writes whichever observability artifacts were requested.
+fn flush_telemetry(telemetry: &Telemetry, out: ObservabilityOut) -> Result<(), String> {
+    if let Some(path) = &out.report {
+        std::fs::write(path, telemetry.report().to_json()).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path} (telemetry report)");
+    }
+    let events = telemetry.journal().map(|j| j.events()).unwrap_or_default();
+    if let Some(path) = &out.journal {
+        let journal = telemetry
+            .journal()
+            .expect("journal attached by telemetry_from");
+        std::fs::write(path, journal.to_jsonl()).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "wrote {path} (event journal, {} events{})",
+            events.len(),
+            if journal.dropped() > 0 {
+                format!(", {} dropped", journal.dropped())
+            } else {
+                String::new()
+            }
+        );
+    }
+    if let Some(path) = &out.trace {
+        let trace = chrome_trace(&telemetry.report(), &events);
+        std::fs::write(path, trace).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path} (Chrome trace; open in ui.perfetto.dev)");
+    }
     Ok(())
 }
 
@@ -244,7 +301,7 @@ fn inspect(flags: &Flags) -> Result<(), String> {
 mod tests {
     use super::*;
 
-    fn run(args: &[&str]) -> Result<(), String> {
+    fn run(args: &[&str]) -> Result<i32, String> {
         dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     }
 
@@ -284,6 +341,8 @@ mod tests {
         let call = format!("{prefix}.call.bbv");
         let out = dir.join("rec.ppm").to_string_lossy().to_string();
         let report = dir.join("report.json").to_string_lossy().to_string();
+        let journal = dir.join("journal.jsonl").to_string_lossy().to_string();
+        let trace = dir.join("trace.json").to_string_lossy().to_string();
         run(&[
             "attack",
             &call,
@@ -293,16 +352,115 @@ mod tests {
             "2",
             "--telemetry-out",
             &report,
+            "--journal-out",
+            &journal,
+            "--trace-out",
+            &trace,
         ])
         .expect("attack");
         assert!(std::path::Path::new(&out).exists());
         // The telemetry report must be valid RunReport JSON with the
-        // pipeline's stages present.
+        // pipeline's stages (and their latency histograms) present.
         let json = std::fs::read_to_string(&report).expect("telemetry report written");
         let parsed = bb_telemetry::RunReport::from_json(&json).expect("valid report");
         assert!(parsed.stages.contains_key("reconstruct"));
         assert!(parsed.counters.contains_key("frames/input"));
+        assert!(parsed.stage_quantile("reconstruct", 0.99).is_some());
+        // The journal holds one parseable event per frame (plus spans) and
+        // ends with the summary trailer.
+        let jsonl = std::fs::read_to_string(&journal).expect("journal written");
+        let frame_events = jsonl
+            .lines()
+            .filter_map(|l| bb_telemetry::JournalEvent::from_json_line(l).ok())
+            .filter(|e| e.stage == "reconstruct/frame")
+            .count();
+        assert_eq!(frame_events, 24);
+        assert!(jsonl.lines().last().unwrap().contains("journal_summary"));
+        // The trace parses as JSON and has per-lane thread metadata.
+        let trace_text = std::fs::read_to_string(&trace).expect("trace written");
+        bb_telemetry::json::parse(&trace_text).expect("trace is valid JSON");
+        assert!(trace_text.contains("thread_name"));
+        // Summarizing the report succeeds; diffing it against itself is a
+        // zero-regression pass.
+        assert_eq!(run(&["report", &report]).unwrap(), 0);
+        assert_eq!(run(&["report", "--diff", &report, &report]).unwrap(), 0);
         run(&["inspect", &call]).expect("inspect");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Builds a report whose stage totals are `scale` × the baseline's, for
+    /// pinning the diff exit codes.
+    fn scaled_report(base: &bb_telemetry::RunReport, scale: f64) -> bb_telemetry::RunReport {
+        let mut r = base.clone();
+        for stats in r.stages.values_mut() {
+            stats.total_ns = (stats.total_ns as f64 * scale) as u64;
+            stats.min_ns = (stats.min_ns as f64 * scale) as u64;
+            stats.max_ns = (stats.max_ns as f64 * scale) as u64;
+        }
+        r
+    }
+
+    #[test]
+    fn report_diff_exit_codes_are_pinned() {
+        let dir = std::env::temp_dir().join("bbuster_cli_diff_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = Telemetry::enabled();
+        t.record_duration("reconstruct", std::time::Duration::from_millis(100));
+        t.record_duration("reconstruct/pass1", std::time::Duration::from_millis(40));
+        let base_report = t.report();
+        let write = |name: &str, r: &bb_telemetry::RunReport| {
+            let p = dir.join(name).to_string_lossy().to_string();
+            std::fs::write(&p, r.to_json()).unwrap();
+            p
+        };
+        let baseline = write("base.json", &base_report);
+        let improved = write("improved.json", &scaled_report(&base_report, 0.8));
+        let slight = write("slight.json", &scaled_report(&base_report, 1.05));
+        let regressed = write("regressed.json", &scaled_report(&base_report, 1.5));
+
+        // Improvement and within-threshold runs exit 0.
+        assert_eq!(run(&["report", "--diff", &improved, &baseline]).unwrap(), 0);
+        assert_eq!(
+            run(&[
+                "report",
+                "--diff",
+                &slight,
+                &baseline,
+                "--fail-over-pct",
+                "15"
+            ])
+            .unwrap(),
+            0
+        );
+        // A regression past the threshold exits with the pinned code 3.
+        assert_eq!(
+            run(&[
+                "report",
+                "--diff",
+                &regressed,
+                &baseline,
+                "--fail-over-pct",
+                "15"
+            ])
+            .unwrap(),
+            crate::report_cmd::EXIT_REGRESSION
+        );
+        // Tightening the threshold flips the borderline run to a failure.
+        assert_eq!(
+            run(&[
+                "report",
+                "--diff",
+                &slight,
+                &baseline,
+                "--fail-over-pct",
+                "2"
+            ])
+            .unwrap(),
+            3
+        );
+        // Unreadable inputs are hard errors (exit 2 at the binary level).
+        assert!(run(&["report", "--diff", "/nonexistent.json", &baseline]).is_err());
+        assert!(run(&["report"]).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

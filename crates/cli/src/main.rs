@@ -9,16 +9,19 @@
 //! * `locate` — rank the built-in 200-room dictionary against a
 //!   reconstruction.
 //! * `inspect` — print stream metadata for a `.bbv` file.
+//! * `report` — summarize a telemetry RunReport, or diff two runs and exit
+//!   non-zero (code 3) on a latency regression.
 //!
 //! Run `bbuster help` for usage.
 
 mod args;
 mod commands;
+mod report_cmd;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let code = match commands::dispatch(&argv) {
-        Ok(()) => 0,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("bbuster: {e}");
             2

@@ -299,9 +299,25 @@ impl Reconstructor {
         };
         let mut canvas = {
             let _span = telemetry.time("reconstruct/accumulate");
+            let journal_frames = telemetry.has_journal();
+            let pixels = (w * h).max(1) as f64;
             let mut canvas = ReconstructionCanvas::new(w, h);
             for (i, leak) in per_frame_leak.iter().enumerate() {
                 canvas.accumulate(video.frame(i), leak)?;
+                if journal_frames {
+                    // One structured event per frame: how much the masks
+                    // removed, how much residue this frame admitted, and how
+                    // full the canvas is afterwards.
+                    telemetry.event(
+                        "reconstruct/frame",
+                        Some(i as u64),
+                        &[
+                            ("mask_coverage", removeds[i].count_set() as f64 / pixels),
+                            ("residue_px", leak.count_set() as f64),
+                            ("canvas_fill", canvas.recovered_count() as f64 / pixels),
+                        ],
+                    );
+                }
             }
             canvas
         };
@@ -517,6 +533,50 @@ mod tests {
         for (leak, removed) in rec.per_frame_leak.iter().zip(&rec.per_frame_removed) {
             assert!(leak.intersect(removed).unwrap().is_empty());
         }
+    }
+
+    #[test]
+    fn journal_gets_one_event_per_frame() {
+        let (video, _, _) = toy_call();
+        let telemetry = bb_telemetry::Telemetry::enabled()
+            .with_journal(bb_telemetry::Journal::with_capacity(1 << 16));
+        let rec = Reconstructor::new(VbSource::UnknownImage, config())
+            .with_telemetry(telemetry.clone())
+            .reconstruct(&video)
+            .unwrap();
+        let journal = telemetry.journal().unwrap();
+        let frame_events: Vec<_> = journal
+            .events()
+            .into_iter()
+            .filter(|e| e.stage == "reconstruct/frame")
+            .collect();
+        assert_eq!(frame_events.len(), video.len());
+        let (w, h) = video.dims();
+        let pixels = (w * h) as f64;
+        let mut fills = Vec::new();
+        for (i, e) in frame_events.iter().enumerate() {
+            assert_eq!(e.frame, Some(i as u64));
+            assert_eq!(
+                e.fields["residue_px"],
+                rec.per_frame_leak[i].count_set() as f64
+            );
+            assert_eq!(
+                e.fields["mask_coverage"],
+                rec.per_frame_removed[i].count_set() as f64 / pixels
+            );
+            fills.push(e.fields["canvas_fill"]);
+        }
+        // Canvas fill is monotone non-decreasing across frames.
+        assert!(fills.windows(2).all(|p| p[0] <= p[1]));
+        assert_eq!(
+            *fills.last().unwrap(),
+            rec.canvas.recovered_count() as f64 / pixels
+        );
+        // Worker spans made it into the journal too.
+        assert!(journal
+            .events()
+            .iter()
+            .any(|e| e.stage.starts_with("workers/pass1/busy/w")));
     }
 
     #[test]

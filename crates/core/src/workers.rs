@@ -40,8 +40,12 @@ pub enum CollectMode {
 /// finish) and is returned. A panicking job is caught at the thread join and
 /// surfaced as [`CoreError::WorkerPanic`]; the process is not aborted.
 ///
-/// `stage` names the telemetry namespace: per-worker busy spans land in
-/// `workers/<stage>/busy` and job counts in `workers/<stage>/jobs/w<k>`.
+/// `stage` names the telemetry namespace. The pool's aggregate busy time
+/// lands in `workers/<stage>/busy`; each spawned worker additionally gets
+/// its own span in `workers/<stage>/busy/w<k>` and job count in
+/// `workers/<stage>/jobs/w<k>`. The inline fallback (one worker or one
+/// frame) uses the lane name `serial` instead of `w0`, so a report can
+/// tell "ran without a pool" apart from "worker 0 did everything".
 ///
 /// # Errors
 ///
@@ -66,9 +70,13 @@ where
         for i in 0..n {
             out.push(job(i)?);
         }
-        if telemetry.is_enabled() {
-            telemetry.record_duration(&format!("workers/{stage}/busy"), started.elapsed());
-            telemetry.add(&format!("workers/{stage}/jobs/w0"), n as u64);
+        if telemetry.is_enabled() || telemetry.has_journal() {
+            let busy = started.elapsed();
+            // The inline fallback is labelled `serial`, never `w0`: a report
+            // must distinguish "no pool was spawned" from "worker 0 did it".
+            telemetry.record_duration(&format!("workers/{stage}/busy"), busy);
+            telemetry.record_span(&format!("workers/{stage}/busy/serial"), started, busy);
+            telemetry.add(&format!("workers/{stage}/jobs/serial"), n as u64);
         }
         return Ok(out);
     }
@@ -118,7 +126,7 @@ where
                             }
                         }
                     }
-                    (local, error, started.elapsed())
+                    (local, error, started, started.elapsed())
                 })
             })
             .collect();
@@ -170,7 +178,7 @@ where
                         }
                         i += workers;
                     }
-                    (jobs, error, started.elapsed())
+                    (jobs, error, started, started.elapsed())
                 })
             })
             .collect();
@@ -195,8 +203,13 @@ where
 }
 
 /// What one worker thread produced: `(index, value)` pairs, the first error
-/// it hit, and its busy time — or the panic payload.
-type WorkerResult<T> = (Vec<(usize, T)>, Option<CoreError>, std::time::Duration);
+/// it hit, and when/how long it was busy — or the panic payload.
+type WorkerResult<T> = (
+    Vec<(usize, T)>,
+    Option<CoreError>,
+    Instant,
+    std::time::Duration,
+);
 type WorkerOutcome<T> = Result<WorkerResult<T>, String>;
 
 fn join_worker<T>(handle: std::thread::ScopedJoinHandle<'_, WorkerResult<T>>) -> WorkerOutcome<T> {
@@ -228,9 +241,16 @@ fn collect_outcomes<T>(
                     "worker {worker} panicked: {panic_msg}"
                 )));
             }
-            Ok((local, error, busy)) => {
-                if telemetry.is_enabled() {
+            Ok((local, error, started, busy)) => {
+                if telemetry.is_enabled() || telemetry.has_journal() {
                     telemetry.record_duration(&format!("workers/{stage}/busy"), busy);
+                    // Per-worker span with the worker's real start instant —
+                    // this is what gives each worker its own trace lane.
+                    telemetry.record_span(
+                        &format!("workers/{stage}/busy/w{worker}"),
+                        started,
+                        busy,
+                    );
                     telemetry.add(
                         &format!("workers/{stage}/jobs/w{worker}"),
                         local.len() as u64,
@@ -368,5 +388,41 @@ mod tests {
             .sum();
         assert_eq!(total, 24);
         assert_eq!(report.stages["workers/stage/busy"].calls, 3);
+        // Each spawned worker also gets its own single-span lane.
+        for w in 0..3 {
+            assert_eq!(report.stages[&format!("workers/stage/busy/w{w}")].calls, 1);
+        }
+        assert!(!report.counters.contains_key("workers/stage/jobs/serial"));
+    }
+
+    #[test]
+    fn serial_fallback_is_labelled_serial_not_w0() {
+        let t = Telemetry::enabled();
+        run_stage(6, 1, CollectMode::WorkerLocal, &t, "stage", Ok).unwrap();
+        let report = t.report();
+        assert_eq!(report.counters["workers/stage/jobs/serial"], 6);
+        assert_eq!(report.stages["workers/stage/busy/serial"].calls, 1);
+        assert!(!report.counters.contains_key("workers/stage/jobs/w0"));
+        assert!(!report.stages.contains_key("workers/stage/busy/w0"));
+    }
+
+    #[test]
+    fn journal_only_telemetry_still_records_worker_spans() {
+        let t = Telemetry::disabled().with_journal(bb_telemetry::Journal::with_capacity(1024));
+        run_stage(12, 3, CollectMode::WorkerLocal, &t, "stage", Ok).unwrap();
+        let journal = t.journal().expect("journal attached");
+        let lanes: std::collections::BTreeSet<String> = journal
+            .events()
+            .iter()
+            .filter(|e| e.stage.starts_with("workers/stage/busy/"))
+            .map(|e| e.stage.rsplit('/').next().unwrap().to_string())
+            .collect();
+        assert_eq!(
+            lanes,
+            ["w0", "w1", "w2"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<std::collections::BTreeSet<_>>()
+        );
     }
 }

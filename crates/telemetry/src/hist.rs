@@ -1,0 +1,347 @@
+//! Log-bucketed latency histograms (HDR-style).
+//!
+//! [`Histogram`] records `u64` values (nanoseconds, in this crate's usage)
+//! into log-linear buckets: 32 linear sub-buckets per power of two, so any
+//! recorded value is reproduced by [`Histogram::quantile`] with at most
+//! ~3.2% relative error ([`Histogram::RELATIVE_ERROR`]) — comfortably inside
+//! the ~5% budget the regression gate assumes. Recording is O(1), merging is
+//! bucket-wise addition (associative and commutative, a property the test
+//! net pins), and the memory footprint is one fixed `Vec` of
+//! [`Histogram::NUM_BUCKETS`] counts, allocated on first record.
+//!
+//! Exact `min`/`max`/`total` are tracked alongside the buckets, so the
+//! extreme quantiles (`p0`, `p100`) and the mean stay exact.
+
+/// Number of linear sub-buckets per power of two (2^5).
+const SUB_BITS: u32 = 5;
+const SUB: u64 = 1 << SUB_BITS;
+
+/// A log-bucketed histogram of `u64` values. See the module docs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Histogram {
+    /// Dense bucket counts; empty until the first record.
+    counts: Vec<u64>,
+    count: u64,
+    total: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Upper bound on `quantile`'s relative error: one bucket width over the
+    /// bucket's smallest member, `1 / 32`.
+    pub const RELATIVE_ERROR: f64 = 1.0 / SUB as f64;
+
+    /// Total number of buckets (values `0..=u64::MAX` all map in range).
+    pub const NUM_BUCKETS: usize = ((64 - SUB_BITS) as usize + 1) * SUB as usize;
+
+    /// An empty histogram (allocation-free until the first record).
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// The bucket index for `value`.
+    ///
+    /// Values below `32` get exact unit buckets; above, each power of two is
+    /// split into 32 linear sub-buckets.
+    pub fn bucket_index(value: u64) -> usize {
+        if value < SUB {
+            return value as usize;
+        }
+        let exp = 63 - value.leading_zeros();
+        let shift = exp - SUB_BITS;
+        let sub = (value >> shift) & (SUB - 1);
+        ((exp - SUB_BITS + 1) as u64 * SUB + sub) as usize
+    }
+
+    /// The smallest value mapping to bucket `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= NUM_BUCKETS`.
+    pub fn bucket_lower(index: usize) -> u64 {
+        assert!(index < Self::NUM_BUCKETS, "bucket index out of range");
+        let i = index as u64;
+        if i < SUB {
+            return i;
+        }
+        let exp = i / SUB - 1 + SUB_BITS as u64;
+        let sub = i % SUB;
+        (SUB + sub) << (exp - SUB_BITS as u64)
+    }
+
+    /// The largest value mapping to bucket `index` (saturating at
+    /// `u64::MAX`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= NUM_BUCKETS`.
+    pub fn bucket_upper(index: usize) -> u64 {
+        if index + 1 >= Self::NUM_BUCKETS {
+            return u64::MAX;
+        }
+        Self::bucket_lower(index + 1) - 1
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        if self.counts.is_empty() {
+            self.counts = vec![0; Self::NUM_BUCKETS];
+        }
+        self.counts[Self::bucket_index(value)] += 1;
+        self.min = if self.count == 0 {
+            value
+        } else {
+            self.min.min(value)
+        };
+        self.max = self.max.max(value);
+        self.count += 1;
+        self.total = self.total.saturating_add(value);
+    }
+
+    /// Adds every recorded value of `other` into `self`. Bucket-wise
+    /// addition: associative, commutative, and lossless with respect to
+    /// bucket resolution.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.counts.is_empty() {
+            self.counts = vec![0; Self::NUM_BUCKETS];
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += *theirs;
+        }
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.total = self.total.saturating_add(other.total);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of recorded values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded value (0 when empty). Exact.
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest recorded value (0 when empty). Exact.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.total.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`: an upper bound on the true
+    /// quantile, within [`Histogram::RELATIVE_ERROR`] of it (and clamped to
+    /// the exact observed `max`). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Median (`quantile(0.50)`).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Non-empty buckets as `(index, count)` pairs, ascending by index —
+    /// the serialization shape ([`crate::RunReport::to_json`] writes these
+    /// as `[index, count]` arrays).
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Rebuilds a histogram from its serialized parts. `count` is derived
+    /// from the buckets.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a bucket index is out of range or the
+    /// extrema are inconsistent with the buckets.
+    pub fn from_parts(
+        total: u64,
+        min: u64,
+        max: u64,
+        buckets: &[(usize, u64)],
+    ) -> Result<Histogram, String> {
+        let mut h = Histogram::new();
+        for &(index, count) in buckets {
+            if index >= Self::NUM_BUCKETS {
+                return Err(format!("bucket index {index} out of range"));
+            }
+            if count == 0 {
+                continue;
+            }
+            if h.counts.is_empty() {
+                h.counts = vec![0; Self::NUM_BUCKETS];
+            }
+            h.counts[index] += count;
+            h.count += count;
+        }
+        if h.count == 0 {
+            if total != 0 || min != 0 || max != 0 {
+                return Err("empty buckets with non-zero summary".to_string());
+            }
+            return Ok(h);
+        }
+        if min > max {
+            return Err(format!("min {min} exceeds max {max}"));
+        }
+        h.total = total;
+        h.min = min;
+        h.max = max;
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        // Every bucket's lower bound maps back to it, as does its upper.
+        for index in 0..Histogram::NUM_BUCKETS {
+            let lo = Histogram::bucket_lower(index);
+            assert_eq!(Histogram::bucket_index(lo), index, "lower of {index}");
+            let hi = Histogram::bucket_upper(index);
+            assert_eq!(Histogram::bucket_index(hi), index, "upper of {index}");
+        }
+        assert_eq!(
+            Histogram::bucket_index(u64::MAX),
+            Histogram::NUM_BUCKETS - 1
+        );
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB {
+            h.record(v);
+        }
+        for v in 0..SUB {
+            let q = (v + 1) as f64 / SUB as f64;
+            assert_eq!(h.quantile(q), v);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.nonzero_buckets().count(), 0);
+    }
+
+    #[test]
+    fn quantiles_clamp_to_exact_extrema() {
+        let mut h = Histogram::new();
+        h.record(1_000_003);
+        h.record(2_000_017);
+        assert_eq!(h.quantile(0.0), h.quantile(0.5));
+        assert_eq!(h.quantile(1.0), 2_000_017, "p100 is the exact max");
+        assert!(h.quantile(0.5) >= 1_000_003);
+        assert!(h.quantile(0.5) as f64 <= 1_000_003.0 * (1.0 + Histogram::RELATIVE_ERROR));
+    }
+
+    #[test]
+    fn merge_equals_recording_everything() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [0u64, 1, 31, 32, 33, 1_000, u64::MAX, 7, 7, 7] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [5u64, 1 << 40, 12345] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record(99);
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before);
+        let mut e = Histogram::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn round_trips_through_parts() {
+        let mut h = Histogram::new();
+        for v in [0u64, 3, 50, 1 << 20, u64::MAX] {
+            h.record(v);
+        }
+        let buckets: Vec<(usize, u64)> = h.nonzero_buckets().collect();
+        let back = Histogram::from_parts(h.total(), h.min(), h.max(), &buckets).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn from_parts_rejects_garbage() {
+        assert!(Histogram::from_parts(0, 0, 0, &[(usize::MAX, 1)]).is_err());
+        assert!(Histogram::from_parts(1, 5, 4, &[(0, 1)]).is_err());
+        assert!(Histogram::from_parts(9, 9, 9, &[]).is_err());
+        assert!(Histogram::from_parts(0, 0, 0, &[]).is_ok());
+    }
+
+    #[test]
+    fn saturating_total() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.total(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+}

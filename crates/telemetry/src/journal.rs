@@ -1,0 +1,365 @@
+//! A bounded, thread-safe journal of structured per-frame events.
+//!
+//! Where the [`crate::RunReport`] aggregates (how long did pass1 take *in
+//! total*), the [`Journal`] keeps the trajectory: one [`JournalEvent`] per
+//! emission, timestamped against the journal's epoch, so a run can be
+//! replayed event by event — when coverage converged, which worker lane
+//! straggled, where a stall sits inside the frame loop.
+//!
+//! The write path is built for hot loops:
+//!
+//! * events are spread round-robin over [`SHARDS`] independently locked
+//!   shards, so concurrent workers rarely contend on the same mutex;
+//! * the journal is **bounded**: once `capacity` events are held, further
+//!   emissions increment a drop counter instead of allocating without limit
+//!   (the drop count is reported by [`Journal::dropped`] and serialized so
+//!   a truncated journal is never mistaken for a complete one);
+//! * a handle costs one `Arc` clone and emission is a no-op branch when no
+//!   journal is attached to the [`crate::Telemetry`] handle.
+//!
+//! [`Journal::events`] returns the events sorted by sequence number (global
+//! emission order), and [`Journal::to_jsonl`] serializes them as JSON
+//! Lines — one compact object per line, the shape `trace.json` and external
+//! tooling consume.
+
+use crate::json::{self, Json};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Number of independently locked event shards.
+pub const SHARDS: usize = 8;
+
+/// Default bound on held events (~1M events ≈ a few hundred MB worst case;
+/// far above any realistic run, low enough to stop a runaway loop).
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// One journal entry: where (`stage`), when (`t_ns` since the journal
+/// epoch), optionally which frame and how long (`dur_ns`, making the event
+/// a *span*), plus free-form numeric fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEvent {
+    /// Global emission order (unique per journal).
+    pub seq: u64,
+    /// Nanoseconds since the journal's epoch.
+    pub t_ns: u64,
+    /// `/`-separated stage path, same namespace as [`crate::Telemetry`]
+    /// stages (`reconstruct/pass1`, `workers/pass1/busy/w3`, …).
+    pub stage: String,
+    /// Frame index, for per-frame events.
+    pub frame: Option<u64>,
+    /// Span duration; `Some` makes this a span event (trace export renders
+    /// it as a lane-occupying slice, point events become counters).
+    pub dur_ns: Option<u64>,
+    /// Numeric payload (coverage fractions, pixel counts, confidences…).
+    pub fields: BTreeMap<String, f64>,
+}
+
+impl JournalEvent {
+    /// Serializes to one compact JSON object (no newline).
+    pub fn to_json_line(&self) -> String {
+        let mut obj = BTreeMap::new();
+        obj.insert("seq".to_string(), Json::Number(self.seq as f64));
+        obj.insert("t_ns".to_string(), Json::Number(self.t_ns as f64));
+        obj.insert("stage".to_string(), Json::String(self.stage.clone()));
+        if let Some(frame) = self.frame {
+            obj.insert("frame".to_string(), Json::Number(frame as f64));
+        }
+        if let Some(dur) = self.dur_ns {
+            obj.insert("dur_ns".to_string(), Json::Number(dur as f64));
+        }
+        if !self.fields.is_empty() {
+            obj.insert(
+                "fields".to_string(),
+                Json::Object(
+                    self.fields
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Number(*v)))
+                        .collect(),
+                ),
+            );
+        }
+        json::to_compact_string(&Json::Object(obj))
+    }
+
+    /// Parses one JSON line produced by [`JournalEvent::to_json_line`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`json::JsonError`] on malformed JSON or a shape mismatch.
+    pub fn from_json_line(line: &str) -> Result<JournalEvent, json::JsonError> {
+        let value = json::parse(line)?;
+        let obj = value.as_object("journal event")?;
+        let need = |key: &str| {
+            obj.get(key)
+                .ok_or_else(|| json::JsonError::Shape(format!("journal event: missing {key}")))
+        };
+        let mut fields = BTreeMap::new();
+        if let Some(f) = obj.get("fields") {
+            for (k, v) in f.as_object("fields")? {
+                fields.insert(k.clone(), v.as_f64(k)?);
+            }
+        }
+        Ok(JournalEvent {
+            seq: need("seq")?.as_u64("seq")?,
+            t_ns: need("t_ns")?.as_u64("t_ns")?,
+            stage: need("stage")?.as_string("stage")?.to_string(),
+            frame: obj.get("frame").map(|v| v.as_u64("frame")).transpose()?,
+            dur_ns: obj.get("dur_ns").map(|v| v.as_u64("dur_ns")).transpose()?,
+            fields,
+        })
+    }
+}
+
+#[derive(Debug)]
+struct JournalInner {
+    epoch: Instant,
+    capacity: usize,
+    seq: AtomicU64,
+    held: AtomicU64,
+    dropped: AtomicU64,
+    shards: Vec<Mutex<Vec<JournalEvent>>>,
+}
+
+/// A cheaply-clonable handle to one bounded event journal; see module docs.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    inner: Arc<JournalInner>,
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Journal::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl Journal {
+    /// A journal holding at most `capacity` events; the epoch (t = 0) is
+    /// the moment of construction.
+    pub fn with_capacity(capacity: usize) -> Journal {
+        Journal {
+            inner: Arc::new(JournalInner {
+                epoch: Instant::now(),
+                capacity: capacity.max(1),
+                seq: AtomicU64::new(0),
+                held: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+            }),
+        }
+    }
+
+    /// The journal's epoch (events' `t_ns` is measured from here).
+    pub fn epoch(&self) -> Instant {
+        self.inner.epoch
+    }
+
+    /// Nanoseconds from the epoch to `at` (0 when `at` precedes the epoch).
+    pub fn since_epoch_ns(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.inner.epoch)
+            .as_nanos()
+            .min(u64::MAX as u128) as u64
+    }
+
+    /// Emits an event stamped `now`. Dropped (and counted) once the journal
+    /// holds `capacity` events.
+    pub fn emit(
+        &self,
+        stage: &str,
+        frame: Option<u64>,
+        dur_ns: Option<u64>,
+        fields: &[(&str, f64)],
+    ) {
+        self.emit_at(
+            self.since_epoch_ns(Instant::now()),
+            stage,
+            frame,
+            dur_ns,
+            fields,
+        );
+    }
+
+    /// Emits an event with an explicit timestamp (used by span emitters that
+    /// captured their start before the work ran).
+    pub fn emit_at(
+        &self,
+        t_ns: u64,
+        stage: &str,
+        frame: Option<u64>,
+        dur_ns: Option<u64>,
+        fields: &[(&str, f64)],
+    ) {
+        debug_assert!(
+            crate::validate_stage_name(stage).is_ok(),
+            "invalid journal stage name {stage:?}"
+        );
+        let inner = &*self.inner;
+        if inner.held.fetch_add(1, Ordering::Relaxed) >= inner.capacity as u64 {
+            inner.held.fetch_sub(1, Ordering::Relaxed);
+            inner.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+        let event = JournalEvent {
+            seq,
+            t_ns,
+            stage: stage.to_string(),
+            frame,
+            dur_ns,
+            fields: fields.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        };
+        let shard = (seq as usize) % SHARDS;
+        inner.shards[shard]
+            .lock()
+            .expect("journal shard poisoned")
+            .push(event);
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.inner.held.load(Ordering::Relaxed) as usize
+    }
+
+    /// Whether no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events dropped at the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of all held events in emission order.
+    pub fn events(&self) -> Vec<JournalEvent> {
+        let mut all: Vec<JournalEvent> = Vec::with_capacity(self.len());
+        for shard in &self.inner.shards {
+            all.extend(
+                shard
+                    .lock()
+                    .expect("journal shard poisoned")
+                    .iter()
+                    .cloned(),
+            );
+        }
+        all.sort_by_key(|e| e.seq);
+        all
+    }
+
+    /// Serializes the journal as JSON Lines: one compact event object per
+    /// line, in emission order, followed by one `journal_summary` trailer
+    /// line recording the held/dropped totals (so truncation is visible to
+    /// consumers).
+    pub fn to_jsonl(&self) -> String {
+        let events = self.events();
+        let mut out = String::new();
+        for event in &events {
+            out.push_str(&event.to_json_line());
+            out.push('\n');
+        }
+        let mut trailer = BTreeMap::new();
+        trailer.insert(
+            "journal_summary".to_string(),
+            Json::Object(BTreeMap::from([
+                ("events".to_string(), Json::Number(events.len() as f64)),
+                ("dropped".to_string(), Json::Number(self.dropped() as f64)),
+            ])),
+        );
+        out.push_str(&json::to_compact_string(&Json::Object(trailer)));
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_come_back_in_emission_order() {
+        let j = Journal::with_capacity(1024);
+        for i in 0..100u64 {
+            j.emit("stage/a", Some(i), None, &[("v", i as f64)]);
+        }
+        let events = j.events();
+        assert_eq!(events.len(), 100);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+            assert_eq!(e.frame, Some(i as u64));
+            assert_eq!(e.fields["v"], i as f64);
+        }
+    }
+
+    #[test]
+    fn capacity_bound_drops_and_counts() {
+        let j = Journal::with_capacity(10);
+        for i in 0..25u64 {
+            j.emit("s", Some(i), None, &[]);
+        }
+        assert_eq!(j.len(), 10);
+        assert_eq!(j.dropped(), 15);
+        assert_eq!(j.events().len(), 10);
+        // The survivors are the earliest emissions, intact.
+        assert!(j.events().iter().all(|e| e.frame.unwrap() < 10));
+        let jsonl = j.to_jsonl();
+        assert!(jsonl.contains("\"dropped\":15"));
+    }
+
+    #[test]
+    fn concurrent_emission_loses_nothing_under_capacity() {
+        let j = Journal::with_capacity(100_000);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let j = j.clone();
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        j.emit("w", Some(t * 1000 + i), None, &[]);
+                    }
+                });
+            }
+        });
+        let events = j.events();
+        assert_eq!(events.len(), 4000);
+        assert_eq!(j.dropped(), 0);
+        // Sequence numbers are unique and dense.
+        let mut seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 4000);
+    }
+
+    #[test]
+    fn jsonl_lines_round_trip() {
+        let j = Journal::with_capacity(16);
+        j.emit("reconstruct/frame", Some(3), None, &[("coverage", 0.25)]);
+        j.emit("workers/pass1/busy/w0", None, Some(12345), &[]);
+        let text = j.to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "two events + summary trailer");
+        let e0 = JournalEvent::from_json_line(lines[0]).unwrap();
+        assert_eq!(e0.stage, "reconstruct/frame");
+        assert_eq!(e0.frame, Some(3));
+        assert_eq!(e0.fields["coverage"], 0.25);
+        let e1 = JournalEvent::from_json_line(lines[1]).unwrap();
+        assert_eq!(e1.dur_ns, Some(12345));
+        assert_eq!(e1.frame, None);
+        assert!(lines[2].contains("journal_summary"));
+    }
+
+    #[test]
+    fn timestamps_are_monotone_from_epoch() {
+        let j = Journal::with_capacity(16);
+        j.emit("a", None, None, &[]);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        j.emit("b", None, None, &[]);
+        let events = j.events();
+        assert!(events[1].t_ns > events[0].t_ns);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(JournalEvent::from_json_line("{").is_err());
+        assert!(JournalEvent::from_json_line("{\"seq\":0}").is_err());
+        assert!(JournalEvent::from_json_line("{\"seq\":0,\"t_ns\":1,\"stage\":5}").is_err());
+    }
+}

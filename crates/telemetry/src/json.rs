@@ -116,6 +116,48 @@ pub fn to_pretty_string(value: &Json) -> String {
     out
 }
 
+/// Serializes on one line with no whitespace (JSONL and trace files, where
+/// a value per line — or minimal size — matters more than readability).
+/// Object keys stay sorted, so output is deterministic.
+pub fn to_compact_string(value: &Json) -> String {
+    let mut out = String::new();
+    write_compact(value, &mut out);
+    out
+}
+
+fn write_compact(value: &Json, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Json::Number(n) => write_number(*n, out),
+        Json::String(s) => write_string(s, out),
+        Json::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Json::Object(map) => {
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_compact(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
 fn write_value(value: &Json, indent: usize, out: &mut String) {
     match value {
         Json::Null => out.push_str("null"),
@@ -435,5 +477,20 @@ mod tests {
     fn integers_print_without_decimal_point() {
         let text = to_pretty_string(&Json::Number(5_000_000.0));
         assert_eq!(text.trim(), "5000000");
+    }
+
+    #[test]
+    fn compact_output_is_single_line_and_parses_back() {
+        let mut obj = BTreeMap::new();
+        obj.insert(
+            "b".to_string(),
+            Json::Array(vec![Json::Number(1.0), Json::Null]),
+        );
+        obj.insert("a".to_string(), Json::String("x y".into()));
+        let v = Json::Object(obj);
+        let text = to_compact_string(&v);
+        assert_eq!(text, r#"{"a":"x y","b":[1,null]}"#);
+        assert!(!text.contains('\n'));
+        assert_eq!(parse(&text).unwrap(), v);
     }
 }

@@ -1,7 +1,15 @@
 //! # bb-telemetry
 //!
-//! Lightweight instrumentation for the Background Buster pipeline: stage
-//! timers, monotone counters, and a serializable [`RunReport`].
+//! Observability for the Background Buster pipeline, in two complementary
+//! shapes:
+//!
+//! * **Aggregates** — stage timers, monotone counters, and per-stage
+//!   latency [`Histogram`]s (log-bucketed, ~3% relative error), snapshotted
+//!   into a serializable [`RunReport`].
+//! * **Trajectory** — an optional bounded [`Journal`] of structured
+//!   per-frame events (what happened, when, on which lane), serializable as
+//!   JSON Lines and renderable — together with the report — into a
+//!   Perfetto-compatible Chrome trace via [`chrome_trace`].
 //!
 //! Every handle is either **enabled** (backed by a shared sink) or
 //! **disabled** (a `None`, the default). Disabled handles never allocate and
@@ -10,11 +18,14 @@
 //! a pipeline can hand the same telemetry to its worker pool.
 //!
 //! Stage names form a `/`-separated hierarchy, e.g. `reconstruct/pass1` is a
-//! child of `reconstruct`. When child stages run sequentially inside their
-//! parent's span (which is how the pipeline is instrumented), the sum of the
-//! children's totals never exceeds the parent's total — a property the test
-//! net pins. Per-worker busy spans, which legitimately overlap in wall time,
-//! are recorded under the separate `workers/` namespace.
+//! child of `reconstruct`. Segments are non-empty and names neither start
+//! nor end with `/` — [`validate_stage_name`] is the contract, debug
+//! assertions enforce it on the hot paths and [`RunReport::from_json`]
+//! enforces it on untrusted input. When child stages run sequentially inside
+//! their parent's span (which is how the pipeline is instrumented), the sum
+//! of the children's totals never exceeds the parent's total — a property
+//! the test net pins. Per-worker busy spans, which legitimately overlap in
+//! wall time, are recorded under the separate `workers/` namespace.
 //!
 //! ```
 //! use bb_telemetry::Telemetry;
@@ -27,25 +38,71 @@
 //! }
 //! let report = telemetry.report();
 //! assert_eq!(report.counters["frames"], 60);
+//! assert_eq!(report.histograms["reconstruct"].count(), 1);
 //! let json = report.to_json();
 //! assert_eq!(bb_telemetry::RunReport::from_json(&json).unwrap(), report);
+//! ```
+//!
+//! Attaching a journal records the same spans as timestamped events:
+//!
+//! ```
+//! use bb_telemetry::{Journal, Telemetry};
+//!
+//! let telemetry = Telemetry::enabled().with_journal(Journal::with_capacity(1024));
+//! {
+//!     let _span = telemetry.time("reconstruct");
+//!     telemetry.event("reconstruct/frame", Some(0), &[("canvas_fill", 0.1)]);
+//! }
+//! let journal = telemetry.journal().unwrap();
+//! assert_eq!(journal.events().len(), 2);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hist;
+pub mod journal;
 pub mod json;
 pub mod report;
+pub mod trace;
 
-pub use report::{RunReport, StageStats};
+pub use hist::Histogram;
+pub use journal::{Journal, JournalEvent};
+pub use report::{RunReport, StageStats, FORMAT_VERSION};
+pub use trace::chrome_trace;
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+/// Checks the stage-name contract: non-empty, `/`-separated, no empty
+/// segments (so no leading, trailing, or doubled `/`).
+///
+/// The hierarchy math ([`RunReport::children_total_ns`]) and the trace
+/// export's lane model both assume this shape; a malformed name would
+/// silently corrupt them, so hot paths debug-assert it and
+/// [`RunReport::from_json`] rejects it outright.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the violation.
+pub fn validate_stage_name(name: &str) -> Result<(), String> {
+    if name.is_empty() {
+        return Err("stage name is empty".to_string());
+    }
+    if name.starts_with('/') || name.ends_with('/') {
+        return Err("stage name must not start or end with '/'".to_string());
+    }
+    if name.split('/').any(str::is_empty) {
+        return Err("stage name has an empty '/' segment".to_string());
+    }
+    Ok(())
+}
+
 #[derive(Debug, Default)]
 struct Sink {
     stages: BTreeMap<String, StageStats>,
+    hists: BTreeMap<String, Histogram>,
     counters: BTreeMap<String, u64>,
     meta: BTreeMap<String, String>,
 }
@@ -54,53 +111,114 @@ struct Sink {
 #[derive(Debug, Clone, Default)]
 pub struct Telemetry {
     sink: Option<Arc<Mutex<Sink>>>,
+    journal: Option<Journal>,
 }
 
 impl Telemetry {
     /// A disabled handle: every operation is a no-op, [`Telemetry::report`]
     /// is empty. This is also the [`Default`].
     pub fn disabled() -> Telemetry {
-        Telemetry { sink: None }
-    }
-
-    /// An enabled handle with a fresh, empty sink.
-    pub fn enabled() -> Telemetry {
         Telemetry {
-            sink: Some(Arc::new(Mutex::new(Sink::default()))),
+            sink: None,
+            journal: None,
         }
     }
 
-    /// Whether this handle records anything.
+    /// An enabled handle with a fresh, empty sink (no journal).
+    pub fn enabled() -> Telemetry {
+        Telemetry {
+            sink: Some(Arc::new(Mutex::new(Sink::default()))),
+            journal: None,
+        }
+    }
+
+    /// Attaches an event journal: stage spans and [`Telemetry::event`]
+    /// emissions are recorded there as timestamped events.
+    #[must_use]
+    pub fn with_journal(mut self, journal: Journal) -> Telemetry {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Whether this handle records aggregates (timers/counters/meta).
     pub fn is_enabled(&self) -> bool {
         self.sink.is_some()
     }
 
-    /// Starts a stage span; the elapsed time is recorded under `name` when
-    /// the returned guard drops. No-op (and allocation-free) when disabled.
+    /// Whether this handle records journal events.
+    pub fn has_journal(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// Starts a stage span; on guard drop the elapsed time is recorded
+    /// under `name` in the sink (stats + histogram) and, when a journal is
+    /// attached, as a timestamped span event. No-op (and allocation-free)
+    /// when both are absent.
     #[must_use = "the span ends when the returned guard is dropped"]
     pub fn time(&self, name: &str) -> StageTimer<'_> {
+        debug_assert!(
+            validate_stage_name(name).is_ok(),
+            "invalid stage name {name:?}"
+        );
+        let active = self.sink.is_some() || self.journal.is_some();
         StageTimer {
             telemetry: self,
-            name: self
-                .sink
-                .as_ref()
-                .map(|_| (name.to_string(), Instant::now())),
+            name: active.then(|| (name.to_string(), Instant::now())),
         }
     }
 
     /// Records one completed span of `dur` under stage `name` directly
-    /// (used by worker pools that time sections themselves).
+    /// (used by worker pools that time sections themselves). Aggregates
+    /// only — see [`Telemetry::record_span`] to also journal the span's
+    /// position in time.
     pub fn record_duration(&self, name: &str, dur: Duration) {
+        debug_assert!(
+            validate_stage_name(name).is_ok(),
+            "invalid stage name {name:?}"
+        );
         let Some(sink) = &self.sink else { return };
+        let ns = dur.as_nanos().min(u64::MAX as u128) as u64;
         let mut sink = sink.lock().expect("telemetry sink poisoned");
-        sink.stages
-            .entry(name.to_string())
-            .or_default()
-            .record(dur.as_nanos().min(u64::MAX as u128) as u64);
+        sink.stages.entry(name.to_string()).or_default().record(ns);
+        sink.hists.entry(name.to_string()).or_default().record(ns);
+    }
+
+    /// Records a completed span that started at `started`: aggregates like
+    /// [`Telemetry::record_duration`], plus a journal span event at the
+    /// span's true position on the timeline (when a journal is attached).
+    pub fn record_span(&self, name: &str, started: Instant, dur: Duration) {
+        self.record_duration(name, dur);
+        if let Some(journal) = &self.journal {
+            journal.emit_at(
+                journal.since_epoch_ns(started),
+                name,
+                None,
+                Some(dur.as_nanos().min(u64::MAX as u128) as u64),
+                &[],
+            );
+        }
+    }
+
+    /// Emits a structured point event into the journal (frame index plus
+    /// numeric fields). No-op without a journal — one branch, no
+    /// allocation — so per-frame hot loops can call it unconditionally.
+    pub fn event(&self, stage: &str, frame: Option<u64>, fields: &[(&str, f64)]) {
+        if let Some(journal) = &self.journal {
+            journal.emit(stage, frame, None, fields);
+        }
     }
 
     /// Adds `n` to counter `name` (counters only ever grow).
     pub fn add(&self, name: &str, n: u64) {
+        debug_assert!(
+            validate_stage_name(name).is_ok(),
+            "invalid counter name {name:?}"
+        );
         let Some(sink) = &self.sink else { return };
         let mut sink = sink.lock().expect("telemetry sink poisoned");
         *sink.counters.entry(name.to_string()).or_insert(0) += n;
@@ -123,6 +241,7 @@ impl Telemetry {
             meta: sink.meta.clone(),
             stages: sink.stages.clone(),
             counters: sink.counters.clone(),
+            histograms: sink.hists.clone(),
         }
     }
 }
@@ -131,14 +250,14 @@ impl Telemetry {
 #[derive(Debug)]
 pub struct StageTimer<'a> {
     telemetry: &'a Telemetry,
-    /// `None` when the parent handle is disabled.
+    /// `None` when the parent handle records neither aggregates nor events.
     name: Option<(String, Instant)>,
 }
 
 impl Drop for StageTimer<'_> {
     fn drop(&mut self) {
         if let Some((name, start)) = self.name.take() {
-            self.telemetry.record_duration(&name, start.elapsed());
+            self.telemetry.record_span(&name, start, start.elapsed());
         }
     }
 }
@@ -155,8 +274,10 @@ mod tests {
             t.add("counter", 5);
             t.set_meta("k", "v");
             t.record_duration("direct", Duration::from_millis(1));
+            t.event("stage/frame", Some(0), &[("x", 1.0)]);
         }
         assert!(!t.is_enabled());
+        assert!(!t.has_journal());
         assert_eq!(t.report(), RunReport::default());
     }
 
@@ -170,7 +291,23 @@ mod tests {
         t.add("c", 3);
         let r = t.report();
         assert_eq!(r.stages["s"].calls, 3);
+        assert_eq!(r.histograms["s"].count(), 3);
         assert_eq!(r.counters["c"], 5);
+    }
+
+    #[test]
+    fn histograms_match_stage_stats() {
+        let t = Telemetry::enabled();
+        for ms in [1u64, 2, 30] {
+            t.record_duration("s", Duration::from_millis(ms));
+        }
+        let r = t.report();
+        let (stats, hist) = (&r.stages["s"], &r.histograms["s"]);
+        assert_eq!(stats.calls, hist.count());
+        assert_eq!(stats.total_ns, hist.total());
+        assert_eq!(stats.min_ns, hist.min());
+        assert_eq!(stats.max_ns, hist.max());
+        assert_eq!(hist.quantile(1.0), stats.max_ns);
     }
 
     #[test]
@@ -179,6 +316,39 @@ mod tests {
         let u = t.clone();
         u.add("shared", 1);
         assert_eq!(t.report().counters["shared"], 1);
+    }
+
+    #[test]
+    fn journal_records_spans_and_events() {
+        let t = Telemetry::enabled().with_journal(Journal::with_capacity(64));
+        {
+            let _g = t.time("outer");
+            t.event("outer/frame", Some(7), &[("coverage", 0.5)]);
+        }
+        let events = t.journal().unwrap().events();
+        assert_eq!(events.len(), 2);
+        // The point event was emitted first (the span lands on guard drop)…
+        assert_eq!(events[0].stage, "outer/frame");
+        assert_eq!(events[0].frame, Some(7));
+        assert_eq!(events[0].dur_ns, None);
+        // …and the span carries its duration.
+        assert_eq!(events[1].stage, "outer");
+        assert!(events[1].dur_ns.is_some());
+        // Aggregates recorded too.
+        assert_eq!(t.report().stages["outer"].calls, 1);
+    }
+
+    #[test]
+    fn journal_without_sink_still_records_spans() {
+        let t = Telemetry::disabled().with_journal(Journal::with_capacity(64));
+        {
+            let _g = t.time("solo");
+        }
+        assert!(!t.is_enabled());
+        assert_eq!(t.report(), RunReport::default());
+        let events = t.journal().unwrap().events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].stage, "solo");
     }
 
     #[test]
@@ -233,5 +403,24 @@ mod tests {
         assert_eq!(r.counters["hits"], 1000);
         assert_eq!(r.stages["work"].calls, 1000);
         assert_eq!(r.stages["work"].total_ns, 10_000);
+        assert_eq!(r.histograms["work"].count(), 1000);
+    }
+
+    #[test]
+    fn stage_name_validation_contract() {
+        assert!(validate_stage_name("a").is_ok());
+        assert!(validate_stage_name("a/b/c").is_ok());
+        assert!(validate_stage_name("workers/pass1/busy/w0").is_ok());
+        for bad in ["", "/", "/a", "a/", "a//b", "//"] {
+            assert!(validate_stage_name(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "invalid stage name")]
+    fn hot_paths_reject_malformed_names_in_debug() {
+        let t = Telemetry::enabled();
+        let _g = t.time("bad//name");
     }
 }

@@ -1,7 +1,26 @@
 //! The serializable output of an instrumented run.
+//!
+//! # Format versions
+//!
+//! The JSON document carries a `version` field ([`FORMAT_VERSION`], written
+//! by [`RunReport::to_json`]):
+//!
+//! * **v1** (no `version` field, or `1`) — `meta` + `stages` + `counters`.
+//!   Still parsed by [`RunReport::from_json`]; histograms come back empty.
+//! * **v2** — adds `histograms`: per-stage log-bucketed latency
+//!   [`Histogram`]s (the tail-latency source of truth; `StageStats` keeps
+//!   only call counts, totals, and exact extrema).
+//!
+//! Documents claiming a version newer than [`FORMAT_VERSION`] are rejected
+//! rather than silently mis-read.
 
+use crate::hist::Histogram;
 use crate::json::{self, Json, JsonError};
+use crate::validate_stage_name;
 use std::collections::BTreeMap;
+
+/// The report format version written by [`RunReport::to_json`].
+pub const FORMAT_VERSION: u64 = 2;
 
 /// Aggregate statistics for one stage (all times in nanoseconds).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -46,6 +65,8 @@ pub struct RunReport {
     pub stages: BTreeMap<String, StageStats>,
     /// Monotone counters.
     pub counters: BTreeMap<String, u64>,
+    /// Per-stage latency histograms (empty when parsed from a v1 report).
+    pub histograms: BTreeMap<String, Histogram>,
 }
 
 impl RunReport {
@@ -66,9 +87,46 @@ impl RunReport {
             .sum()
     }
 
+    /// The estimated `q`-quantile span duration of `stage` in nanoseconds,
+    /// from its latency histogram (see [`Histogram::quantile`] for the
+    /// error bound). `None` when the stage has no histogram (v1 reports).
+    pub fn stage_quantile(&self, stage: &str, q: f64) -> Option<u64> {
+        let h = self.histograms.get(stage)?;
+        (h.count() > 0).then(|| h.quantile(q))
+    }
+
     /// Serializes to a stable (sorted-key) JSON document.
     pub fn to_json(&self) -> String {
         let mut root = BTreeMap::new();
+        root.insert("version".to_string(), Json::Number(FORMAT_VERSION as f64));
+        root.insert(
+            "histograms".to_string(),
+            Json::Object(
+                self.histograms
+                    .iter()
+                    .map(|(k, h)| {
+                        let mut obj = BTreeMap::new();
+                        obj.insert("total_ns".to_string(), Json::Number(h.total() as f64));
+                        obj.insert("min_ns".to_string(), Json::Number(h.min() as f64));
+                        obj.insert("max_ns".to_string(), Json::Number(h.max() as f64));
+                        obj.insert(
+                            "buckets".to_string(),
+                            Json::Array(
+                                h.nonzero_buckets()
+                                    .map(|(i, c)| {
+                                        Json::Array(vec![
+                                            Json::Number(i as f64),
+                                            Json::Number(c as f64),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        );
+                        (k.clone(), Json::Object(obj))
+                    })
+                    .collect(),
+            ),
+        );
         root.insert(
             "meta".to_string(),
             Json::Object(
@@ -106,14 +164,32 @@ impl RunReport {
         json::to_pretty_string(&Json::Object(root))
     }
 
-    /// Parses a document produced by [`RunReport::to_json`].
+    /// Parses a document produced by [`RunReport::to_json`] — the current
+    /// v2 shape or the historical v1 shape (no `version` field, no
+    /// histograms).
     ///
     /// # Errors
     ///
-    /// Returns [`JsonError`] on malformed JSON or a shape mismatch.
+    /// Returns [`JsonError`] on malformed JSON, a shape mismatch, a version
+    /// newer than [`FORMAT_VERSION`], or a stage/counter key that violates
+    /// the `/`-hierarchy naming invariant.
     pub fn from_json(text: &str) -> Result<RunReport, JsonError> {
         let value = json::parse(text)?;
         let root = value.as_object("root")?;
+        match root.get("version") {
+            None => {} // v1 predates the version field
+            Some(v) => {
+                let version = v.as_u64("version")?;
+                if version == 0 || version > FORMAT_VERSION {
+                    return Err(JsonError::shape(format!(
+                        "unsupported report version {version} (this build reads <= {FORMAT_VERSION})"
+                    )));
+                }
+            }
+        }
+        let valid_key = |k: &str| -> Result<(), JsonError> {
+            validate_stage_name(k).map_err(|e| JsonError::shape(format!("stage name {k:?}: {e}")))
+        };
         let mut report = RunReport::default();
         if let Some(meta) = root.get("meta") {
             for (k, v) in meta.as_object("meta")? {
@@ -122,6 +198,7 @@ impl RunReport {
         }
         if let Some(stages) = root.get("stages") {
             for (k, v) in stages.as_object("stages")? {
+                valid_key(k)?;
                 let obj = v.as_object(k)?;
                 let field = |name: &str| -> Result<u64, JsonError> {
                     obj.get(name)
@@ -141,7 +218,49 @@ impl RunReport {
         }
         if let Some(counters) = root.get("counters") {
             for (k, v) in counters.as_object("counters")? {
+                valid_key(k)?;
                 report.counters.insert(k.clone(), v.as_u64(k)?);
+            }
+        }
+        if let Some(hists) = root.get("histograms") {
+            for (k, v) in hists.as_object("histograms")? {
+                valid_key(k)?;
+                let obj = v.as_object(k)?;
+                let field = |name: &str| -> Result<u64, JsonError> {
+                    obj.get(name)
+                        .ok_or_else(|| JsonError::shape(format!("{k}: missing {name}")))?
+                        .as_u64(name)
+                };
+                let mut buckets = Vec::new();
+                if let Some(raw) = obj.get("buckets") {
+                    let Json::Array(items) = raw else {
+                        return Err(JsonError::shape(format!("{k}: buckets must be an array")));
+                    };
+                    for item in items {
+                        let Json::Array(pair) = item else {
+                            return Err(JsonError::shape(format!(
+                                "{k}: bucket entries are [index, count] pairs"
+                            )));
+                        };
+                        if pair.len() != 2 {
+                            return Err(JsonError::shape(format!(
+                                "{k}: bucket entries are [index, count] pairs"
+                            )));
+                        }
+                        buckets.push((
+                            pair[0].as_u64("bucket index")? as usize,
+                            pair[1].as_u64("bucket count")?,
+                        ));
+                    }
+                }
+                let hist = Histogram::from_parts(
+                    field("total_ns")?,
+                    field("min_ns")?,
+                    field("max_ns")?,
+                    &buckets,
+                )
+                .map_err(|e| JsonError::shape(format!("{k}: {e}")))?;
+                report.histograms.insert(k.clone(), hist);
             }
         }
         Ok(report)
@@ -228,5 +347,50 @@ mod tests {
         assert!(RunReport::from_json("{").is_err());
         assert!(RunReport::from_json("[]").is_err());
         assert!(RunReport::from_json(r#"{"stages": {"s": {"calls": "x"}}}"#).is_err());
+    }
+
+    #[test]
+    fn histograms_round_trip_losslessly() {
+        let mut report = sample();
+        let mut h = Histogram::new();
+        for v in [100u64, 250, 250, 9_000, 1_000_000] {
+            h.record(v);
+        }
+        report.histograms.insert("reconstruct/pass1".into(), h);
+        let parsed = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+        assert!(parsed.stage_quantile("reconstruct/pass1", 0.5).unwrap() >= 250);
+        assert_eq!(
+            parsed.stage_quantile("reconstruct/pass1", 1.0),
+            Some(1_000_000)
+        );
+        assert_eq!(parsed.stage_quantile("reconstruct", 0.5), None);
+    }
+
+    #[test]
+    fn newer_or_zero_versions_are_rejected() {
+        assert!(RunReport::from_json(r#"{"version": 3}"#).is_err());
+        assert!(RunReport::from_json(r#"{"version": 0}"#).is_err());
+        assert!(RunReport::from_json(r#"{"version": 2}"#).is_ok());
+        assert!(RunReport::from_json(r#"{"version": 1}"#).is_ok());
+        assert!(
+            RunReport::from_json("{}").is_ok(),
+            "v1 has no version field"
+        );
+    }
+
+    #[test]
+    fn invalid_stage_names_are_rejected_on_parse() {
+        for bad in ["", "/x", "x/", "a//b"] {
+            let doc = format!(
+                r#"{{"stages": {{"{bad}": {{"calls": 1, "total_ns": 1, "min_ns": 1, "max_ns": 1}}}}}}"#
+            );
+            assert!(RunReport::from_json(&doc).is_err(), "accepted {bad:?}");
+            let doc = format!(r#"{{"counters": {{"{bad}": 1}}}}"#);
+            assert!(
+                RunReport::from_json(&doc).is_err(),
+                "accepted counter {bad:?}"
+            );
+        }
     }
 }

@@ -1,0 +1,244 @@
+//! Chrome trace-event export (viewable in Perfetto / `chrome://tracing`).
+//!
+//! [`chrome_trace`] renders a run — the aggregate [`RunReport`] plus the
+//! [`JournalEvent`] stream — into the Trace Event Format's JSON object form:
+//! `{"traceEvents": [...]}` with microsecond timestamps.
+//!
+//! Lane model (one trace *thread* per lane, all under pid 1):
+//!
+//! * `main` (tid 0) — every nested stage span (`reconstruct`,
+//!   `reconstruct/pass1`, `attacks/location`, …). These nest truthfully
+//!   because they come from real [`crate::Telemetry::time`] guards.
+//! * `serial` (tid 1) — the worker pool's inline fallback path.
+//! * `w0`, `w1`, … (tid 2+i) — one lane per spawned worker; spans are the
+//!   workers' real busy intervals from `bb_core::workers`, so a straggling
+//!   lane is visible as a long slice.
+//!
+//! Point events carrying numeric fields (per-frame coverage, attack
+//! confidence) become counter events (`"ph":"C"`), which Perfetto renders
+//! as time-series tracks; field-less point events become instants.
+
+use crate::journal::JournalEvent;
+use crate::json::{self, Json};
+use crate::RunReport;
+use std::collections::BTreeMap;
+
+/// The trace lane an event belongs to (see module docs).
+fn lane_of(stage: &str) -> &str {
+    // Worker busy spans are recorded under `workers/<stage>/busy/<lane>`.
+    if stage.starts_with("workers/") {
+        if let Some((_, lane)) = stage.rsplit_once('/') {
+            let is_worker = lane.len() > 1
+                && lane.starts_with('w')
+                && lane[1..].bytes().all(|b| b.is_ascii_digit());
+            if lane == "serial" || is_worker {
+                return lane;
+            }
+        }
+    }
+    "main"
+}
+
+/// The tid for a lane: `main` = 0, `serial` = 1, `w{i}` = 2 + i.
+fn tid_of(lane: &str) -> u64 {
+    match lane {
+        "main" => 0,
+        "serial" => 1,
+        worker => 2 + worker[1..].parse::<u64>().unwrap_or(0),
+    }
+}
+
+fn metadata_event(name: &str, tid: Option<u64>, args: BTreeMap<String, Json>) -> Json {
+    let mut obj = BTreeMap::new();
+    obj.insert("ph".to_string(), Json::String("M".to_string()));
+    obj.insert("name".to_string(), Json::String(name.to_string()));
+    obj.insert("pid".to_string(), Json::Number(1.0));
+    if let Some(tid) = tid {
+        obj.insert("tid".to_string(), Json::Number(tid as f64));
+    }
+    obj.insert("args".to_string(), Json::Object(args));
+    Json::Object(obj)
+}
+
+/// Renders a report and its journal into Chrome trace-event JSON.
+///
+/// Works with an empty journal (the trace then carries only process
+/// metadata), but real lanes need journal span events — the CLI enables the
+/// journal automatically whenever a trace is requested.
+pub fn chrome_trace(report: &RunReport, events: &[JournalEvent]) -> String {
+    let mut trace_events: Vec<Json> = Vec::new();
+
+    // Process metadata: name plus the run's meta entries as args.
+    let mut process_args = BTreeMap::new();
+    process_args.insert(
+        "name".to_string(),
+        Json::String("background-buster".to_string()),
+    );
+    trace_events.push(metadata_event("process_name", None, process_args));
+    for (key, value) in &report.meta {
+        let mut args = BTreeMap::new();
+        args.insert(key.clone(), Json::String(value.clone()));
+        trace_events.push(metadata_event("process_labels", None, args));
+    }
+
+    // Lane metadata: collect every lane the journal touches; `main` always
+    // exists so even a span-less trace opens with a sensible layout.
+    let mut lanes: BTreeMap<u64, String> = BTreeMap::new();
+    lanes.insert(0, "main".to_string());
+    for event in events {
+        let lane = lane_of(&event.stage);
+        lanes
+            .entry(tid_of(lane))
+            .or_insert_with(|| lane.to_string());
+    }
+    for (tid, lane) in &lanes {
+        let mut name_args = BTreeMap::new();
+        name_args.insert("name".to_string(), Json::String(lane.clone()));
+        trace_events.push(metadata_event("thread_name", Some(*tid), name_args));
+        let mut sort_args = BTreeMap::new();
+        sort_args.insert("sort_index".to_string(), Json::Number(*tid as f64));
+        trace_events.push(metadata_event("thread_sort_index", Some(*tid), sort_args));
+    }
+
+    for event in events {
+        let tid = tid_of(lane_of(&event.stage));
+        let ts_us = event.t_ns as f64 / 1_000.0;
+        let mut args = BTreeMap::new();
+        if let Some(frame) = event.frame {
+            args.insert("frame".to_string(), Json::Number(frame as f64));
+        }
+        for (key, value) in &event.fields {
+            args.insert(key.clone(), Json::Number(*value));
+        }
+        let mut obj = BTreeMap::new();
+        obj.insert("name".to_string(), Json::String(event.stage.clone()));
+        obj.insert(
+            "cat".to_string(),
+            Json::String(event.stage.split('/').next().unwrap_or("event").to_string()),
+        );
+        obj.insert("pid".to_string(), Json::Number(1.0));
+        obj.insert("tid".to_string(), Json::Number(tid as f64));
+        obj.insert("ts".to_string(), Json::Number(ts_us));
+        match event.dur_ns {
+            Some(dur) => {
+                // A complete span slice on its lane.
+                obj.insert("ph".to_string(), Json::String("X".to_string()));
+                obj.insert("dur".to_string(), Json::Number(dur as f64 / 1_000.0));
+            }
+            None if !event.fields.is_empty() => {
+                // Numeric payload → a counter track (time series).
+                obj.insert("ph".to_string(), Json::String("C".to_string()));
+            }
+            None => {
+                obj.insert("ph".to_string(), Json::String("i".to_string()));
+                obj.insert("s".to_string(), Json::String("t".to_string()));
+            }
+        }
+        if !args.is_empty() {
+            obj.insert("args".to_string(), Json::Object(args));
+        }
+        trace_events.push(Json::Object(obj));
+    }
+
+    let mut root = BTreeMap::new();
+    root.insert("traceEvents".to_string(), Json::Array(trace_events));
+    root.insert(
+        "displayTimeUnit".to_string(),
+        Json::String("ms".to_string()),
+    );
+    json::to_compact_string(&Json::Object(root))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap as Map;
+
+    fn span(seq: u64, t_ns: u64, stage: &str, dur_ns: u64) -> JournalEvent {
+        JournalEvent {
+            seq,
+            t_ns,
+            stage: stage.to_string(),
+            frame: None,
+            dur_ns: Some(dur_ns),
+            fields: Map::new(),
+        }
+    }
+
+    #[test]
+    fn lanes_are_assigned_by_stage_shape() {
+        assert_eq!(lane_of("reconstruct/pass1"), "main");
+        assert_eq!(lane_of("workers/pass1/busy/w0"), "w0");
+        assert_eq!(lane_of("workers/pass1/busy/w12"), "w12");
+        assert_eq!(lane_of("workers/pass1/busy/serial"), "serial");
+        // Non-lane suffixes under workers/ stay on main.
+        assert_eq!(lane_of("workers/pass1/jobs"), "main");
+        assert_eq!(lane_of("attacks/location"), "main");
+        assert_eq!(tid_of("main"), 0);
+        assert_eq!(tid_of("serial"), 1);
+        assert_eq!(tid_of("w0"), 2);
+        assert_eq!(tid_of("w7"), 9);
+    }
+
+    #[test]
+    fn trace_is_valid_json_with_worker_lanes() {
+        let report = RunReport::default();
+        let events = vec![
+            span(0, 0, "reconstruct", 10_000_000),
+            span(1, 1_000, "reconstruct/pass1", 4_000_000),
+            span(2, 2_000, "workers/pass1/busy/w0", 3_000_000),
+            span(3, 2_500, "workers/pass1/busy/w1", 3_100_000),
+            JournalEvent {
+                seq: 4,
+                t_ns: 9_000_000,
+                stage: "reconstruct/frame".to_string(),
+                frame: Some(3),
+                dur_ns: None,
+                fields: Map::from([("canvas_fill".to_string(), 0.4)]),
+            },
+        ];
+        let text = chrome_trace(&report, &events);
+        let parsed = json::parse(&text).expect("trace parses");
+        let root = parsed.as_object("root").unwrap();
+        let Json::Array(items) = &root["traceEvents"] else {
+            panic!("traceEvents must be an array");
+        };
+        // Two worker lanes + main named via metadata.
+        let thread_names: Vec<String> = items
+            .iter()
+            .filter_map(|e| {
+                let obj = e.as_object("event").ok()?;
+                if obj.get("name")? == &Json::String("thread_name".to_string()) {
+                    let args = obj.get("args")?.as_object("args").ok()?;
+                    Some(args.get("name")?.as_string("name").ok()?.to_string())
+                } else {
+                    None
+                }
+            })
+            .collect();
+        assert!(thread_names.contains(&"main".to_string()));
+        assert!(thread_names.contains(&"w0".to_string()));
+        assert!(thread_names.contains(&"w1".to_string()));
+        // The per-frame event became a counter sample.
+        let counter = items.iter().find(|e| {
+            e.as_object("event")
+                .ok()
+                .and_then(|o| o.get("ph"))
+                .is_some_and(|ph| ph == &Json::String("C".to_string()))
+        });
+        assert!(counter.is_some(), "expected a counter event");
+        // Span timestamps are microseconds.
+        let spans: Vec<&Json> = items
+            .iter()
+            .filter(|e| {
+                e.as_object("event")
+                    .ok()
+                    .and_then(|o| o.get("ph"))
+                    .is_some_and(|ph| ph == &Json::String("X".to_string()))
+            })
+            .collect();
+        assert_eq!(spans.len(), 4);
+        let first = spans[0].as_object("span").unwrap();
+        assert_eq!(first["dur"], Json::Number(10_000.0));
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the log-bucketed [`Histogram`].
+//!
+//! Two contracts are pinned against a naive exact reference (the sorted
+//! vector of every recorded value):
+//!
+//! * **Merge algebra** — merging is associative and commutative, and
+//!   merging two histograms equals recording both value streams into one.
+//! * **Quantile bounds** — for every quantile, the histogram's estimate is
+//!   an upper bound on the exact quantile and within the documented
+//!   relative-error budget of it.
+//!
+//! Value spreads are adversarial by construction: the generator mixes exact
+//! small values (0, 1, the sub-bucket boundary), `u64::MAX`, tight clusters
+//! (the same value repeated), and uniform noise at several magnitudes —
+//! the regimes where bucket-boundary arithmetic goes wrong.
+
+use bb_telemetry::Histogram;
+use proptest::prelude::*;
+
+/// One generated value: a selector picks the regime, `raw` supplies entropy.
+fn materialize(selector: u8, raw: u64) -> u64 {
+    match selector % 8 {
+        0 => 0,
+        1 => 1,
+        2 => 31 + raw % 3, // the linear/log bucket boundary (31, 32, 33)
+        3 => u64::MAX - raw % 2,
+        4 => 1_000_000,        // a tight cluster: repeated exact value
+        5 => raw % 1_000,      // small spread
+        6 => raw % 10_000_000, // mid spread
+        _ => raw,              // full-range noise
+    }
+}
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// The exact `q`-quantile of `values` (same rank convention the histogram
+/// documents: the smallest value with at least `ceil(q * n)` values at or
+/// below it).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(
+        a in collection::vec((any::<u8>(), any::<u64>()), 0..40),
+        b in collection::vec((any::<u8>(), any::<u64>()), 0..40),
+    ) {
+        let av: Vec<u64> = a.iter().map(|&(s, r)| materialize(s, r)).collect();
+        let bv: Vec<u64> = b.iter().map(|&(s, r)| materialize(s, r)).collect();
+        let mut ab = hist_of(&av);
+        ab.merge(&hist_of(&bv));
+        let mut ba = hist_of(&bv);
+        ba.merge(&hist_of(&av));
+        prop_assert_eq!(&ab, &ba);
+        // And merge equals recording the concatenated stream.
+        let mut all = av.clone();
+        all.extend(&bv);
+        prop_assert_eq!(&ab, &hist_of(&all));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in collection::vec((any::<u8>(), any::<u64>()), 0..30),
+        b in collection::vec((any::<u8>(), any::<u64>()), 0..30),
+        c in collection::vec((any::<u8>(), any::<u64>()), 0..30),
+    ) {
+        let ha = hist_of(&a.iter().map(|&(s, r)| materialize(s, r)).collect::<Vec<_>>());
+        let hb = hist_of(&b.iter().map(|&(s, r)| materialize(s, r)).collect::<Vec<_>>());
+        let hc = hist_of(&c.iter().map(|&(s, r)| materialize(s, r)).collect::<Vec<_>>());
+        // (a + b) + c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a + (b + c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn quantiles_bound_the_exact_reference(
+        raw in collection::vec((any::<u8>(), any::<u64>()), 1..120),
+        qs in collection::vec(0.0f64..1.0, 1..8),
+    ) {
+        let values: Vec<u64> = raw.iter().map(|&(s, r)| materialize(s, r)).collect();
+        let h = hist_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+        for &q in qs.iter().chain([0.0, 0.5, 0.99, 1.0].iter()) {
+            let exact = exact_quantile(&sorted, q);
+            let est = h.quantile(q);
+            // Upper bound on the exact quantile…
+            prop_assert!(
+                est >= exact,
+                "q={q}: estimate {est} below exact {exact}"
+            );
+            // …within the documented relative error (clamping to the exact
+            // max can only tighten the bound).
+            let budget = exact as f64 * Histogram::RELATIVE_ERROR + 1.0;
+            prop_assert!(
+                est as f64 <= exact as f64 + budget,
+                "q={q}: estimate {est} exceeds exact {exact} by more than {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn totals_and_mean_are_exact(
+        raw in collection::vec((any::<u8>(), any::<u64>()), 1..60),
+    ) {
+        // Avoid saturation: keep values in a sane range for the sum check.
+        let values: Vec<u64> = raw
+            .iter()
+            .map(|&(s, r)| materialize(s, r) % 1_000_000_000)
+            .collect();
+        let h = hist_of(&values);
+        let sum: u64 = values.iter().sum();
+        prop_assert_eq!(h.total(), sum);
+        prop_assert_eq!(h.mean(), sum / values.len() as u64);
+    }
+}

@@ -1,0 +1,139 @@
+//! Report format compatibility: the committed golden v1 fixture must keep
+//! parsing, and the current v2 format must round-trip byte-stably.
+
+use bb_telemetry::{Histogram, RunReport, StageStats};
+
+/// A verbatim PR-1-era (v1) report: no `version` field, no histograms.
+/// This exact text shape is what `--telemetry-out` wrote before the
+/// observability layer landed; it must parse forever.
+const GOLDEN_V1: &str = r#"{
+  "counters": {
+    "frames/input": 30,
+    "frames/pass1": 30,
+    "pixels/recovered": 1184,
+    "workers/pass1/jobs/w0": 16,
+    "workers/pass1/jobs/w1": 14
+  },
+  "meta": {
+    "collect_mode": "WorkerLocal",
+    "frames": "30",
+    "height": "72",
+    "parallelism": "2",
+    "width": "96"
+  },
+  "stages": {
+    "reconstruct": {
+      "calls": 1,
+      "max_ns": 181103361,
+      "min_ns": 181103361,
+      "total_ns": 181103361
+    },
+    "reconstruct/pass1": {
+      "calls": 1,
+      "max_ns": 60920166,
+      "min_ns": 60920166,
+      "total_ns": 60920166
+    },
+    "workers/pass1/busy": {
+      "calls": 2,
+      "max_ns": 30541725,
+      "min_ns": 29941725,
+      "total_ns": 60483450
+    }
+  }
+}
+"#;
+
+#[test]
+fn golden_v1_fixture_still_parses() {
+    let report = RunReport::from_json(GOLDEN_V1).expect("v1 report parses");
+    assert_eq!(report.counters["frames/input"], 30);
+    assert_eq!(report.meta["collect_mode"], "WorkerLocal");
+    assert_eq!(
+        report.stages["reconstruct"],
+        StageStats {
+            calls: 1,
+            total_ns: 181_103_361,
+            min_ns: 181_103_361,
+            max_ns: 181_103_361,
+        }
+    );
+    // v1 carries no histograms; quantile queries degrade gracefully.
+    assert!(report.histograms.is_empty());
+    assert_eq!(report.stage_quantile("reconstruct", 0.99), None);
+    // The hierarchy math still works on v1 data.
+    assert_eq!(report.children_total_ns("reconstruct"), 60_920_166);
+}
+
+#[test]
+fn v1_reparse_upgrades_to_v2_stably() {
+    let report = RunReport::from_json(GOLDEN_V1).unwrap();
+    let v2 = report.to_json();
+    assert!(v2.contains("\"version\": 2"));
+    let reparsed = RunReport::from_json(&v2).expect("upgraded report parses");
+    assert_eq!(reparsed, report);
+    assert_eq!(
+        reparsed.to_json(),
+        v2,
+        "upgrade is byte-stable after one hop"
+    );
+}
+
+fn sample_v2() -> RunReport {
+    let mut report = RunReport::default();
+    report.meta.insert("scenario".into(), "compat".into());
+    let mut stats = StageStats::default();
+    let mut hist = Histogram::new();
+    for ns in [1_200_000u64, 1_250_000, 3_000_000, 40_000_000] {
+        stats.calls += 1;
+        stats.total_ns += ns;
+        stats.min_ns = if stats.calls == 1 {
+            ns
+        } else {
+            stats.min_ns.min(ns)
+        };
+        stats.max_ns = stats.max_ns.max(ns);
+        hist.record(ns);
+    }
+    report.stages.insert("reconstruct/pass1".into(), stats);
+    report.histograms.insert("reconstruct/pass1".into(), hist);
+    report.counters.insert("frames/input".into(), 4);
+    report
+}
+
+#[test]
+fn v2_round_trip_is_byte_stable() {
+    let report = sample_v2();
+    let first = report.to_json();
+    let reparsed = RunReport::from_json(&first).expect("v2 parses");
+    assert_eq!(reparsed, report);
+    let second = reparsed.to_json();
+    assert_eq!(
+        first, second,
+        "serialize → parse → serialize must be identity"
+    );
+    // Keys are sorted: "counters" < "histograms" < "meta" < "stages" < "version".
+    let c = first.find("\"counters\"").unwrap();
+    let h = first.find("\"histograms\"").unwrap();
+    let m = first.find("\"meta\"").unwrap();
+    let s = first.find("\"stages\"").unwrap();
+    let v = first.find("\"version\"").unwrap();
+    assert!(c < h && h < m && m < s && s < v);
+}
+
+#[test]
+fn quantiles_survive_serialization() {
+    let report = sample_v2();
+    let reparsed = RunReport::from_json(&report.to_json()).unwrap();
+    for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(
+            report.stage_quantile("reconstruct/pass1", q),
+            reparsed.stage_quantile("reconstruct/pass1", q),
+            "quantile {q} drifted through JSON"
+        );
+    }
+    assert_eq!(
+        reparsed.stage_quantile("reconstruct/pass1", 1.0),
+        Some(40_000_000)
+    );
+}

@@ -154,6 +154,30 @@ fn golden_hash_regression() {
 }
 
 #[test]
+fn golden_hash_is_unchanged_by_observability() {
+    // Observation must never perturb the pipeline: the full sink + journal
+    // configuration produces the exact same bytes as telemetry off.
+    let video = seeded_call();
+    let telemetry =
+        Telemetry::enabled().with_journal(bb_telemetry::Journal::with_capacity(1 << 18));
+    let recon = reconstruct(&video, 8, CollectMode::WorkerLocal, &telemetry);
+    let hash = fnv1a_of(&recon);
+    assert_eq!(
+        hash, GOLDEN_HASH,
+        "telemetry+journal changed the output: got {hash:#018x}, pinned {GOLDEN_HASH:#018x}"
+    );
+    // And the journal really was live during that run.
+    let journal = telemetry.journal().expect("journal attached");
+    let frame_events = journal
+        .events()
+        .iter()
+        .filter(|e| e.stage == "reconstruct/frame")
+        .count();
+    assert_eq!(frame_events, FRAMES);
+    assert_eq!(journal.dropped(), 0);
+}
+
+#[test]
 fn telemetry_on_a_real_run_is_consistent() {
     let video = seeded_call();
     let telemetry = Telemetry::enabled();
@@ -195,6 +219,23 @@ fn telemetry_on_a_real_run_is_consistent() {
         .map(|(_, v)| *v)
         .sum();
     assert_eq!(pass1_jobs, FRAMES as u64);
+    // Each spawned worker has its own busy lane; the serial label is
+    // reserved for the inline fallback and must not appear here.
+    assert!(report.stages.contains_key("workers/pass1/busy/w0"));
+    assert!(!report.stages.contains_key("workers/pass1/busy/serial"));
+    assert!(!report.counters.contains_key("workers/pass1/jobs/serial"));
+
+    // Every timed stage also has a latency histogram that agrees with the
+    // exact stats on its extremes.
+    for (name, stats) in &report.stages {
+        let hist = report
+            .histograms
+            .get(name)
+            .unwrap_or_else(|| panic!("no histogram for stage {name}"));
+        assert_eq!(hist.count(), stats.calls, "count mismatch for {name}");
+        assert_eq!(hist.max(), stats.max_ns, "max mismatch for {name}");
+        assert_eq!(hist.min(), stats.min_ns, "min mismatch for {name}");
+    }
 
     // The report survives serialization losslessly.
     let round_tripped = RunReport::from_json(&report.to_json()).expect("valid JSON");
