@@ -141,22 +141,12 @@ impl ObjectDetector {
     /// # Errors
     ///
     /// Returns [`AttackError::NothingRecovered`] when nothing was recovered.
+    ///
+    /// Instrumentation goes through `telemetry`: wall time lands in the
+    /// `attacks/generic` stage, proposal/detection volumes in
+    /// `attacks/generic/*` counters. Callers that don't trace pass
+    /// [`Telemetry::disabled`].
     pub fn detect(
-        &self,
-        background: &Frame,
-        recovered: &Mask,
-    ) -> Result<Vec<Detection>, AttackError> {
-        self.detect_traced(background, recovered, &Telemetry::disabled())
-    }
-
-    /// [`ObjectDetector::detect`] with instrumentation: wall time lands in
-    /// the `attacks/generic` stage; proposal/detection volumes in
-    /// `attacks/generic/*` counters.
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`ObjectDetector::detect`].
-    pub fn detect_traced(
         &self,
         background: &Frame,
         recovered: &Mask,
@@ -356,7 +346,7 @@ mod tests {
     fn detect_reports_planted_object() {
         let det = detector();
         let (canvas, mask, obj) = recovered_object(ObjectClass::Monitor, 7);
-        let detections = det.detect(&canvas, &mask).unwrap();
+        let detections = det.detect(&canvas, &mask, &Telemetry::disabled()).unwrap();
         assert!(!detections.is_empty(), "nothing detected");
         let best = &detections[0];
         // The detection's bbox overlaps the planted object's bbox.
@@ -395,7 +385,11 @@ mod tests {
     fn empty_recovery_is_error() {
         let det = detector();
         assert!(matches!(
-            det.detect(&Frame::new(20, 20), &Mask::new(20, 20)),
+            det.detect(
+                &Frame::new(20, 20),
+                &Mask::new(20, 20),
+                &Telemetry::disabled()
+            ),
             Err(AttackError::NothingRecovered)
         ));
     }
@@ -407,7 +401,7 @@ mod tests {
         frame.put(5, 5, Rgb::new(200, 0, 0));
         let mut mask = Mask::new(60, 60);
         mask.set(5, 5, true);
-        let detections = det.detect(&frame, &mask).unwrap();
+        let detections = det.detect(&frame, &mask, &Telemetry::disabled()).unwrap();
         assert!(detections.is_empty());
     }
 

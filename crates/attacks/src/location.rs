@@ -144,23 +144,12 @@ impl LocationInference {
     /// # Errors
     ///
     /// * [`AttackError::NothingRecovered`] when the mask is empty.
+    ///
+    /// Instrumentation goes through `telemetry`: wall time lands in the
+    /// `attacks/location` stage, alignment/scoring volumes in
+    /// `attacks/location/*` counters. Callers that don't trace pass
+    /// [`Telemetry::disabled`].
     pub fn rank(
-        &self,
-        background: &Frame,
-        recovered: &Mask,
-        dictionary: &LocationDictionary,
-    ) -> Result<Ranking, AttackError> {
-        self.rank_traced(background, recovered, dictionary, &Telemetry::disabled())
-    }
-
-    /// [`LocationInference::rank`] with instrumentation: the wall time lands
-    /// in the `attacks/location` stage and alignment/scoring volumes in
-    /// `attacks/location/*` counters.
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`LocationInference::rank`].
-    pub fn rank_traced(
         &self,
         background: &Frame,
         recovered: &Mask,
@@ -327,7 +316,9 @@ mod tests {
         let dict = dictionary(12);
         let target = room_like(3); // = entry "room-0"
         let attack = LocationInference::default();
-        let ranking = attack.rank(&target, &partial_mask(), &dict).unwrap();
+        let ranking = attack
+            .rank(&target, &partial_mask(), &dict, &Telemetry::disabled())
+            .unwrap();
         assert_eq!(ranking.ranked[0].0, "room-0");
         assert!(ranking.in_top_k("room-0", 1));
         assert_eq!(ranking.rank_of("room-0"), Some(1));
@@ -340,7 +331,9 @@ mod tests {
         let (shifted, valid) = geom::shift_frame(&target, 3, -2);
         let mask = partial_mask().intersect(&valid).unwrap();
         let attack = LocationInference::default();
-        let ranking = attack.rank(&shifted, &mask, &dict).unwrap();
+        let ranking = attack
+            .rank(&shifted, &mask, &dict, &Telemetry::disabled())
+            .unwrap();
         assert_eq!(ranking.ranked[0].0, "room-0", "shift search failed");
     }
 
@@ -350,7 +343,9 @@ mod tests {
         let mut darker = room_like(3);
         darker.map_in_place(|p| p.scale(0.75)); // lights dimmed
         let attack = LocationInference::default();
-        let ranking = attack.rank(&darker, &partial_mask(), &dict).unwrap();
+        let ranking = attack
+            .rank(&darker, &partial_mask(), &dict, &Telemetry::disabled())
+            .unwrap();
         assert!(
             ranking.in_top_k("room-0", 3),
             "dimmed room ranked {:?}",
@@ -363,7 +358,12 @@ mod tests {
         let dict = dictionary(3);
         let attack = LocationInference::default();
         let err = attack
-            .rank(&Frame::new(40, 30), &Mask::new(40, 30), &dict)
+            .rank(
+                &Frame::new(40, 30),
+                &Mask::new(40, 30),
+                &dict,
+                &Telemetry::disabled(),
+            )
             .unwrap_err();
         assert_eq!(err, AttackError::NothingRecovered);
     }
@@ -376,7 +376,14 @@ mod tests {
             shifts: vec![0],
             ..Default::default()
         };
-        let ranking = attack.rank(&room_like(3), &partial_mask(), &dict).unwrap();
+        let ranking = attack
+            .rank(
+                &room_like(3),
+                &partial_mask(),
+                &dict,
+                &Telemetry::disabled(),
+            )
+            .unwrap();
         assert_eq!(ranking.ranked.len(), 8);
         assert_eq!(ranking.rank_of("nope"), None);
         assert!(!ranking.in_top_k("nope", 8));
@@ -394,7 +401,14 @@ mod tests {
     fn scores_are_probabilities() {
         let dict = dictionary(6);
         let attack = LocationInference::default();
-        let ranking = attack.rank(&room_like(10), &partial_mask(), &dict).unwrap();
+        let ranking = attack
+            .rank(
+                &room_like(10),
+                &partial_mask(),
+                &dict,
+                &Telemetry::disabled(),
+            )
+            .unwrap();
         for (_, s) in &ranking.ranked {
             assert!((0.0..=1.0).contains(s));
         }
@@ -453,7 +467,9 @@ mod robustness_tests {
         );
         let recovered = Mask::from_fn(48, 36, |x, y| (x * 3 + y * 7) % 9 < 4 && valid.get(x, y));
         let attack = LocationInference::default();
-        let ranking = attack.rank(&warped, &recovered, &dict).unwrap();
+        let ranking = attack
+            .rank(&warped, &recovered, &dict, &Telemetry::disabled())
+            .unwrap();
         assert!(
             ranking.in_top_k("room-4", 2),
             "true room ranked {:?} under combined perturbation",
@@ -476,7 +492,7 @@ mod robustness_tests {
         let rank_at = |density: usize| -> usize {
             let recovered = Mask::from_fn(48, 36, |x, y| (x + 3 * y) % 10 < density);
             attack
-                .rank(&target, &recovered, &dict)
+                .rank(&target, &recovered, &dict, &Telemetry::disabled())
                 .unwrap()
                 .rank_of("room-3")
                 .unwrap()

@@ -71,22 +71,11 @@ impl TextReader {
     /// # Errors
     ///
     /// Returns [`AttackError::NothingRecovered`] when `recovered` is empty.
+    ///
+    /// Instrumentation goes through `telemetry`: wall time lands in the
+    /// `attacks/text` stage, ink/glyph/finding volumes in `attacks/text/*`
+    /// counters. Callers that don't trace pass [`Telemetry::disabled`].
     pub fn read(
-        &self,
-        background: &Frame,
-        recovered: &Mask,
-    ) -> Result<Vec<TextFinding>, AttackError> {
-        self.read_traced(background, recovered, &Telemetry::disabled())
-    }
-
-    /// [`TextReader::read`] with instrumentation: wall time lands in the
-    /// `attacks/text` stage; ink/glyph/finding volumes in `attacks/text/*`
-    /// counters.
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`TextReader::read`].
-    pub fn read_traced(
         &self,
         background: &Frame,
         recovered: &Mask,
@@ -357,7 +346,7 @@ mod tests {
     fn reads_clean_text() {
         let (f, rec) = note_scene("VOTE");
         let reader = TextReader::default();
-        let findings = reader.read(&f, &rec).unwrap();
+        let findings = reader.read(&f, &rec, &Telemetry::disabled()).unwrap();
         assert!(!findings.is_empty(), "no text found");
         assert!(
             findings[0].text.contains("VOTE"),
@@ -371,7 +360,7 @@ mod tests {
     fn reads_digits() {
         let (f, rec) = note_scene("PIN 4921");
         let reader = TextReader::default();
-        let findings = reader.read(&f, &rec).unwrap();
+        let findings = reader.read(&f, &rec, &Telemetry::disabled()).unwrap();
         let all: String = findings
             .iter()
             .map(|t| t.text.clone())
@@ -386,7 +375,7 @@ mod tests {
         // Remove recovery over the last glyph entirely.
         let rec = Mask::from_fn(90, 40, |x, y| full.get(x, y) && x < 26);
         let reader = TextReader::default();
-        let findings = reader.read(&f, &rec).unwrap();
+        let findings = reader.read(&f, &rec, &Telemetry::disabled()).unwrap();
         if let Some(first) = findings.first() {
             assert!(
                 !first.text.contains("VOTE"),
@@ -401,7 +390,10 @@ mod tests {
         let f = Frame::filled(60, 40, Rgb::grey(200));
         let rec = Mask::full(60, 40);
         let reader = TextReader::default();
-        assert!(reader.read(&f, &rec).unwrap().is_empty());
+        assert!(reader
+            .read(&f, &rec, &Telemetry::disabled())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -409,7 +401,7 @@ mod tests {
         let (f, _) = note_scene("VOTE");
         let reader = TextReader::default();
         assert!(matches!(
-            reader.read(&f, &Mask::new(90, 40)),
+            reader.read(&f, &Mask::new(90, 40), &Telemetry::disabled()),
             Err(AttackError::NothingRecovered)
         ));
     }
@@ -421,6 +413,9 @@ mod tests {
         draw::text(&mut f, 10, 10, "HIDDEN", 1, Rgb::grey(10));
         let rec = Mask::full(60, 40);
         let reader = TextReader::default();
-        assert!(reader.read(&f, &rec).unwrap().is_empty());
+        assert!(reader
+            .read(&f, &rec, &Telemetry::disabled())
+            .unwrap()
+            .is_empty());
     }
 }

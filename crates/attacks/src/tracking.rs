@@ -80,24 +80,13 @@ impl ObjectTracker {
     /// # Errors
     ///
     /// Returns [`AttackError::NothingRecovered`] when `recovered` is empty.
+    ///
+    /// Instrumentation goes through `telemetry`: wall time lands in the
+    /// `attacks/tracking` stage, sweep volumes (configurations swept,
+    /// windows actually scored past the §VIII-D guards) in
+    /// `attacks/tracking/*` counters. Callers that don't trace pass
+    /// [`Telemetry::disabled`].
     pub fn search(
-        &self,
-        background: &Frame,
-        recovered: &Mask,
-        template: &Frame,
-    ) -> Result<Option<TrackMatch>, AttackError> {
-        self.search_traced(background, recovered, template, &Telemetry::disabled())
-    }
-
-    /// [`ObjectTracker::search`] with instrumentation: wall time lands in the
-    /// `attacks/tracking` stage; sweep volumes (configurations swept, windows
-    /// actually scored past the §VIII-D guards) in `attacks/tracking/*`
-    /// counters.
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`ObjectTracker::search`].
-    pub fn search_traced(
         &self,
         background: &Frame,
         recovered: &Mask,
@@ -301,9 +290,10 @@ impl ObjectTracker {
         background: &Frame,
         recovered: &Mask,
         template: &Frame,
+        telemetry: &Telemetry,
     ) -> Result<bool, AttackError> {
         Ok(self
-            .search(background, recovered, template)?
+            .search(background, recovered, template, telemetry)?
             .is_some_and(|m| m.score >= self.present_threshold))
     }
 
@@ -343,7 +333,7 @@ mod tests {
         let (bg, rec, template) = scene_with_poster();
         let tracker = ObjectTracker::default();
         let m = tracker
-            .search(&bg, &rec, &template)
+            .search(&bg, &rec, &template, &Telemetry::disabled())
             .unwrap()
             .expect("match");
         assert!(m.score > 0.8, "score {}", m.score);
@@ -353,7 +343,9 @@ mod tests {
             m.x,
             m.y
         );
-        assert!(tracker.is_present(&bg, &rec, &template).unwrap());
+        assert!(tracker
+            .is_present(&bg, &rec, &template, &Telemetry::disabled())
+            .unwrap());
     }
 
     #[test]
@@ -362,7 +354,9 @@ mod tests {
         let mut other = Frame::filled(12, 16, TEMPLATE_BACKDROP);
         draw::fill_rect(&mut other, 0, 0, 12, 16, Rgb::new(30, 200, 60)); // green toy
         let tracker = ObjectTracker::default();
-        assert!(!tracker.is_present(&bg, &rec, &other).unwrap());
+        assert!(!tracker
+            .is_present(&bg, &rec, &other, &Telemetry::disabled())
+            .unwrap());
     }
 
     #[test]
@@ -373,7 +367,9 @@ mod tests {
             (20..32).contains(&x) && (8..24).contains(&y) && (x * 7 + y) % 10 == 0
         });
         let tracker = ObjectTracker::default();
-        let found = tracker.search(&bg, &sparse, &template).unwrap();
+        let found = tracker
+            .search(&bg, &sparse, &template, &Telemetry::disabled())
+            .unwrap();
         assert!(found.is_none() || found.unwrap().score < 0.55);
     }
 
@@ -385,7 +381,10 @@ mod tests {
             min_window_frac: 0.05,
             ..Default::default()
         };
-        assert!(tracker.search(&bg, &rec, &tiny).unwrap().is_none());
+        assert!(tracker
+            .search(&bg, &rec, &tiny, &Telemetry::disabled())
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -393,7 +392,7 @@ mod tests {
         let (bg, _, template) = scene_with_poster();
         let tracker = ObjectTracker::default();
         assert!(matches!(
-            tracker.search(&bg, &Mask::new(64, 48), &template),
+            tracker.search(&bg, &Mask::new(64, 48), &template, &Telemetry::disabled()),
             Err(AttackError::NothingRecovered)
         ));
     }
@@ -412,7 +411,7 @@ mod tests {
         });
         let tracker = ObjectTracker::default();
         let m = tracker
-            .search(&bg, &recovered, &template)
+            .search(&bg, &recovered, &template, &Telemetry::disabled())
             .unwrap()
             .expect("match");
         assert!(m.score > 0.7, "score {}", m.score);
@@ -443,7 +442,7 @@ mod discriminative_tests {
         let recovered = Mask::full(64, 48);
         let tracker = ObjectTracker::default();
         let m = tracker
-            .search(&bg, &recovered, &template)
+            .search(&bg, &recovered, &template, &Telemetry::disabled())
             .unwrap()
             .expect("a window qualifies");
         assert!(
@@ -470,7 +469,7 @@ mod discriminative_tests {
         let recovered = Mask::from_fn(64, 48, |x, y| (20..44).contains(&x) && (8..34).contains(&y));
         let tracker = ObjectTracker::default();
         let m = tracker
-            .search(&bg, &recovered, &template)
+            .search(&bg, &recovered, &template, &Telemetry::disabled())
             .unwrap()
             .expect("match");
         assert!(m.score > 0.5, "rotated object scored {}", m.score);

@@ -2,6 +2,7 @@
 
 use bb_attacks::{LocationDictionary, LocationInference, ObjectDetector, TextReader};
 use bb_imaging::{Frame, Mask, Rgb};
+use bb_telemetry::Telemetry;
 use proptest::prelude::*;
 
 fn arb_frame(w: usize, h: usize) -> impl Strategy<Value = Frame> {
@@ -49,7 +50,7 @@ proptest! {
             shifts: vec![0],
             ..Default::default()
         };
-        let ranking = attack.rank(&background, &recovered, &dict).expect("rank");
+        let ranking = attack.rank(&background, &recovered, &dict, &Telemetry::disabled()).expect("rank");
         prop_assert_eq!(ranking.ranked.len(), n);
         for (label, score) in &ranking.ranked {
             prop_assert!((0.0..=1.0).contains(score), "{label}: {score}");
@@ -64,7 +65,7 @@ proptest! {
     fn self_match_is_perfect(background in arb_frame(20, 15), recovered in arb_nonempty_mask(20, 15)) {
         let dict = LocationDictionary::new(vec![("self".into(), background.clone())]).expect("ok");
         let attack = LocationInference { rotations: vec![0.0], shifts: vec![0], ..Default::default() };
-        let ranking = attack.rank(&background, &recovered, &dict).expect("rank");
+        let ranking = attack.rank(&background, &recovered, &dict, &Telemetry::disabled()).expect("rank");
         prop_assert!((ranking.ranked[0].1 - 1.0).abs() < 1e-12);
     }
 
@@ -74,7 +75,7 @@ proptest! {
         recovered in arb_nonempty_mask(40, 30),
     ) {
         let detector = ObjectDetector::train(2, 0);
-        let detections = detector.detect(&background, &recovered).expect("detect");
+        let detections = detector.detect(&background, &recovered, &Telemetry::disabled()).expect("detect");
         for d in detections {
             prop_assert!((0.0..=1.0).contains(&d.confidence));
             prop_assert!(d.bbox.0 <= d.bbox.2 && d.bbox.1 <= d.bbox.3);
@@ -88,7 +89,7 @@ proptest! {
         recovered in arb_nonempty_mask(40, 30),
     ) {
         let reader = TextReader::default();
-        let findings = reader.read(&background, &recovered).expect("read");
+        let findings = reader.read(&background, &recovered, &Telemetry::disabled()).expect("read");
         for f in findings {
             prop_assert!((0.0..=1.0).contains(&f.legibility));
             prop_assert!(!f.text.trim_matches(|c| c == '?' || c == ' ').is_empty());

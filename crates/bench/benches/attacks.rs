@@ -6,6 +6,7 @@ use bb_attacks::{
 };
 use bb_imaging::{draw, Frame, Mask, Rgb};
 use bb_synth::{ObjectClass, Room, SceneObject};
+use bb_telemetry::Telemetry;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -41,7 +42,7 @@ fn bench_attacks(c: &mut Criterion) {
     c.bench_function("location_rank_20dict_160x120", |b| {
         b.iter(|| {
             attack
-                .rank(&background, &recovered, &dictionary)
+                .rank(&background, &recovered, &dictionary, &Telemetry::disabled())
                 .expect("rank")
         })
     });
@@ -53,14 +54,18 @@ fn bench_attacks(c: &mut Criterion) {
     c.bench_function("tracking_search_160x120", |b| {
         b.iter(|| {
             tracker
-                .search(&background, &recovered, &template)
+                .search(&background, &recovered, &template, &Telemetry::disabled())
                 .expect("search")
         })
     });
 
     let detector = ObjectDetector::train(8, 1);
     c.bench_function("generic_detect_160x120", |b| {
-        b.iter(|| detector.detect(&background, &recovered).expect("detect"))
+        b.iter(|| {
+            detector
+                .detect(&background, &recovered, &Telemetry::disabled())
+                .expect("detect")
+        })
     });
 
     let reader = TextReader::default();
@@ -69,7 +74,11 @@ fn bench_attacks(c: &mut Criterion) {
     draw::text(&mut note_scene, 32, 32, "RENT DUE", 1, Rgb::new(32, 30, 40));
     let note_recovered = Mask::full(160, 120);
     c.bench_function("text_read_160x120", |b| {
-        b.iter(|| reader.read(&note_scene, &note_recovered).expect("read"))
+        b.iter(|| {
+            reader
+                .read(&note_scene, &note_recovered, &Telemetry::disabled())
+                .expect("read")
+        })
     });
 
     c.bench_function("detector_training_8_exemplars", |b| {

@@ -18,7 +18,7 @@
 //! workload (CI smoke, numbers not comparable with the default).
 
 use bb_callsim::{background, profile, run_session, Mitigation, VirtualBackground};
-use bb_core::pipeline::{Reconstructor, ReconstructorConfig, VbSource};
+use bb_core::pipeline::{MaskRetention, Reconstructor, ReconstructorConfig, VbSource};
 use bb_core::CollectMode;
 use bb_imaging::Mask;
 use bb_synth::{Action, GroundTruth, Lighting, Room, Scenario};
@@ -317,6 +317,105 @@ fn telemetry_overhead_bench(video: &VideoStream) -> Json {
     Json::Object(section)
 }
 
+/// Benchmarks the streaming session against the batch wrapper on the same
+/// call: same warmup window (so the outputs are byte-comparable), frames
+/// pushed in small chunks, per-frame masks not retained. Reports throughput
+/// on both sides and the session's state footprint — flat after the lock,
+/// versus the batch side's per-frame mask growth.
+fn streaming_bench(video: &VideoStream) -> Json {
+    const WARMUP: usize = 32;
+    const CHUNK: usize = 16;
+    let (w, h) = video.dims();
+    let base = ReconstructorConfig {
+        phi: (h / 24).max(2),
+        parallelism: PARALLELISM,
+        warmup_frames: WARMUP,
+        ..Default::default()
+    };
+    let source = VbSource::KnownImages(background::builtin_images(w, h));
+    let reps = 3;
+
+    let batch_recon = Reconstructor::new(source.clone(), base);
+    let mut batch_secs = f64::INFINITY;
+    let mut batch_rbrr = 0.0;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let r = black_box(batch_recon.reconstruct(video).expect("batch reconstruct"));
+        batch_secs = batch_secs.min(started.elapsed().as_secs_f64());
+        batch_rbrr = r.rbrr();
+    }
+
+    let lean = ReconstructorConfig {
+        mask_retention: MaskRetention::None,
+        ..base
+    };
+    let stream_recon = Reconstructor::new(source, lean);
+    let mut stream_secs = f64::INFINITY;
+    let mut stream_rbrr = 0.0;
+    let mut state_at_lock = 0usize;
+    let mut peak_after_lock = 0usize;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let mut session = stream_recon.session();
+        for chunk in video.frames().chunks(CHUNK) {
+            session.push_frames(chunk).expect("push chunk");
+            if session.is_locked() {
+                let bytes = session.state_bytes();
+                if state_at_lock == 0 {
+                    state_at_lock = bytes;
+                }
+                peak_after_lock = peak_after_lock.max(bytes);
+            }
+        }
+        let r = black_box(session.finalize().expect("finalize"));
+        stream_secs = stream_secs.min(started.elapsed().as_secs_f64());
+        stream_rbrr = r.rbrr();
+    }
+    assert_eq!(
+        batch_rbrr, stream_rbrr,
+        "streaming must not change the reconstruction"
+    );
+    assert_eq!(
+        state_at_lock, peak_after_lock,
+        "session state must stay flat after the lock with MaskRetention::None"
+    );
+
+    // What the batch side holds instead: three retained masks per frame.
+    let mask_bytes = w.div_ceil(64) * 8 * h;
+    let batch_retained_mask_bytes = 3 * mask_bytes * video.len();
+    let throughput_ratio = batch_secs / stream_secs;
+    eprintln!(
+        "  batch {batch_secs:.3}s, streaming {stream_secs:.3}s \
+         ({throughput_ratio:.2}x), state {state_at_lock}B flat vs \
+         {batch_retained_mask_bytes}B of retained masks"
+    );
+
+    let mut section = BTreeMap::new();
+    section.insert("warmup_frames".into(), Json::Number(WARMUP as f64));
+    section.insert("chunk_frames".into(), Json::Number(CHUNK as f64));
+    section.insert("reps".into(), Json::Number(reps as f64));
+    section.insert("batch_secs".into(), Json::Number(batch_secs));
+    section.insert("streaming_secs".into(), Json::Number(stream_secs));
+    section.insert(
+        "streaming_vs_batch_throughput".into(),
+        Json::Number(throughput_ratio),
+    );
+    section.insert("rbrr_percent".into(), Json::Number(stream_rbrr));
+    section.insert(
+        "state_bytes_at_lock".into(),
+        Json::Number(state_at_lock as f64),
+    );
+    section.insert(
+        "state_bytes_peak_after_lock".into(),
+        Json::Number(peak_after_lock as f64),
+    );
+    section.insert(
+        "batch_retained_mask_bytes".into(),
+        Json::Number(batch_retained_mask_bytes as f64),
+    );
+    Json::Object(section)
+}
+
 /// Pulls `modes.worker_local.wall_secs` out of a previously written baseline
 /// at `path`, provided its scenario matches the current one (same schema,
 /// same quick flag) — otherwise the comparison would be meaningless.
@@ -406,6 +505,9 @@ fn main() {
     eprintln!("benchmarking telemetry overhead (off vs sink+journal)…");
     let telemetry_overhead = telemetry_overhead_bench(&video);
 
+    eprintln!("benchmarking streaming session vs batch…");
+    let streaming = streaming_bench(&video);
+
     let mut root = BTreeMap::new();
     root.insert(
         "schema".into(),
@@ -415,6 +517,7 @@ fn main() {
     root.insert("modes".into(), Json::Object(modes));
     root.insert("mask_ops".into(), mask_ops);
     root.insert("telemetry_overhead".into(), telemetry_overhead);
+    root.insert("streaming".into(), streaming);
     root.insert(
         "speedup_worker_local_vs_locked".into(),
         Json::Number(locked.wall_secs / worker_local.wall_secs),

@@ -12,6 +12,7 @@ use bb_callsim::{profile, Mitigation};
 use bb_datasets::{ClipSpec, DatasetConfig};
 use bb_synth::camera::CameraQuality;
 use bb_synth::{Action, CallerAppearance, CameraPose, Lighting, ObjectClass, Room, Speed};
+use bb_telemetry::Telemetry;
 use rand::{rngs::StdRng, SeedableRng};
 use std::collections::BTreeMap;
 
@@ -41,7 +42,9 @@ pub fn run(cfg: &ExpConfig) -> String {
                 *planted_in.entry(class.name()).or_default() += 1;
             }
         }
-        if let Ok(detections) = detector.detect(&recon.background, &recon.recovered) {
+        if let Ok(detections) =
+            detector.detect(&recon.background, &recon.recovered, &Telemetry::disabled())
+        {
             let mut seen = std::collections::HashSet::new();
             for d in detections {
                 if clip.room.contains(d.class) && seen.insert(d.class) {
@@ -53,7 +56,9 @@ pub fn run(cfg: &ExpConfig) -> String {
         for note in clip.room.objects_of(ObjectClass::StickyNote) {
             let Some(truth) = &note.text else { continue };
             text_total += 1;
-            if let Ok(findings) = reader.read(&recon.background, &recon.recovered) {
+            if let Ok(findings) =
+                reader.read(&recon.background, &recon.recovered, &Telemetry::disabled())
+            {
                 let all_read: String = findings
                     .iter()
                     .map(|f| f.text.clone())

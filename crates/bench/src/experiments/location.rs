@@ -9,6 +9,7 @@ use crate::harness::ClipOutcome;
 use crate::report::{pct, section, Table};
 use crate::ExpConfig;
 use bb_attacks::{LocationDictionary, LocationInference};
+use bb_telemetry::Telemetry;
 
 /// The k values of Fig 12b.
 pub const TOP_K: [usize; 4] = [1, 5, 10, 25];
@@ -42,6 +43,7 @@ pub fn run_with_outcomes(cfg: &ExpConfig, grouped: &GroupedOutcomes) -> String {
                 &outcome.reconstruction.background,
                 &outcome.reconstruction.recovered,
                 &dictionary,
+                &Telemetry::disabled(),
             ) else {
                 continue;
             };

@@ -15,6 +15,7 @@ use bb_callsim::mitigation::DynamicBackgroundParams;
 use bb_callsim::{profile, Mitigation};
 use bb_datasets::catalog::e2_activity;
 use bb_datasets::Activity;
+use bb_telemetry::Telemetry;
 
 /// Runs the Fig 15a/15b experiment.
 pub fn run(cfg: &ExpConfig) -> String {
@@ -71,6 +72,7 @@ pub fn run(cfg: &ExpConfig) -> String {
                 &outcome.reconstruction.background,
                 &outcome.reconstruction.recovered,
                 &dictionary,
+                &Telemetry::disabled(),
             ) {
                 total += 1;
                 if r.in_top_k(label, k) {

@@ -10,6 +10,7 @@ use crate::report::{mean, pct, section, Table};
 use crate::ExpConfig;
 use bb_attacks::{LocationDictionary, LocationInference};
 use bb_callsim::{profile, Mitigation, SoftwareProfile};
+use bb_telemetry::Telemetry;
 
 /// Runs the §VIII-E comparison on the E3 corpus.
 pub fn run(cfg: &ExpConfig) -> String {
@@ -66,6 +67,7 @@ fn evaluate(
             &outcome.reconstruction.background,
             &outcome.reconstruction.recovered,
             dictionary,
+            &Telemetry::disabled(),
         ) {
             ranked += 1;
             if ranking.in_top_k(&clip.room_label(), 10) {

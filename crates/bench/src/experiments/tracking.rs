@@ -15,6 +15,7 @@ use crate::ExpConfig;
 use bb_attacks::ObjectTracker;
 use bb_callsim::{profile, Mitigation};
 use bb_synth::SceneObject;
+use bb_telemetry::Telemetry;
 
 /// Runs the Fig 13 experiment.
 pub fn run(cfg: &ExpConfig) -> String {
@@ -75,7 +76,12 @@ pub fn run(cfg: &ExpConfig) -> String {
             let template = ObjectTracker::soften_template(&obj.template());
             objects_tested += 1;
             let score = tracker
-                .search(&recon.background, &recon.recovered, &template)
+                .search(
+                    &recon.background,
+                    &recon.recovered,
+                    &template,
+                    &Telemetry::disabled(),
+                )
                 .ok()
                 .flatten()
                 .map_or(0.0, |m| m.score);
@@ -98,7 +104,12 @@ pub fn run(cfg: &ExpConfig) -> String {
                 let template = ObjectTracker::soften_template(&obj.template());
                 objects_tested += 1;
                 let score = tracker
-                    .search(&recon.background, &recon.recovered, &template)
+                    .search(
+                        &recon.background,
+                        &recon.recovered,
+                        &template,
+                        &Telemetry::disabled(),
+                    )
                     .ok()
                     .flatten()
                     .map_or(0.0, |m| m.score);

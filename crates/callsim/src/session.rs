@@ -107,6 +107,41 @@ pub fn run_session_traced(
     seed: u64,
     telemetry: &Telemetry,
 ) -> Result<CompositedCall, CallSimError> {
+    run_session_streamed(
+        gt,
+        virtual_bg,
+        profile,
+        mitigation,
+        lighting,
+        seed,
+        telemetry,
+        |_, _| Ok(()),
+    )
+}
+
+/// [`run_session_traced`] with a live feed: `sink` observes each composited
+/// frame, in output order, the moment it leaves the compositor — before the
+/// full call has been assembled. This models an adversary (or a streaming
+/// reconstruction session in `bb-core`) tapping the call as it happens
+/// rather than working from a finished recording.
+///
+/// The sink receives the output frame index and the composited frame; an
+/// error from the sink aborts the session and is propagated verbatim.
+///
+/// # Errors
+///
+/// Same contract as [`run_session`], plus any error the sink returns.
+#[allow(clippy::too_many_arguments)]
+pub fn run_session_streamed(
+    gt: &GroundTruth,
+    virtual_bg: &VirtualBackground,
+    profile: &SoftwareProfile,
+    mitigation: Mitigation,
+    lighting: Lighting,
+    seed: u64,
+    telemetry: &Telemetry,
+    mut sink: impl FnMut(usize, &Frame) -> Result<(), CallSimError>,
+) -> Result<CompositedCall, CallSimError> {
     let _span = telemetry.time("callsim/session");
     if gt.fg_masks.len() != gt.video.len() {
         return Err(CallSimError::Inconsistent(format!(
@@ -189,6 +224,8 @@ pub fn run_session_traced(
                 ],
             );
         }
+
+        sink(out_i, &composited)?;
 
         out_frames.push(composited);
         est_masks.push(est);
@@ -436,6 +473,54 @@ mod tests {
         )
         .unwrap();
         assert_eq!(plain.truth.vb_frames[0], plain.truth.vb_frames[1]);
+    }
+
+    #[test]
+    fn streamed_sink_sees_every_output_frame_in_order() {
+        let gt = ground_truth(Action::ArmWaving, 12);
+        let mut seen: Vec<(usize, Frame)> = Vec::new();
+        let call = run_session_streamed(
+            &gt,
+            &image_bg(),
+            &profile::zoom_like(),
+            Mitigation::None,
+            Lighting::On,
+            5,
+            &Telemetry::disabled(),
+            |i, frame| {
+                seen.push((i, frame.clone()));
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(seen.len(), call.len());
+        for (i, (idx, frame)) in seen.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(frame, call.video.frame(i));
+        }
+    }
+
+    #[test]
+    fn streamed_sink_error_aborts_the_session() {
+        let gt = ground_truth(Action::Still, 10);
+        let err = run_session_streamed(
+            &gt,
+            &image_bg(),
+            &profile::zoom_like(),
+            Mitigation::None,
+            Lighting::On,
+            5,
+            &Telemetry::disabled(),
+            |i, _| {
+                if i == 3 {
+                    Err(CallSimError::Inconsistent("sink refused".into()))
+                } else {
+                    Ok(())
+                }
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CallSimError::Inconsistent(_)));
     }
 
     #[test]

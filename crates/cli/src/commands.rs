@@ -2,9 +2,11 @@
 
 use crate::args::Flags;
 use bb_callsim::{background, profile, run_session_traced, Mitigation, VirtualBackground};
-use bb_core::pipeline::{Reconstructor, ReconstructorConfig, VbSource};
+use bb_core::pipeline::{MaskRetention, Reconstructor, ReconstructorConfig, VbSource};
+use bb_core::session::ReconstructionSession;
 use bb_synth::{Action, Lighting, Room, Scenario};
 use bb_telemetry::{chrome_trace, Journal, Telemetry};
+use bb_video::source::{BbvReader, FrameSource};
 use rand::{rngs::StdRng, SeedableRng};
 
 const HELP: &str = "\
@@ -21,6 +23,13 @@ COMMANDS:
                      --vb beach|office|space  --lights-off
     attack    reconstruct the real background from a composited call
               flags: --out FILE.ppm  --phi N  --tau N  --unknown-vb
+    reconstruct
+              like attack, but with an explicit batch/streaming choice and
+              checkpoint/resume support; prints a stable `rbrr :` line
+              flags: --out FILE.ppm  --phi N  --tau N  --warmup N
+                     --checkpoint FILE  --checkpoint-every N  --stop-after N
+                     --streaming  --resume  --unknown-vb
+              (switches go last: `--streaming call.bbv` would eat the path)
     locate    rank the built-in 200-room dictionary against a call
               flags: --top N (default 5)  [same attack flags]
     inspect   print stream metadata for a .bbv file
@@ -43,6 +52,9 @@ COMMANDS:
 EXAMPLES:
     bbuster synth --out demo --action enter-exit --frames 180
     bbuster attack demo.call.bbv --out recovered.ppm --trace-out trace.json
+    bbuster reconstruct demo.call.bbv --checkpoint ck.bbsc \\
+        --checkpoint-every 32 --streaming
+    bbuster reconstruct demo.call.bbv --checkpoint ck.bbsc --streaming --resume
     bbuster locate demo.call.bbv --top 5
     bbuster report run.json
     bbuster report --diff run.json BENCH_pipeline.json --fail-over-pct 25
@@ -58,6 +70,7 @@ pub fn dispatch(argv: &[String]) -> Result<i32, String> {
     match flags.positional().first().map(String::as_str) {
         Some("synth") => synth(&flags).map(|()| 0),
         Some("attack") => attack(&flags).map(|()| 0),
+        Some("reconstruct") => reconstruct_cmd(&flags).map(|()| 0),
         Some("locate") => locate(&flags).map(|()| 0),
         Some("inspect") => inspect(&flags).map(|()| 0),
         Some("report") => crate::report_cmd::report(&flags),
@@ -230,6 +243,7 @@ fn reconstruct(
     let config = ReconstructorConfig {
         tau: flags.get_num("tau", 14u8)?,
         phi: flags.get_num("phi", (h / 24).max(2))?,
+        warmup_frames: flags.get_num("warmup", bb_core::pipeline::DEFAULT_WARMUP_FRAMES)?,
         ..Default::default()
     };
     let source = if flags.has("unknown-vb") {
@@ -241,6 +255,114 @@ fn reconstruct(
         .with_telemetry(telemetry.clone())
         .reconstruct(&video)
         .map_err(|e| e.to_string())
+}
+
+/// Writes a session checkpoint atomically (tmp + rename) so an interrupt
+/// mid-write never leaves a truncated checkpoint behind.
+fn write_checkpoint(path: &str, session: &ReconstructionSession) -> Result<(), String> {
+    let bytes = session.checkpoint();
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, &bytes).map_err(|e| format!("{tmp}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "checkpoint {path} ({} bytes at frame {})",
+        bytes.len(),
+        session.frames_seen()
+    );
+    Ok(())
+}
+
+/// `bbuster reconstruct`: the attack pipeline with an explicit streaming
+/// mode. `--streaming` reads the `.bbv` incrementally through [`BbvReader`]
+/// and pushes frames into a [`ReconstructionSession`]; `--checkpoint FILE`
+/// with `--checkpoint-every N` persists resumable state as it goes,
+/// `--stop-after N` interrupts deterministically (for drills and tests), and
+/// `--resume` picks up from the checkpoint, skipping the frames it already
+/// processed. Batch and streaming print identical `rbrr :` lines for the
+/// same input.
+fn reconstruct_cmd(flags: &Flags) -> Result<(), String> {
+    let (telemetry, telemetry_out) = telemetry_from(flags)?;
+    if !flags.has("streaming") {
+        let result = reconstruct(flags, &telemetry)?;
+        println!("rbrr : {:.4}%", result.rbrr());
+        if let Some(out) = flags.get("out") {
+            bb_imaging::io::save_ppm(&result.background, out).map_err(|e| e.to_string())?;
+            println!("wrote {out}");
+        }
+        return flush_telemetry(&telemetry, telemetry_out);
+    }
+
+    let path = flags.positional().get(1).ok_or("missing input .bbv file")?;
+    let mut reader = BbvReader::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let (w, h) = reader.dims_hint().expect("bbv header carries dimensions");
+    let config = ReconstructorConfig::builder()
+        .tau(flags.get_num("tau", 14u8)?)
+        .phi(flags.get_num("phi", (h / 24).max(2))?)
+        .warmup_frames(flags.get_num("warmup", bb_core::pipeline::DEFAULT_WARMUP_FRAMES)?)
+        .mask_retention(MaskRetention::None)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let source = if flags.has("unknown-vb") {
+        VbSource::UnknownImage
+    } else {
+        VbSource::KnownImages(background::builtin_images(w, h))
+    };
+    let recon = Reconstructor::new(source, config).with_telemetry(telemetry.clone());
+
+    let ck_path = flags.get("checkpoint").map(str::to_string);
+    let ck_every: usize = flags.get_num("checkpoint-every", 0usize)?;
+    let stop_after: usize = flags.get_num("stop-after", 0usize)?;
+
+    let mut session = if flags.has("resume") {
+        let p = ck_path
+            .as_deref()
+            .ok_or("--resume requires --checkpoint FILE")?;
+        let bytes = std::fs::read(p).map_err(|e| format!("{p}: {e}"))?;
+        let session = recon.resume_session(&bytes).map_err(|e| e.to_string())?;
+        let skipped = reader
+            .skip_frames(session.frames_seen())
+            .map_err(|e| e.to_string())?;
+        if skipped != session.frames_seen() {
+            return Err(format!(
+                "checkpoint is ahead of the stream: {} frames checkpointed, {skipped} available",
+                session.frames_seen()
+            ));
+        }
+        println!("resumed at frame {}", session.frames_seen());
+        session
+    } else {
+        recon.session()
+    };
+
+    while let Some(frame) = reader.next_frame().map_err(|e| e.to_string())? {
+        session.push_frame(&frame).map_err(|e| e.to_string())?;
+        if ck_every > 0 && session.frames_seen() % ck_every == 0 {
+            if let Some(p) = &ck_path {
+                write_checkpoint(p, &session)?;
+            }
+        }
+        if stop_after > 0 && session.frames_seen() >= stop_after {
+            let p = ck_path
+                .as_deref()
+                .ok_or("--stop-after requires --checkpoint FILE")?;
+            write_checkpoint(p, &session)?;
+            println!(
+                "stopped after frame {} (resume with --resume)",
+                session.frames_seen()
+            );
+            return flush_telemetry(&telemetry, telemetry_out);
+        }
+    }
+
+    let frames = session.frames_seen();
+    let result = session.finalize().map_err(|e| e.to_string())?;
+    println!("frames : {frames}");
+    println!("rbrr : {:.4}%", result.rbrr());
+    if let Some(out) = flags.get("out") {
+        bb_imaging::io::save_ppm(&result.background, out).map_err(|e| e.to_string())?;
+        println!("wrote {out}");
+    }
+    flush_telemetry(&telemetry, telemetry_out)
 }
 
 fn attack(flags: &Flags) -> Result<(), String> {
@@ -271,7 +393,7 @@ fn locate(flags: &Flags) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let attack = bb_attacks::LocationInference::default();
     let ranking = attack
-        .rank_traced(
+        .rank(
             &result.background,
             &result.recovered,
             &dictionary,
@@ -462,6 +584,107 @@ mod tests {
         assert!(run(&["report", "--diff", "/nonexistent.json", &baseline]).is_err());
         assert!(run(&["report"]).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streaming_interrupt_and_resume_match_uninterrupted_run() {
+        let dir = std::env::temp_dir().join("bbuster_cli_stream_test");
+        std::fs::remove_dir_all(&dir).ok(); // stale state from an aborted run
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("s").to_string_lossy().to_string();
+        run(&[
+            "synth", "--out", &prefix, "--frames", "30", "--width", "64", "--height", "48",
+            "--action", "clapping",
+        ])
+        .expect("synth");
+        let call = format!("{prefix}.call.bbv");
+        let ck = dir.join("state.bbsc").to_string_lossy().to_string();
+        let straight = dir.join("straight.ppm").to_string_lossy().to_string();
+        let resumed = dir.join("resumed.ppm").to_string_lossy().to_string();
+
+        // Uninterrupted streaming run.
+        run(&[
+            "reconstruct",
+            &call,
+            "--phi",
+            "2",
+            "--warmup",
+            "12",
+            "--out",
+            &straight,
+            "--streaming",
+        ])
+        .expect("uninterrupted streaming run");
+
+        // Interrupted run: checkpoint every 8 frames, stop at 20…
+        run(&[
+            "reconstruct",
+            &call,
+            "--phi",
+            "2",
+            "--warmup",
+            "12",
+            "--checkpoint",
+            &ck,
+            "--checkpoint-every",
+            "8",
+            "--stop-after",
+            "20",
+            "--streaming",
+        ])
+        .expect("interrupted streaming run");
+        assert!(std::path::Path::new(&ck).exists(), "checkpoint written");
+        assert!(
+            !std::path::Path::new(&resumed).exists(),
+            "interrupted run must not produce output"
+        );
+
+        // …then resume and finish.
+        run(&[
+            "reconstruct",
+            &call,
+            "--phi",
+            "2",
+            "--warmup",
+            "12",
+            "--checkpoint",
+            &ck,
+            "--out",
+            &resumed,
+            "--streaming",
+            "--resume",
+        ])
+        .expect("resumed streaming run");
+
+        // Batch run with the same warmup window (the lock point decides the
+        // reference; only identical windows are byte-comparable).
+        let batch = dir.join("batch.ppm").to_string_lossy().to_string();
+        run(&[
+            "reconstruct",
+            &call,
+            "--phi",
+            "2",
+            "--warmup",
+            "12",
+            "--out",
+            &batch,
+        ])
+        .expect("batch run");
+
+        let straight_bytes = std::fs::read(&straight).unwrap();
+        let resumed_bytes = std::fs::read(&resumed).unwrap();
+        let batch_bytes = std::fs::read(&batch).unwrap();
+        assert_eq!(
+            straight_bytes, resumed_bytes,
+            "interrupt + resume diverged from the uninterrupted run"
+        );
+        assert_eq!(straight_bytes, batch_bytes, "streaming diverged from batch");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_without_checkpoint_flag_errors() {
+        assert!(run(&["reconstruct", "/nonexistent.bbv", "--streaming"]).is_err());
     }
 
     #[test]

@@ -48,12 +48,17 @@ pub mod bbmask;
 pub mod metrics;
 pub mod pipeline;
 pub mod recon;
+pub mod session;
 pub mod vbmask;
 pub mod vcmask;
 pub mod workers;
 
-pub use pipeline::{Reconstruction, Reconstructor, ReconstructorConfig, VbSource};
+pub use pipeline::{
+    MaskRetention, Reconstruction, Reconstructor, ReconstructorConfig, ReconstructorConfigBuilder,
+    VbSource,
+};
 pub use recon::ReconstructionCanvas;
+pub use session::{FrameOutcome, ReconstructionSession, SessionSnapshot};
 pub use workers::CollectMode;
 
 /// Errors produced by the reconstruction framework.
@@ -85,6 +90,13 @@ pub enum CoreError {
         /// Offending input `(width, height)`.
         got: (usize, usize),
     },
+    /// A configuration value was rejected by validation (builder `build()`
+    /// or a validated constructor such as [`VbSource::unknown_video`]).
+    InvalidConfig(String),
+    /// A session checkpoint could not be restored: bad magic, unsupported
+    /// version, truncated payload, or a config that does not match the
+    /// resuming [`Reconstructor`].
+    CheckpointCorrupt(String),
     /// Propagated imaging failure.
     Imaging(bb_imaging::ImagingError),
     /// Propagated video failure.
@@ -105,6 +117,8 @@ impl std::fmt::Display for CoreError {
                 "canvas dimension mismatch: canvas is {}x{}, input is {}x{}",
                 expected.0, expected.1, got.0, got.1
             ),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::CheckpointCorrupt(msg) => write!(f, "checkpoint corrupt: {msg}"),
             CoreError::Imaging(e) => write!(f, "imaging error: {e}"),
             CoreError::Video(e) => write!(f, "video error: {e}"),
         }

@@ -1,20 +1,29 @@
 //! The end-to-end reconstruction pipeline ([`Reconstructor`]), tying the
 //! Fig 4 stages together: virtual-background masking → blending-blur
 //! masking → video-caller masking → residue accumulation.
+//!
+//! Since the streaming redesign, the batch entry points are thin wrappers
+//! over [`crate::session::ReconstructionSession`]: `reconstruct` pushes
+//! every frame into a session and finalizes it, so batch and streaming
+//! ingestion are byte-identical by construction.
 
-use crate::bbmask::bb_mask;
 use crate::recon::ReconstructionCanvas;
+use crate::session::ReconstructionSession;
 use crate::vbmask::{
     derive_unknown_image, derive_unknown_video, identify_known_image, identify_known_video,
-    vb_mask, VirtualReference, STABILITY_THRESHOLD,
+    VirtualReference, STABILITY_THRESHOLD,
 };
 use crate::vcmask::VcMaskParams;
-use crate::workers::{run_stage, CollectMode};
+use crate::workers::CollectMode;
 use crate::CoreError;
-use bb_imaging::{Frame, Mask, Rgb};
-use bb_segment::PersonSegmenter;
+use bb_imaging::{Frame, Mask};
 use bb_telemetry::Telemetry;
 use bb_video::VideoStream;
+
+/// Default number of frames buffered before the session locks its
+/// reference/segmenter/color-model state (see
+/// [`ReconstructorConfig::warmup_frames`]).
+pub const DEFAULT_WARMUP_FRAMES: usize = 128;
 
 /// Where the adversary's virtual-background reference comes from (§V-B's
 /// four scenarios).
@@ -35,6 +44,49 @@ pub enum VbSource {
     },
     /// Use an explicit reference (ablations; cross-call fusion results).
     Exact(VirtualReference),
+}
+
+impl VbSource {
+    /// Validated constructor for [`VbSource::UnknownVideo`]: rejects a zero
+    /// or inverted period range up front instead of failing mid-pipeline.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] when `min_period == 0` or
+    /// `min_period > max_period`.
+    pub fn unknown_video(min_period: usize, max_period: usize) -> Result<VbSource, CoreError> {
+        if min_period == 0 {
+            return Err(CoreError::InvalidConfig(
+                "min_period must be at least 1".into(),
+            ));
+        }
+        if min_period > max_period {
+            return Err(CoreError::InvalidConfig(format!(
+                "inverted period range: min_period {min_period} > max_period {max_period}"
+            )));
+        }
+        Ok(VbSource::UnknownVideo {
+            min_period,
+            max_period,
+        })
+    }
+}
+
+/// Whether the pipeline keeps the three per-frame mask vectors
+/// (`per_frame_leak` / `per_frame_vbm` / `per_frame_removed`) in its output.
+///
+/// The masks cost O(frames × frame size) memory; production streaming
+/// callers that only want the reconstructed background choose
+/// [`MaskRetention::None`] so session memory stays bounded by the frame
+/// size alone. The default keeps them, matching the historical API (and the
+/// golden determinism hash, which covers the per-frame leak masks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MaskRetention {
+    /// Keep every per-frame mask (batch/evaluation default).
+    #[default]
+    Full,
+    /// Drop per-frame masks as soon as their residue is accumulated.
+    None,
 }
 
 /// Pipeline tunables.
@@ -61,6 +113,15 @@ pub struct ReconstructorConfig {
     /// mode is the one to use, [`CollectMode::LockedVec`] exists so
     /// `perf_baseline` can keep measuring the difference.
     pub collect_mode: CollectMode,
+    /// Frames a [`ReconstructionSession`] buffers before locking its
+    /// VB reference, person segmenter and caller color model. Everything
+    /// after the lock streams with O(frame size) memory. Batch
+    /// `reconstruct` goes through the same session, so calls no longer than
+    /// this lock over the whole call — the historical batch behaviour.
+    pub warmup_frames: usize,
+    /// Whether per-frame masks are retained in the output (see
+    /// [`MaskRetention`]).
+    pub mask_retention: MaskRetention,
 }
 
 impl Default for ReconstructorConfig {
@@ -73,7 +134,147 @@ impl Default for ReconstructorConfig {
             parallelism: 4,
             min_observations: 1,
             collect_mode: CollectMode::default(),
+            warmup_frames: DEFAULT_WARMUP_FRAMES,
+            mask_retention: MaskRetention::Full,
         }
+    }
+}
+
+impl ReconstructorConfig {
+    /// Starts a validated builder pre-loaded with the defaults. Prefer this
+    /// over struct-literal construction: `build()` rejects degenerate
+    /// values (`phi == 0`, zero parallelism, out-of-range refine bits, …)
+    /// that a bare literal would let through to fail obscurely mid-run.
+    pub fn builder() -> ReconstructorConfigBuilder {
+        ReconstructorConfigBuilder {
+            config: ReconstructorConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`ReconstructorConfig`] — see
+/// [`ReconstructorConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ReconstructorConfigBuilder {
+    config: ReconstructorConfig,
+}
+
+impl ReconstructorConfigBuilder {
+    /// Pixel-match tolerance µ.
+    #[must_use]
+    pub fn tau(mut self, tau: u8) -> Self {
+        self.config.tau = tau;
+        self
+    }
+
+    /// Blending-blur radius φ.
+    #[must_use]
+    pub fn phi(mut self, phi: usize) -> Self {
+        self.config.phi = phi;
+        self
+    }
+
+    /// Unknown-VB stability threshold (frames).
+    #[must_use]
+    pub fn stability_threshold(mut self, frames: usize) -> Self {
+        self.config.stability_threshold = frames;
+        self
+    }
+
+    /// VCM color-refinement parameters.
+    #[must_use]
+    pub fn vc(mut self, vc: VcMaskParams) -> Self {
+        self.config.vc = vc;
+        self
+    }
+
+    /// Worker-thread count for the per-frame stages.
+    #[must_use]
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.config.parallelism = workers;
+        self
+    }
+
+    /// Minimum per-pixel observation count kept in the final canvas.
+    #[must_use]
+    pub fn min_observations(mut self, min: u32) -> Self {
+        self.config.min_observations = min;
+        self
+    }
+
+    /// Result-collection strategy for parallel passes.
+    #[must_use]
+    pub fn collect_mode(mut self, mode: CollectMode) -> Self {
+        self.config.collect_mode = mode;
+        self
+    }
+
+    /// Session warmup length in frames (the lock point).
+    #[must_use]
+    pub fn warmup_frames(mut self, frames: usize) -> Self {
+        self.config.warmup_frames = frames;
+        self
+    }
+
+    /// Per-frame mask retention policy.
+    #[must_use]
+    pub fn mask_retention(mut self, retention: MaskRetention) -> Self {
+        self.config.mask_retention = retention;
+        self
+    }
+
+    /// Validates and produces the config.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] when any field is degenerate:
+    /// `phi == 0`, `parallelism == 0`, `stability_threshold == 0`,
+    /// `min_observations == 0`, `warmup_frames == 0`, refine bits outside
+    /// `1..=8`, or a frequency threshold outside `[0, 1]`.
+    pub fn build(self) -> Result<ReconstructorConfig, CoreError> {
+        let c = &self.config;
+        if c.phi == 0 {
+            return Err(CoreError::InvalidConfig(
+                "phi must be at least 1 (a zero blending-blur radius leaks VB pixels)".into(),
+            ));
+        }
+        if c.parallelism == 0 {
+            return Err(CoreError::InvalidConfig(
+                "parallelism must be at least 1".into(),
+            ));
+        }
+        if c.stability_threshold == 0 {
+            return Err(CoreError::InvalidConfig(
+                "stability_threshold must be at least 1 frame".into(),
+            ));
+        }
+        if c.min_observations == 0 {
+            return Err(CoreError::InvalidConfig(
+                "min_observations must be at least 1".into(),
+            ));
+        }
+        if c.warmup_frames == 0 {
+            return Err(CoreError::InvalidConfig(
+                "warmup_frames must be at least 1".into(),
+            ));
+        }
+        if c.vc.refine_bits == 0 || c.vc.refine_bits > 8 {
+            return Err(CoreError::InvalidConfig(format!(
+                "vc.refine_bits must be in 1..=8, got {}",
+                c.vc.refine_bits
+            )));
+        }
+        for (name, v) in [
+            ("vc.refine_min_freq", c.vc.refine_min_freq),
+            ("vc.model_min_freq", c.vc.model_min_freq),
+        ] {
+            if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+                return Err(CoreError::InvalidConfig(format!(
+                    "{name} must be a finite fraction in [0, 1], got {v}"
+                )));
+            }
+        }
+        Ok(self.config)
     }
 }
 
@@ -108,9 +309,9 @@ impl Reconstruction {
 /// [`ReconstructorConfig`], then call [`Reconstructor::reconstruct`].
 #[derive(Debug, Clone)]
 pub struct Reconstructor {
-    source: VbSource,
-    config: ReconstructorConfig,
-    telemetry: Telemetry,
+    pub(crate) source: VbSource,
+    pub(crate) config: ReconstructorConfig,
+    pub(crate) telemetry: Telemetry,
 }
 
 impl Reconstructor {
@@ -143,63 +344,49 @@ impl Reconstructor {
     ///
     /// Propagates identification/derivation failures.
     pub fn resolve_reference(&self, video: &VideoStream) -> Result<VirtualReference, CoreError> {
-        let _span = self.telemetry.time("resolve_reference");
-        let (w, h) = video.dims();
-        match &self.source {
-            VbSource::KnownImages(candidates) => {
-                let resized: Vec<Frame> = candidates
-                    .iter()
-                    .map(|c| bb_imaging::geom::resize(c, w, h))
-                    .collect();
-                let (idx, _) = identify_known_image(video, &resized, self.config.tau)?;
-                Ok(VirtualReference::Image {
-                    image: resized[idx].clone(),
-                    valid: Mask::full(w, h),
-                })
-            }
-            VbSource::KnownVideos(candidates) => {
-                let resized: Vec<VideoStream> = candidates
-                    .iter()
-                    .map(|v| {
-                        let frames: Vec<Frame> = v
-                            .iter()
-                            .map(|f| bb_imaging::geom::resize(f, w, h))
-                            .collect();
-                        VideoStream::from_frames(frames, v.fps())
-                    })
-                    .collect::<Result<_, _>>()?;
-                let (vi, offset, _) = identify_known_video(video, &resized, self.config.tau)?;
-                let phases: Vec<(Frame, Mask)> = resized[vi]
-                    .iter()
-                    .map(|f| (f.clone(), Mask::full(w, h)))
-                    .collect();
-                Ok(VirtualReference::Video { phases, offset })
-            }
-            VbSource::UnknownImage => {
-                derive_unknown_image(video, self.config.stability_threshold, self.config.tau)
-            }
-            VbSource::UnknownVideo {
-                min_period,
-                max_period,
-            } => derive_unknown_video(
-                video,
-                *min_period,
-                *max_period,
-                self.config.tau,
-                (self.config.stability_threshold / min_period.max(&1)).max(2),
-            ),
-            VbSource::Exact(r) => Ok(r.clone()),
-        }
+        resolve_reference_impl(&self.source, &self.config, &self.telemetry, video)
+    }
+
+    /// Opens a streaming [`ReconstructionSession`] that ingests frames one
+    /// at a time with bounded memory. Batch [`Reconstructor::reconstruct`]
+    /// is a wrapper over the same session, so the two produce byte-identical
+    /// output for the same frames.
+    pub fn session(&self) -> ReconstructionSession {
+        ReconstructionSession::new(self.source.clone(), self.config, self.telemetry.clone())
+    }
+
+    /// Restores a streaming session from bytes produced by
+    /// [`ReconstructionSession::checkpoint`]. The VB source and telemetry
+    /// handle come from `self`; the checkpointed config must equal this
+    /// reconstructor's config.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::CheckpointCorrupt`] on malformed bytes or a config
+    /// mismatch.
+    pub fn resume_session(&self, bytes: &[u8]) -> Result<ReconstructionSession, CoreError> {
+        ReconstructionSession::resume(
+            self.source.clone(),
+            self.config,
+            self.telemetry.clone(),
+            bytes,
+        )
     }
 
     /// Runs the full pipeline over a recorded call.
+    ///
+    /// Internally this pushes every frame through a streaming
+    /// [`ReconstructionSession`] and finalizes it — batch and streaming
+    /// ingestion share one engine.
     ///
     /// # Errors
     ///
     /// Propagates reference resolution and masking failures.
     pub fn reconstruct(&self, video: &VideoStream) -> Result<Reconstruction, CoreError> {
-        let reference = self.resolve_reference(video)?;
-        self.reconstruct_with_reference(video, reference)
+        let _whole = self.telemetry.time("reconstruct");
+        let mut session = self.session();
+        session.push_frames(video.frames())?;
+        session.finalize()
     }
 
     /// Runs the pipeline with a pre-resolved reference (lets experiments
@@ -213,138 +400,84 @@ impl Reconstructor {
         video: &VideoStream,
         reference: VirtualReference,
     ) -> Result<Reconstruction, CoreError> {
-        let telemetry = &self.telemetry;
-        let _whole = telemetry.time("reconstruct");
-        let (w, h) = video.dims();
-        let n = video.len();
-        let workers = self.config.parallelism.max(1).min(n.max(1));
-        if telemetry.is_enabled() {
-            telemetry.set_meta("frames", n);
-            telemetry.set_meta("width", w);
-            telemetry.set_meta("height", h);
-            telemetry.set_meta("parallelism", workers);
-            telemetry.set_meta("collect_mode", format!("{:?}", self.config.collect_mode));
-            telemetry.add("frames/input", n as u64);
+        let exact = Reconstructor {
+            source: VbSource::Exact(reference),
+            config: self.config,
+            telemetry: self.telemetry.clone(),
+        };
+        exact.reconstruct(video)
+    }
+}
+
+/// Reference resolution shared by [`Reconstructor::resolve_reference`] and
+/// the session lock step.
+pub(crate) fn resolve_reference_impl(
+    source: &VbSource,
+    config: &ReconstructorConfig,
+    telemetry: &Telemetry,
+    video: &VideoStream,
+) -> Result<VirtualReference, CoreError> {
+    let _span = telemetry.time("resolve_reference");
+    let (w, h) = video.dims();
+    match source {
+        VbSource::KnownImages(candidates) => {
+            let resized: Vec<Frame> = candidates
+                .iter()
+                .map(|c| bb_imaging::geom::resize(c, w, h))
+                .collect();
+            let (idx, _) = identify_known_image(video, &resized, config.tau)?;
+            Ok(VirtualReference::Image {
+                image: resized[idx].clone(),
+                valid: Mask::full(w, h),
+            })
         }
-
-        let segmenter = {
-            let _span = telemetry.time("reconstruct/segmenter_fit");
-            PersonSegmenter::fit(video)
-        };
-
-        // Pass 1: VBM (§V-B) and BBM (§V-C) per frame, on the worker pool.
-        let pass1: Vec<(Mask, Mask)> = {
-            let _span = telemetry.time("reconstruct/pass1");
-            run_stage(
-                n,
-                workers,
-                self.config.collect_mode,
-                telemetry,
-                "pass1",
-                |i| {
-                    let frame = video.frame(i);
-                    let (ref_frame, ref_valid) = reference.for_frame(i);
-                    let vbm = vb_mask(frame, ref_frame, ref_valid, self.config.tau)?;
-                    let bbm = bb_mask(&vbm, self.config.phi);
-                    let removed = vbm.union(&bbm)?;
-                    if telemetry.is_enabled() {
-                        telemetry.add("frames/pass1", 1);
-                        telemetry.add("pixels/vbm", vbm.count_set() as u64);
-                        telemetry.add("pixels/removed", removed.count_set() as u64);
-                    }
-                    Ok((vbm, removed))
-                },
-            )?
-        };
-        let (vbms, removeds): (Vec<Mask>, Vec<Mask>) = pass1.into_iter().unzip();
-        let candidates: Vec<Mask> = removeds.iter().map(|r| r.complement()).collect();
-
-        // Cross-frame caller color model from the quietest frames (§V-D
-        // color analysis across frames).
-        let model = {
-            let _span = telemetry.time("reconstruct/color_model");
-            let pairs: Vec<(&Frame, &Mask)> =
-                (0..n).map(|i| (video.frame(i), &candidates[i])).collect();
-            crate::vcmask::CallerColorModel::fit(&pairs, self.config.vc.refine_bits)
-        };
-
-        // Pass 2: VCM (§V-D) in parallel, then sequential residue
-        // accumulation (§V-E) — the canvas's majority vote is
-        // order-sensitive, and accumulation is cheap next to segmentation.
-        let per_frame_leak: Vec<Mask> = {
-            let _span = telemetry.time("reconstruct/pass2");
-            run_stage(
-                n,
-                workers,
-                self.config.collect_mode,
-                telemetry,
-                "pass2",
-                |i| {
-                    let frame = video.frame(i);
-                    let vc = crate::vcmask::vc_mask_with_model(
-                        &segmenter,
-                        frame,
-                        &candidates[i],
-                        &self.config.vc,
-                        model.as_ref(),
-                    );
-                    let leak = candidates[i].subtract(&vc.vcm)?;
-                    if telemetry.is_enabled() {
-                        telemetry.add("frames/pass2", 1);
-                        telemetry.add("pixels/leak", leak.count_set() as u64);
-                    }
-                    Ok(leak)
-                },
-            )?
-        };
-        let mut canvas = {
-            let _span = telemetry.time("reconstruct/accumulate");
-            let journal_frames = telemetry.has_journal();
-            let pixels = (w * h).max(1) as f64;
-            let mut canvas = ReconstructionCanvas::new(w, h);
-            for (i, leak) in per_frame_leak.iter().enumerate() {
-                canvas.accumulate(video.frame(i), leak)?;
-                if journal_frames {
-                    // One structured event per frame: how much the masks
-                    // removed, how much residue this frame admitted, and how
-                    // full the canvas is afterwards.
-                    telemetry.event(
-                        "reconstruct/frame",
-                        Some(i as u64),
-                        &[
-                            ("mask_coverage", removeds[i].count_set() as f64 / pixels),
-                            ("residue_px", leak.count_set() as f64),
-                            ("canvas_fill", canvas.recovered_count() as f64 / pixels),
-                        ],
-                    );
-                }
+        VbSource::KnownVideos(candidates) => {
+            let resized: Vec<VideoStream> = candidates
+                .iter()
+                .map(|v| {
+                    let frames: Vec<Frame> = v
+                        .iter()
+                        .map(|f| bb_imaging::geom::resize(f, w, h))
+                        .collect();
+                    VideoStream::from_frames(frames, v.fps())
+                })
+                .collect::<Result<_, _>>()?;
+            let (vi, offset, _) = identify_known_video(video, &resized, config.tau)?;
+            let phases: Vec<(Frame, Mask)> = resized[vi]
+                .iter()
+                .map(|f| (f.clone(), Mask::full(w, h)))
+                .collect();
+            Ok(VirtualReference::Video { phases, offset })
+        }
+        VbSource::UnknownImage => {
+            derive_unknown_image(video, config.stability_threshold, config.tau)
+        }
+        VbSource::UnknownVideo {
+            min_period,
+            max_period,
+        } => {
+            if *min_period == 0 || min_period > max_period {
+                return Err(CoreError::InvalidConfig(format!(
+                    "invalid period range {min_period}..={max_period} \
+                     (use VbSource::unknown_video to validate up front)"
+                )));
             }
-            canvas
-        };
-        if self.config.min_observations > 1 {
-            let _span = telemetry.time("reconstruct/filter");
-            canvas = canvas.filtered(self.config.min_observations);
+            derive_unknown_video(
+                video,
+                *min_period,
+                *max_period,
+                config.tau,
+                (config.stability_threshold / min_period.max(&1)).max(2),
+            )
         }
-        let recovered = canvas.recovered_mask();
-        if telemetry.is_enabled() {
-            telemetry.add("pixels/recovered", recovered.count_set() as u64);
-        }
-        Ok(Reconstruction {
-            background: canvas.to_frame(Rgb::BLACK),
-            recovered,
-            canvas,
-            vb_reference: reference,
-            per_frame_leak,
-            per_frame_vbm: vbms,
-            per_frame_removed: removeds,
-        })
+        VbSource::Exact(r) => Ok(r.clone()),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bb_imaging::draw;
+    use bb_imaging::{draw, Rgb};
 
     /// A miniature composited call built by hand: VB gradient everywhere, a
     /// caller block in the middle, and a known leak strip that follows the
@@ -584,5 +717,91 @@ mod tests {
         let (video, _, _) = toy_call();
         let r = Reconstructor::new(VbSource::KnownImages(vec![]), config()).reconstruct(&video);
         assert!(matches!(r, Err(CoreError::EmptyCandidateSet)));
+    }
+
+    #[test]
+    fn builder_defaults_match_default_config() {
+        let built = ReconstructorConfig::builder().build().unwrap();
+        assert_eq!(built, ReconstructorConfig::default());
+    }
+
+    #[test]
+    fn builder_carries_every_setter_through() {
+        let built = ReconstructorConfig::builder()
+            .tau(9)
+            .phi(4)
+            .parallelism(3)
+            .min_observations(2)
+            .warmup_frames(64)
+            .mask_retention(MaskRetention::None)
+            .build()
+            .unwrap();
+        assert_eq!(built.tau, 9);
+        assert_eq!(built.phi, 4);
+        assert_eq!(built.parallelism, 3);
+        assert_eq!(built.min_observations, 2);
+        assert_eq!(built.warmup_frames, 64);
+        assert_eq!(built.mask_retention, MaskRetention::None);
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_values() {
+        for (builder, what) in [
+            (ReconstructorConfig::builder().phi(0), "phi 0"),
+            (
+                ReconstructorConfig::builder().parallelism(0),
+                "parallelism 0",
+            ),
+            (
+                ReconstructorConfig::builder().stability_threshold(0),
+                "stability 0",
+            ),
+            (
+                ReconstructorConfig::builder().min_observations(0),
+                "min_observations 0",
+            ),
+            (
+                ReconstructorConfig::builder().warmup_frames(0),
+                "warmup_frames 0",
+            ),
+            (
+                ReconstructorConfig::builder().vc(crate::vcmask::VcMaskParams {
+                    refine_bits: 0,
+                    ..Default::default()
+                }),
+                "refine_bits 0",
+            ),
+            (
+                ReconstructorConfig::builder().vc(crate::vcmask::VcMaskParams {
+                    refine_min_freq: f64::NAN,
+                    ..Default::default()
+                }),
+                "NaN refine_min_freq",
+            ),
+        ] {
+            assert!(
+                matches!(builder.build(), Err(CoreError::InvalidConfig(_))),
+                "{what} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_video_source_validates_periods() {
+        assert!(matches!(
+            VbSource::unknown_video(0, 10),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            VbSource::unknown_video(10, 4),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            VbSource::unknown_video(2, 8),
+            Ok(VbSource::UnknownVideo {
+                min_period: 2,
+                max_period: 8,
+            })
+        ));
     }
 }

@@ -37,11 +37,11 @@ pub const VOTE_TAU: u8 = 14;
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReconstructionCanvas {
-    width: usize,
-    height: usize,
-    colors: Vec<Option<Rgb>>,
-    votes: Vec<i32>,
-    counts: Vec<u32>,
+    pub(crate) width: usize,
+    pub(crate) height: usize,
+    pub(crate) colors: Vec<Option<Rgb>>,
+    pub(crate) votes: Vec<i32>,
+    pub(crate) counts: Vec<u32>,
 }
 
 impl ReconstructionCanvas {

@@ -73,6 +73,21 @@ impl CallerColorModel {
     pub fn frequency(&self, p: bb_imaging::Rgb) -> f64 {
         self.hist.frequency(p)
     }
+
+    /// The underlying color histogram (for checkpoint serialization).
+    pub fn histogram(&self) -> &ColorHistogram {
+        &self.hist
+    }
+
+    /// Rebuilds a model from a previously extracted histogram. Returns
+    /// `None` for an empty histogram — the same contract as
+    /// [`CallerColorModel::fit`], which never produces one.
+    pub fn from_histogram(hist: ColorHistogram) -> Option<CallerColorModel> {
+        if hist.total() == 0 {
+            return None;
+        }
+        Some(CallerColorModel { hist })
+    }
 }
 
 /// Parameters of the video-caller-masking stage.

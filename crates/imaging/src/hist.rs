@@ -77,6 +77,32 @@ impl ColorHistogram {
         self.total
     }
 
+    /// The per-channel quantisation this histogram was built with.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// The raw bucket counts (length `1 << (3 * bits)`), for serialization.
+    pub fn bucket_counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Rebuilds a histogram from its raw parts (the inverse of
+    /// [`ColorHistogram::bits`] + [`ColorHistogram::bucket_counts`]); the
+    /// sample total is recomputed from the counts. Returns `None` when
+    /// `bits` is outside `1..=8` or the count vector has the wrong length.
+    pub fn from_raw(bits: u8, counts: Vec<u32>) -> Option<ColorHistogram> {
+        if !(1..=8).contains(&bits) || counts.len() != 1usize << (3 * bits) {
+            return None;
+        }
+        let total = counts.iter().map(|&c| u64::from(c)).sum();
+        Some(ColorHistogram {
+            bits,
+            counts,
+            total,
+        })
+    }
+
     /// Relative frequency of the bucket containing `p`, in `[0, 1]`.
     /// Returns 0 for an empty histogram.
     pub fn frequency(&self, p: Rgb) -> f64 {

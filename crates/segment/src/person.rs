@@ -96,6 +96,18 @@ impl PersonSegmenter {
         }
     }
 
+    /// The tunables this segmenter was fitted with.
+    pub fn params(&self) -> &SegmenterParams {
+        &self.params
+    }
+
+    /// Reassembles a segmenter from previously extracted parts (params +
+    /// fitted background model) — the inverse of [`PersonSegmenter::params`]
+    /// and [`PersonSegmenter::model`], used to restore checkpointed state.
+    pub fn from_parts(params: SegmenterParams, model: Frame) -> Self {
+        PersonSegmenter { params, model }
+    }
+
     /// The fitted background model.
     pub fn model(&self) -> &Frame {
         &self.model

@@ -15,6 +15,9 @@
 //!   videos, needed by the unknown-virtual-video derivation of §V-B.
 //! * [`io`] — a minimal `.bbv` container (length-prefixed raw frames) so
 //!   corpora can be cached on disk between experiment runs.
+//! * [`source`] — the pull-based [`source::FrameSource`] trait for
+//!   streaming ingestion, with an in-memory source and a chunked `.bbv`
+//!   file reader.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,8 +25,10 @@
 pub mod delta;
 pub mod io;
 pub mod loopdet;
+pub mod source;
 pub mod stream;
 
+pub use source::FrameSource;
 pub use stream::VideoStream;
 
 /// Errors produced by video operations.

@@ -1,0 +1,291 @@
+//! Pull-based frame sources for streaming ingestion.
+//!
+//! A [`FrameSource`] yields frames one at a time so a consumer (e.g.
+//! `bb_core`'s `ReconstructionSession`) never has to hold a whole call in
+//! memory. Two implementations ship here:
+//!
+//! * [`MemorySource`] — wraps an in-memory [`VideoStream`] (tests, callsim
+//!   live feeds).
+//! * [`BbvReader`] — incrementally decodes the `.bbv` container from any
+//!   [`Read`], one frame-sized chunk per pull, so arbitrarily long files
+//!   stream with O(frame) memory. [`BbvReader::open`] is the file-backed
+//!   convenience constructor.
+
+use crate::stream::STANDARD_FPS;
+use crate::{VideoError, VideoStream};
+use bb_imaging::{Frame, Rgb};
+use std::io::Read;
+use std::path::Path;
+
+/// A pull-based supplier of video frames.
+pub trait FrameSource {
+    /// Yields the next frame, or `None` when the source is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read/decode failures.
+    fn next_frame(&mut self) -> Result<Option<Frame>, VideoError>;
+
+    /// The source's frame rate (defaults to the standard 30 fps).
+    fn fps(&self) -> f64 {
+        STANDARD_FPS
+    }
+
+    /// The frame geometry, when known up front.
+    fn dims_hint(&self) -> Option<(usize, usize)> {
+        None
+    }
+
+    /// Frames remaining, when known up front.
+    fn len_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// A [`FrameSource`] over an in-memory [`VideoStream`].
+#[derive(Debug, Clone)]
+pub struct MemorySource {
+    stream: VideoStream,
+    next: usize,
+}
+
+impl MemorySource {
+    /// Wraps a stream; frames are yielded in order from the start.
+    pub fn new(stream: VideoStream) -> MemorySource {
+        MemorySource { stream, next: 0 }
+    }
+}
+
+impl FrameSource for MemorySource {
+    fn next_frame(&mut self) -> Result<Option<Frame>, VideoError> {
+        let frame = self.stream.get(self.next).cloned();
+        if frame.is_some() {
+            self.next += 1;
+        }
+        Ok(frame)
+    }
+
+    fn fps(&self) -> f64 {
+        self.stream.fps()
+    }
+
+    fn dims_hint(&self) -> Option<(usize, usize)> {
+        Some(self.stream.dims())
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.stream.len().saturating_sub(self.next))
+    }
+}
+
+// Header sanity bounds, mirrored from the batch `.bbv` decoder in `io`.
+const MAGIC: &[u8; 4] = b"BBV1";
+const MAX_DIM: u32 = 1 << 14;
+const MAX_FRAMES: u32 = 1 << 20;
+
+/// Incremental `.bbv` decoder: parses the 24-byte header eagerly, then
+/// reads one `width × height × 3`-byte chunk per [`FrameSource::next_frame`]
+/// call — memory stays O(frame size) regardless of file length.
+#[derive(Debug)]
+pub struct BbvReader<R: Read> {
+    reader: R,
+    fps: f64,
+    width: usize,
+    height: usize,
+    remaining: usize,
+    raw: Vec<u8>,
+}
+
+impl BbvReader<std::io::BufReader<std::fs::File>> {
+    /// Opens a `.bbv` file for streaming decode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and header validation errors.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, VideoError> {
+        let file = std::fs::File::open(path)?;
+        BbvReader::new(std::io::BufReader::new(file))
+    }
+}
+
+impl<R: Read> BbvReader<R> {
+    /// Wraps any reader positioned at the start of a `.bbv` payload and
+    /// validates the header.
+    ///
+    /// # Errors
+    ///
+    /// [`VideoError::Decode`] on bad magic or implausible headers,
+    /// [`VideoError::Io`] on read failures.
+    pub fn new(mut reader: R) -> Result<Self, VideoError> {
+        let mut header = [0u8; 24];
+        reader
+            .read_exact(&mut header)
+            .map_err(|_| VideoError::Decode("header truncated".into()))?;
+        if &header[..4] != MAGIC {
+            return Err(VideoError::Decode(format!("bad magic {:?}", &header[..4])));
+        }
+        let fps = f64::from_le_bytes(header[4..12].try_into().unwrap());
+        let w = u32::from_le_bytes(header[12..16].try_into().unwrap());
+        let h = u32::from_le_bytes(header[16..20].try_into().unwrap());
+        let count = u32::from_le_bytes(header[20..24].try_into().unwrap());
+        if w == 0 || h == 0 || w > MAX_DIM || h > MAX_DIM {
+            return Err(VideoError::Decode(format!(
+                "implausible dimensions {w}x{h}"
+            )));
+        }
+        if count == 0 || count > MAX_FRAMES {
+            return Err(VideoError::Decode(format!(
+                "implausible frame count {count}"
+            )));
+        }
+        if !fps.is_finite() || fps <= 0.0 {
+            return Err(VideoError::BadFrameRate(fps));
+        }
+        let width = w as usize;
+        let height = h as usize;
+        Ok(BbvReader {
+            reader,
+            fps,
+            width,
+            height,
+            remaining: count as usize,
+            raw: vec![0u8; width * height * 3],
+        })
+    }
+
+    /// Reads and discards `n` frames (bounded by what remains) — lets a
+    /// resumed session skip the frames its checkpoint already covers
+    /// without decoding them into `Frame`s.
+    ///
+    /// # Errors
+    ///
+    /// [`VideoError::Decode`] when the payload ends early.
+    pub fn skip_frames(&mut self, n: usize) -> Result<usize, VideoError> {
+        let to_skip = n.min(self.remaining);
+        for _ in 0..to_skip {
+            self.reader
+                .read_exact(&mut self.raw)
+                .map_err(|_| VideoError::Decode("payload truncated".into()))?;
+            self.remaining -= 1;
+        }
+        Ok(to_skip)
+    }
+}
+
+impl<R: Read> FrameSource for BbvReader<R> {
+    fn next_frame(&mut self) -> Result<Option<Frame>, VideoError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.reader
+            .read_exact(&mut self.raw)
+            .map_err(|_| VideoError::Decode("payload truncated".into()))?;
+        self.remaining -= 1;
+        let pixels: Vec<Rgb> = self
+            .raw
+            .chunks_exact(3)
+            .map(|c| Rgb::new(c[0], c[1], c[2]))
+            .collect();
+        Ok(Some(Frame::from_pixels(self.width, self.height, pixels)?))
+    }
+
+    fn fps(&self) -> f64 {
+        self.fps
+    }
+
+    fn dims_hint(&self) -> Option<(usize, usize)> {
+        Some((self.width, self.height))
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+/// Collects any source into a [`VideoStream`] (convenience for tests and
+/// small inputs; defeats the purpose of streaming for long ones).
+///
+/// # Errors
+///
+/// Propagates source failures; [`VideoError::EmptyStream`] when the source
+/// yields nothing.
+pub fn collect<S: FrameSource + ?Sized>(source: &mut S) -> Result<VideoStream, VideoError> {
+    let mut frames = Vec::new();
+    while let Some(f) = source.next_frame()? {
+        frames.push(f);
+    }
+    VideoStream::from_frames(frames, source.fps())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(frames: usize) -> VideoStream {
+        VideoStream::generate(frames, 24.0, |i| {
+            Frame::from_fn(5, 4, |x, y| Rgb::new(i as u8, x as u8, y as u8))
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn memory_source_yields_all_frames_in_order() {
+        let v = sample(6);
+        let mut src = MemorySource::new(v.clone());
+        assert_eq!(src.dims_hint(), Some((5, 4)));
+        assert_eq!(src.len_hint(), Some(6));
+        assert_eq!(src.fps(), 24.0);
+        let collected = collect(&mut src).unwrap();
+        assert_eq!(collected, v);
+        assert!(src.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn bbv_reader_round_trips_encode() {
+        let v = sample(7);
+        let bytes = crate::io::encode(&v);
+        let mut reader = BbvReader::new(std::io::Cursor::new(bytes.to_vec())).unwrap();
+        assert_eq!(reader.dims_hint(), Some((5, 4)));
+        assert_eq!(reader.len_hint(), Some(7));
+        let collected = collect(&mut reader).unwrap();
+        assert_eq!(collected, v);
+    }
+
+    #[test]
+    fn bbv_reader_skip_then_read() {
+        let v = sample(7);
+        let bytes = crate::io::encode(&v);
+        let mut reader = BbvReader::new(std::io::Cursor::new(bytes.to_vec())).unwrap();
+        assert_eq!(reader.skip_frames(3).unwrap(), 3);
+        assert_eq!(reader.len_hint(), Some(4));
+        let rest = collect(&mut reader).unwrap();
+        assert_eq!(rest.frames(), &v.frames()[3..]);
+        // Skipping past the end is clamped.
+        let mut reader = BbvReader::new(std::io::Cursor::new(bytes.to_vec())).unwrap();
+        assert_eq!(reader.skip_frames(100).unwrap(), 7);
+        assert!(reader.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn bbv_reader_rejects_bad_and_truncated_input() {
+        assert!(BbvReader::new(std::io::Cursor::new(b"XXXX".to_vec())).is_err());
+        let v = sample(3);
+        let bytes = crate::io::encode(&v).to_vec();
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(BbvReader::new(std::io::Cursor::new(bad_magic)).is_err());
+        let cut = bytes[..bytes.len() - 5].to_vec();
+        let mut reader = BbvReader::new(std::io::Cursor::new(cut)).unwrap();
+        assert!(reader.next_frame().is_ok());
+        assert!(reader.next_frame().is_ok());
+        assert!(matches!(reader.next_frame(), Err(VideoError::Decode(_))));
+    }
+
+    #[test]
+    fn bbv_open_missing_file_is_io_error() {
+        assert!(matches!(
+            BbvReader::open("/nonexistent/nope.bbv"),
+            Err(VideoError::Io(_))
+        ));
+    }
+}

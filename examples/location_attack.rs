@@ -11,6 +11,7 @@ use bb_attacks::{LocationDictionary, LocationInference};
 use bb_callsim::{background, profile, run_session, Mitigation, VirtualBackground};
 use bb_core::pipeline::{Reconstructor, ReconstructorConfig, VbSource};
 use bb_datasets::{dictionary, e2_catalog, DatasetConfig};
+use bb_telemetry::Telemetry;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = DatasetConfig::default();
@@ -50,7 +51,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("reconstructed {:.1}% of the background", result.rbrr());
 
     let attack = LocationInference::default();
-    let ranking = attack.rank(&result.background, &result.recovered, &dict)?;
+    let ranking = attack.rank(
+        &result.background,
+        &result.recovered,
+        &dict,
+        &Telemetry::disabled(),
+    )?;
 
     println!("\ntop 5 candidate locations:");
     for (i, (label, score)) in ranking.ranked.iter().take(5).enumerate() {

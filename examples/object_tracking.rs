@@ -10,6 +10,7 @@ use bb_attacks::ObjectTracker;
 use bb_callsim::{background, profile, run_session, Mitigation, VirtualBackground};
 use bb_core::pipeline::{Reconstructor, ReconstructorConfig, VbSource};
 use bb_synth::{Action, Lighting, ObjectClass, Room, Scenario, SceneObject};
+use bb_telemetry::Telemetry;
 use rand::{rngs::StdRng, SeedableRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -60,7 +61,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for obj in room.objects.iter().chain(std::iter::once(&decoy)) {
         let template = ObjectTracker::soften_template(&obj.template());
         let in_room = room.contains(obj.class);
-        match tracker.search(&result.background, &result.recovered, &template)? {
+        match tracker.search(
+            &result.background,
+            &result.recovered,
+            &template,
+            &Telemetry::disabled(),
+        )? {
             Some(m) if m.score >= tracker.present_threshold => println!(
                 "  {:12} -> FOUND at ({}, {}) score {:.2} [actually in room: {}]",
                 obj.class.name(),

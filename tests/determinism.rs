@@ -154,6 +154,67 @@ fn golden_hash_regression() {
 }
 
 #[test]
+fn golden_hash_holds_for_streaming_push_and_finalize() {
+    // The streaming session, fed one frame at a time, must land on the exact
+    // batch bytes: `reconstruct` is a thin wrapper over the same session.
+    let video = seeded_call();
+    let config = ReconstructorConfig {
+        phi: 3,
+        parallelism: 8,
+        ..Default::default()
+    };
+    let reconstructor = Reconstructor::new(
+        VbSource::KnownImages(background::builtin_images(W, H)),
+        config,
+    );
+    let mut session = reconstructor.session();
+    for frame in video.iter() {
+        session.push_frame(frame).expect("push");
+    }
+    let recon = session.finalize().expect("finalize");
+    let hash = fnv1a_of(&recon);
+    assert_eq!(
+        hash, GOLDEN_HASH,
+        "streaming output drifted from batch: got {hash:#018x}, pinned {GOLDEN_HASH:#018x}"
+    );
+}
+
+#[test]
+fn checkpoint_resume_is_byte_identical_to_the_uninterrupted_run() {
+    // Serialize mid-call, resume in a fresh session (as a fresh process
+    // would), and still land on the uninterrupted run's exact bytes — for a
+    // warmup-phase cut and a post-lock cut.
+    let video = seeded_call();
+    let config = ReconstructorConfig {
+        phi: 3,
+        parallelism: 8,
+        warmup_frames: 12,
+        ..Default::default()
+    };
+    let reconstructor = Reconstructor::new(
+        VbSource::KnownImages(background::builtin_images(W, H)),
+        config,
+    );
+    let uncut = {
+        let mut session = reconstructor.session();
+        session.push_frames(video.frames()).expect("push");
+        session.finalize().expect("finalize")
+    };
+    for cut in [6usize, 20] {
+        let mut session = reconstructor.session();
+        session.push_frames(&video.frames()[..cut]).expect("push");
+        let bytes = session.checkpoint();
+        let mut resumed = reconstructor.resume_session(&bytes).expect("resume");
+        assert_eq!(resumed.frames_seen(), cut);
+        resumed
+            .push_frames(&video.frames()[cut..])
+            .expect("push rest");
+        let recon = resumed.finalize().expect("finalize");
+        assert_identical(&uncut, &recon, &format!("checkpoint cut at {cut}"));
+    }
+}
+
+#[test]
 fn golden_hash_is_unchanged_by_observability() {
     // Observation must never perturb the pipeline: the full sink + journal
     // configuration produces the exact same bytes as telemetry off.

@@ -7,6 +7,7 @@ use bb_callsim::{background, profile, run_session, Mitigation, VirtualBackground
 use bb_core::metrics;
 use bb_core::pipeline::{Reconstructor, ReconstructorConfig, VbSource};
 use bb_synth::{Action, Lighting, Room, Scenario};
+use bb_telemetry::Telemetry;
 use rand::{rngs::StdRng, SeedableRng};
 
 const W: usize = 96;
@@ -212,7 +213,14 @@ fn location_inference_finds_the_true_room() {
         shifts: vec![0],
         ..Default::default()
     };
-    let ranking = attack.rank(&rec.background, &rec.recovered, &dict).unwrap();
+    let ranking = attack
+        .rank(
+            &rec.background,
+            &rec.recovered,
+            &dict,
+            &Telemetry::disabled(),
+        )
+        .unwrap();
     assert!(
         ranking.in_top_k("room-100", 3),
         "true room ranked {:?}",

@@ -5,6 +5,7 @@ use bb_core::pipeline::{Reconstructor, ReconstructorConfig, VbSource};
 use bb_core::CoreError;
 use bb_imaging::{Frame, Rgb};
 use bb_synth::{GroundTruth, Lighting, Room, Scenario};
+use bb_telemetry::Telemetry;
 use bb_video::{VideoError, VideoStream};
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -129,16 +130,21 @@ fn attacks_reject_empty_reconstructions() {
     let empty_mask = bb_imaging::Mask::new(32, 24);
     let dict = bb_attacks::LocationDictionary::new(vec![("a".into(), Frame::new(32, 24))]).unwrap();
     assert!(bb_attacks::LocationInference::default()
-        .rank(&empty_frame, &empty_mask, &dict)
+        .rank(&empty_frame, &empty_mask, &dict, &Telemetry::disabled())
         .is_err());
     assert!(bb_attacks::ObjectTracker::default()
-        .search(&empty_frame, &empty_mask, &Frame::filled(8, 8, Rgb::WHITE))
+        .search(
+            &empty_frame,
+            &empty_mask,
+            &Frame::filled(8, 8, Rgb::WHITE),
+            &Telemetry::disabled()
+        )
         .is_err());
     assert!(bb_attacks::ObjectDetector::train(2, 1)
-        .detect(&empty_frame, &empty_mask)
+        .detect(&empty_frame, &empty_mask, &Telemetry::disabled())
         .is_err());
     assert!(bb_attacks::TextReader::default()
-        .read(&empty_frame, &empty_mask)
+        .read(&empty_frame, &empty_mask, &Telemetry::disabled())
         .is_err());
 }
 
