@@ -180,7 +180,9 @@ impl PersonSegmenter {
         if scored.is_empty() {
             return Mask::new(w, h);
         }
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("scores are finite"));
+        // total_cmp: a NaN score (degenerate params) must not panic the
+        // pipeline — NaN orders last, so finite scores still win.
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
         let best_label = scored[0].1;
         let best_area = labeling
             .components()
@@ -345,6 +347,25 @@ mod tests {
         }
         assert!(!is_skin(Rgb::new(90, 160, 210)), "sky counted as skin");
         assert!(!is_skin(Rgb::new(30, 60, 150)), "apparel counted as skin");
+    }
+
+    #[test]
+    fn degenerate_params_do_not_panic() {
+        // NaN thresholds poison every comparison; scoring and sorting must
+        // stay total (no partial_cmp panic) and the subset contract must
+        // hold regardless.
+        let v = call_like_stream();
+        let seg = PersonSegmenter::fit_with(
+            &v,
+            SegmenterParams {
+                min_component_frac: f64::NAN,
+                skin_evidence_frac: f64::NAN,
+                ..Default::default()
+            },
+        );
+        let candidates = Mask::from_fn(40, 30, |x, y| x > 5 && y > 4);
+        let vcm = seg.segment_candidates(v.frame(10), &candidates);
+        assert!(vcm.subtract(&candidates).unwrap().is_empty());
     }
 
     #[test]
