@@ -99,13 +99,24 @@ fn run_mode(video: &VideoStream, mode: CollectMode) -> ModeResult {
     }
 }
 
-fn mode_json(r: &ModeResult) -> Json {
+/// Serializes one mode's result. `workload_mpix` is the total pixel volume
+/// of the call (frames × width × height, in megapixels); each stage gets a
+/// `mpix_per_sec` = workload volume over the stage's total time — the
+/// per-stage analogue of the end-to-end throughput, so a regression in any
+/// single stage is visible in the same unit the 5x acceptance bar uses.
+fn mode_json(r: &ModeResult, workload_mpix: f64) -> Json {
     let mut stages = BTreeMap::new();
     for (name, s) in &r.report.stages {
         let mut stage = BTreeMap::new();
         stage.insert("calls".into(), Json::Number(s.calls as f64));
         stage.insert("total_ms".into(), Json::Number(s.total_ns as f64 / 1e6));
         stage.insert("mean_ms".into(), Json::Number(s.mean_ns() as f64 / 1e6));
+        if s.total_ns > 0 {
+            stage.insert(
+                "mpix_per_sec".into(),
+                Json::Number(workload_mpix / (s.total_ns as f64 / 1e9)),
+            );
+        }
         stages.insert(name.clone(), Json::Object(stage));
     }
     let counters: BTreeMap<String, Json> = r
@@ -495,9 +506,13 @@ fn main() {
     scenario.insert("parallelism".into(), Json::Number(PARALLELISM as f64));
     scenario.insert("quick".into(), Json::Bool(quick));
 
+    let workload_mpix = (workload.frames * workload.width * workload.height) as f64 / 1e6;
     let mut modes = BTreeMap::new();
-    modes.insert("locked_vec".into(), mode_json(&locked));
-    modes.insert("worker_local".into(), mode_json(&worker_local));
+    modes.insert("locked_vec".into(), mode_json(&locked, workload_mpix));
+    modes.insert(
+        "worker_local".into(),
+        mode_json(&worker_local, workload_mpix),
+    );
 
     eprintln!("benchmarking mask ops (packed vs naive Vec<bool>)…");
     let mask_ops = mask_ops_bench();

@@ -705,11 +705,13 @@ mod tests {
             *fills.last().unwrap(),
             rec.canvas.recovered_count() as f64 / pixels
         );
-        // Worker spans made it into the journal too.
+        // Worker spans made it into the journal too. The lane name depends
+        // on how many threads the host allows (a single-core machine runs
+        // the stage inline as `serial`), so accept any pass1 busy lane.
         assert!(journal
             .events()
             .iter()
-            .any(|e| e.stage.starts_with("workers/pass1/busy/w")));
+            .any(|e| e.stage.starts_with("workers/pass1/busy/")));
     }
 
     #[test]

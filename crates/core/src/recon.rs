@@ -90,27 +90,44 @@ impl ReconstructionCanvas {
                 });
             }
         }
-        for (x, y) in leak.iter_set() {
-            let idx = y * self.width + x;
-            let observed = frame.get(x, y);
-            self.counts[idx] += 1;
-            match self.colors[idx] {
-                None => {
-                    self.colors[idx] = Some(observed);
-                    self.votes[idx] = 1;
+        // Mask-directed: walk the leak's packed row words — an all-zero word
+        // skips 64 pixels for one comparison, and set pixels index the
+        // contiguous frame row and per-row canvas slices directly.
+        for y in 0..self.height {
+            let row = frame.row(y);
+            let base = y * self.width;
+            for (wi, &word) in leak.row_words(y).iter().enumerate() {
+                if word == 0 {
+                    continue;
                 }
-                Some(current) => {
-                    if observed.matches(current, VOTE_TAU) {
-                        self.votes[idx] += 1;
-                    } else {
-                        self.votes[idx] -= 1;
-                        // Boyer–Moore: the dissenting observation that takes
-                        // the count to zero becomes the new candidate. (The
-                        // historical `< 0` threshold let a deposed color
-                        // survive one extra dissent.)
-                        if self.votes[idx] == 0 {
+                let lo = wi * 64;
+                let mut bits = word;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let idx = base + lo + b;
+                    let observed = row[lo + b];
+                    self.counts[idx] += 1;
+                    match self.colors[idx] {
+                        None => {
                             self.colors[idx] = Some(observed);
                             self.votes[idx] = 1;
+                        }
+                        Some(current) => {
+                            if observed.matches(current, VOTE_TAU) {
+                                self.votes[idx] += 1;
+                            } else {
+                                self.votes[idx] -= 1;
+                                // Boyer–Moore: the dissenting observation
+                                // that takes the count to zero becomes the
+                                // new candidate. (The historical `< 0`
+                                // threshold let a deposed color survive one
+                                // extra dissent.)
+                                if self.votes[idx] == 0 {
+                                    self.colors[idx] = Some(observed);
+                                    self.votes[idx] = 1;
+                                }
+                            }
                         }
                     }
                 }

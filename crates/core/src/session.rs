@@ -47,6 +47,7 @@ use crate::vcmask::{vc_mask_with_model, CallerColorModel};
 use crate::workers::{run_stage, CollectMode};
 use crate::CoreError;
 use bb_imaging::hist::ColorHistogram;
+use bb_imaging::pool::FramePool;
 use bb_imaging::{Frame, Mask, Rgb};
 use bb_segment::{PersonSegmenter, SegmenterParams};
 use bb_telemetry::Telemetry;
@@ -147,6 +148,11 @@ pub struct ReconstructionSession {
     /// yet); the session keeps buffering and retries only at `finalize`,
     /// instead of re-running the expensive derivation on every push.
     lock_failed: bool,
+    /// Recycles frame pixel buffers between the warmup copies, the lock
+    /// hand-off and [`ReconstructionSession::ingest`]'s chunk buffer, so a
+    /// steady-state session performs no per-frame heap allocation on the
+    /// session side. Transient: never serialized into checkpoints.
+    pool: FramePool,
 }
 
 impl ReconstructionSession {
@@ -161,6 +167,7 @@ impl ReconstructionSession {
             telemetry,
             state: SessionState::Warmup(WarmupState { frames: Vec::new() }),
             lock_failed: false,
+            pool: FramePool::new(),
         }
     }
 
@@ -189,7 +196,9 @@ impl ReconstructionSession {
     /// Approximate heap bytes held by the session — the bounded-memory
     /// claim made measurable. After the lock, with
     /// [`MaskRetention::None`], this stays constant no matter how many
-    /// frames are pushed.
+    /// frames are pushed. Idle buffers in the internal frame pool are not
+    /// counted; they are capped at
+    /// [`DEFAULT_RETAIN`](bb_imaging::pool::DEFAULT_RETAIN) buffers.
     pub fn state_bytes(&self) -> usize {
         fn frame_bytes(w: usize, h: usize) -> usize {
             w * h * 3
@@ -226,6 +235,14 @@ impl ReconstructionSession {
         }
     }
 
+    /// `(reuses, fresh allocations)` served by the session's internal
+    /// frame-buffer pool — observability for the zero-allocation
+    /// steady-state claim. Checkpoints do not carry the pool, so resumed
+    /// sessions start from `(0, 0)`.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        self.pool.stats()
+    }
+
     fn validate_dims(&self, frame: &Frame) -> Result<(), CoreError> {
         if let Some(expected) = self.dims() {
             let got = frame.dims();
@@ -259,7 +276,14 @@ impl ReconstructionSession {
         }
         let buffered = match &mut self.state {
             SessionState::Warmup(w) => {
-                w.frames.push(frame.clone());
+                // Pooled copy: once the pool has been primed (by a previous
+                // lock, or by `ingest` recycling its chunk buffers) this is
+                // a memcpy into an existing buffer, not an allocation.
+                let copy = self
+                    .pool
+                    .take_copy(frame)
+                    .expect("session frames are never zero-sized");
+                w.frames.push(copy);
                 Some(w.frames.len())
             }
             SessionState::Locked(_) => None,
@@ -328,7 +352,6 @@ impl ReconstructionSession {
         let chunk = chunk_frames.max(1);
         let mut buf: Vec<Frame> = Vec::with_capacity(chunk);
         loop {
-            buf.clear();
             while buf.len() < chunk {
                 match source.next_frame()? {
                     Some(f) => buf.push(f),
@@ -340,6 +363,12 @@ impl ReconstructionSession {
             }
             let exhausted = buf.len() < chunk;
             self.push_frames(&buf)?;
+            // Recycle the chunk's buffers instead of freeing them; warmup
+            // copies in `push_frames` draw from the same pool, so from the
+            // second chunk on the session side allocates nothing per frame.
+            for f in buf.drain(..) {
+                self.pool.recycle(f);
+            }
             if exhausted {
                 break;
             }
@@ -390,6 +419,11 @@ impl ReconstructionSession {
     pub fn finalize(mut self) -> Result<Reconstruction, CoreError> {
         if !self.is_locked() {
             self.lock()?;
+        }
+        if self.telemetry.is_enabled() {
+            let (reuses, allocs) = self.pool.stats();
+            self.telemetry.add("session/pool/reuses", reuses);
+            self.telemetry.add("session/pool/allocs", allocs);
         }
         let telemetry = self.telemetry;
         let config = self.config;
@@ -445,6 +479,12 @@ impl ReconstructionSession {
             Ok(locked) => {
                 self.state = SessionState::Locked(Box::new(locked));
                 self.lock_failed = false;
+                // The warmup window is done with: return its buffers to the
+                // pool instead of freeing them, so later warmups (retry
+                // paths) and `ingest` copies reuse them.
+                for f in stream.into_frames() {
+                    self.pool.recycle(f);
+                }
                 Ok(())
             }
             Err(e) => {
@@ -749,6 +789,7 @@ impl ReconstructionSession {
             telemetry,
             state,
             lock_failed: false,
+            pool: FramePool::new(),
         })
     }
 }
@@ -770,7 +811,10 @@ fn process_block(
     if n == 0 {
         return Ok(0);
     }
-    let workers = config.parallelism.max(1).min(n.max(1));
+    // Requested parallelism is a ceiling, not a demand: the output is
+    // index-ordered and identical for any worker count, so never spawn more
+    // threads than the host can run.
+    let workers = crate::workers::effective_workers(config.parallelism, n);
     let base = locked.frames_seen;
     let tau = config.tau;
     let phi = config.phi;
@@ -1128,6 +1172,33 @@ mod tests {
         assert!(!session.is_locked());
         let streamed = session.finalize().unwrap();
         let batch = reconstructor.reconstruct(&video).unwrap();
+        assert_same(&batch, &streamed);
+    }
+
+    #[test]
+    fn ingest_reuses_pooled_buffers_and_matches_batch() {
+        let video = toy_call(30);
+        let cfg = ReconstructorConfig {
+            warmup_frames: 10,
+            ..config()
+        };
+        let reconstructor = Reconstructor::new(VbSource::UnknownImage, cfg);
+        let batch = reconstructor.reconstruct(&video).unwrap();
+        let mut session = reconstructor.session();
+        let mut source = bb_video::source::MemorySource::new(video);
+        // Chunks smaller than the warmup window: from the second chunk on,
+        // warmup copies must come out of the recycled chunk buffers.
+        session.ingest(&mut source, 4).unwrap();
+        let (reuses, allocs) = session.pool_stats();
+        assert!(
+            reuses >= 6,
+            "warmup copies past the first chunk should reuse ({reuses} reuses, {allocs} allocs)"
+        );
+        assert!(
+            allocs <= 4,
+            "session-side allocations must stop after the first chunk ({allocs} allocs)"
+        );
+        let streamed = session.finalize().unwrap();
         assert_same(&batch, &streamed);
     }
 

@@ -41,10 +41,7 @@ impl CallerColorModel {
         let scores: Vec<(usize, usize)> = frames_and_candidates
             .iter()
             .map(|(frame, cand)| {
-                let skin = cand
-                    .iter_set()
-                    .filter(|&(x, y)| bb_segment::person::is_skin(frame.get(x, y)))
-                    .count();
+                let skin = frame.count_masked_where(cand, bb_segment::person::is_skin);
                 (skin, cand.count_set())
             })
             .collect();
@@ -156,9 +153,32 @@ pub fn vc_mask_with_model(
     let raw = segmenter.segment_candidates(frame, candidates);
     let (mut refined, _) = color_refine(frame, &raw, params.refine_min_freq, params.refine_bits);
     if let Some(model) = model {
-        for (x, y) in raw.iter_set() {
-            if refined.get(x, y) && model.frequency(frame.get(x, y)) < params.model_min_freq {
-                refined.set(x, y, false);
+        // Word-directed: pixels still in `refined` (⊆ raw) are tested
+        // against the cross-frame model via the contiguous row slice, and
+        // flips clear whole words at a time. Rarity resolves to one integer
+        // compare per pixel (`frequency < min_freq` ⇔ `count < rare_below`).
+        let rare_below = model.histogram().rarity_threshold(params.model_min_freq);
+        let (_, h) = refined.dims();
+        for y in 0..h {
+            let row = frame.row(y);
+            for wi in 0..refined.words_per_row() {
+                let word = refined.row_words(y)[wi];
+                if word == 0 {
+                    continue;
+                }
+                let lo = wi * 64;
+                let mut cleared = 0u64;
+                let mut bits = word;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    if u64::from(model.histogram().count(row[lo + b])) < rare_below {
+                        cleared |= 1u64 << b;
+                    }
+                    bits &= bits - 1;
+                }
+                if cleared != 0 {
+                    refined.set_row_word(y, wi, word & !cleared);
+                }
             }
         }
     }

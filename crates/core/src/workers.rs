@@ -33,6 +33,19 @@ pub enum CollectMode {
     LockedVec,
 }
 
+/// Caps a requested worker count at the machine's available parallelism
+/// (and at the job count). Results are index-ordered and bit-identical for
+/// any worker count, so oversubscribing buys nothing and costs thread
+/// spawns, scheduler churn and dispenser contention — on a single-core
+/// host, a requested pool of 8 otherwise turns a serial workload into nine
+/// threads taking turns.
+pub fn effective_workers(requested: usize, jobs: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    requested.max(1).min(cores).min(jobs.max(1))
+}
+
 /// Runs `job(i)` for every `i in 0..n` on up to `workers` threads and
 /// returns the results in index order.
 ///

@@ -71,80 +71,155 @@ impl Labeling {
 
     /// Extracts the mask of a single component.
     ///
-    /// Returns an all-background mask when the label does not exist.
+    /// Returns an all-background mask when the label does not exist. Only
+    /// the component's bounding box is scanned, and the comparison bits are
+    /// packed 64 at a time straight into mask words.
     pub fn component_mask(&self, label: u32, height: usize) -> Mask {
-        Mask::from_fn(self.width, height, |x, y| {
-            self.labels[y * self.width + x] == label
-        })
+        let mut out = Mask::new(self.width, height);
+        let comp = match self.components.get((label as usize).wrapping_sub(1)) {
+            Some(c) if c.label == label => c,
+            _ => return out,
+        };
+        let (x0, y0, x1, y1) = comp.bbox;
+        let (w0, w1) = (x0 / 64, x1 / 64);
+        for y in y0..=y1 {
+            let row = &self.labels[y * self.width..(y + 1) * self.width];
+            for wi in w0..=w1 {
+                let lo = wi * 64;
+                let hi = (lo + 64).min(self.width);
+                let mut word = 0u64;
+                for (bit, &l) in row[lo..hi].iter().enumerate() {
+                    word |= u64::from(l == label) << bit;
+                }
+                out.set_row_word(y, wi, word);
+            }
+        }
+        out
     }
+}
+
+/// A horizontal run of set pixels: row `y`, columns `x0..=x1`.
+#[derive(Debug, Clone, Copy)]
+struct Run {
+    y: usize,
+    x0: usize,
+    x1: usize,
+}
+
+/// First bit position `>= from` whose value equals `set`, or `w` when none.
+/// Operates on one row's packed words; the zero tail reads as clear, which
+/// is correct for both searches because results are clamped to `w`.
+fn next_bit(words: &[u64], from: usize, w: usize, set: bool) -> usize {
+    let mut wi = from / 64;
+    let mut off = from % 64;
+    while wi < words.len() {
+        let word = if set { words[wi] } else { !words[wi] } & (!0u64 << off);
+        if word != 0 {
+            return (wi * 64 + word.trailing_zeros() as usize).min(w);
+        }
+        wi += 1;
+        off = 0;
+    }
+    w
+}
+
+/// Path-halving find for the run union-find.
+fn find(parent: &mut [u32], mut i: u32) -> u32 {
+    while parent[i as usize] != i {
+        parent[i as usize] = parent[parent[i as usize] as usize];
+        i = parent[i as usize];
+    }
+    i
 }
 
 /// Labels the connected components of `mask`.
 ///
-/// Runs a breadth-first flood fill per unvisited foreground pixel; linear in
-/// the number of pixels.
+/// Run-based two-pass labelling: horizontal runs of set pixels are extracted
+/// from the packed mask words (empty 64-pixel spans cost one comparison),
+/// merged across adjacent rows with a union-find, then numbered by the
+/// row-major position of each component's first pixel. That numbering is
+/// exactly the discovery order of the historical per-pixel flood fill — the
+/// same labels, areas, bounding boxes, and label image — at a fraction of
+/// the per-pixel cost. Downstream tie-breaking (stable sorts over component
+/// scores) therefore sees identical input.
 pub fn label(mask: &Mask, connectivity: Connectivity) -> Labeling {
     let (w, h) = mask.dims();
-    let mut labels = vec![0u32; w * h];
-    let mut components = Vec::new();
-    let mut next_label = 1u32;
-    let mut queue = std::collections::VecDeque::new();
 
-    let offsets_4: &[(i64, i64)] = &[(-1, 0), (1, 0), (0, -1), (0, 1)];
-    let offsets_8: &[(i64, i64)] = &[
-        (-1, 0),
-        (1, 0),
-        (0, -1),
-        (0, 1),
-        (-1, -1),
-        (1, -1),
-        (-1, 1),
-        (1, 1),
-    ];
-    let offsets = match connectivity {
-        Connectivity::Four => offsets_4,
-        Connectivity::Eight => offsets_8,
-    };
-
-    // iter_set visits foreground pixels in row-major order — the same
-    // discovery order (and therefore the same labels) as the historical
-    // `0..w*h` scan — while skipping empty 64-pixel words outright.
-    for (sx, sy) in mask.iter_set() {
-        let start = sy * w + sx;
-        if labels[start] != 0 {
-            continue;
+    // Pass 1: extract runs, row by row.
+    let mut runs: Vec<Run> = Vec::new();
+    let mut row_start = Vec::with_capacity(h + 1);
+    for y in 0..h {
+        row_start.push(runs.len());
+        let words = mask.row_words(y);
+        let mut x = next_bit(words, 0, w, true);
+        while x < w {
+            let end = next_bit(words, x, w, false);
+            runs.push(Run {
+                y,
+                x0: x,
+                x1: end - 1,
+            });
+            x = next_bit(words, end, w, true);
         }
-        let this_label = next_label;
-        next_label += 1;
-        let mut area = 0usize;
-        let (mut x0, mut y0, mut x1, mut y1) = (sx, sy, sx, sy);
-        labels[start] = this_label;
-        queue.push_back(start);
-        while let Some(idx) = queue.pop_front() {
-            area += 1;
-            let (cx, cy) = (idx % w, idx / w);
-            x0 = x0.min(cx);
-            y0 = y0.min(cy);
-            x1 = x1.max(cx);
-            y1 = y1.max(cy);
-            for &(dx, dy) in offsets {
-                let nx = cx as i64 + dx;
-                let ny = cy as i64 + dy;
-                if nx < 0 || ny < 0 || nx >= w as i64 || ny >= h as i64 {
-                    continue;
-                }
-                let nidx = ny as usize * w + nx as usize;
-                if mask.get(nx as usize, ny as usize) && labels[nidx] == 0 {
-                    labels[nidx] = this_label;
-                    queue.push_back(nidx);
+    }
+    row_start.push(runs.len());
+
+    // Pass 2: union runs that touch across adjacent rows. Eight-connectivity
+    // lets runs meet diagonally, i.e. with a horizontal reach of one.
+    let reach = match connectivity {
+        Connectivity::Four => 0usize,
+        Connectivity::Eight => 1,
+    };
+    let mut parent: Vec<u32> = (0..runs.len() as u32).collect();
+    for y in 1..h {
+        let (mut a, mut b) = (row_start[y - 1], row_start[y]);
+        let (a_end, b_end) = (row_start[y], row_start[y + 1]);
+        while a < a_end && b < b_end {
+            let (ra, rb) = (runs[a], runs[b]);
+            if ra.x0 <= rb.x1 + reach && rb.x0 <= ra.x1 + reach {
+                let (pa, pb) = (find(&mut parent, a as u32), find(&mut parent, b as u32));
+                if pa != pb {
+                    parent[pa.max(pb) as usize] = pa.min(pb);
                 }
             }
+            if ra.x1 < rb.x1 {
+                a += 1;
+            } else {
+                b += 1;
+            }
         }
-        components.push(Component {
-            label: this_label,
-            area,
-            bbox: (x0, y0, x1, y1),
-        });
+    }
+
+    // Number components in row-major first-run order and fold up area/bbox.
+    let mut label_of_root = vec![0u32; runs.len()];
+    let mut comp_of_run = vec![0u32; runs.len()];
+    let mut components: Vec<Component> = Vec::new();
+    for i in 0..runs.len() {
+        let root = find(&mut parent, i as u32) as usize;
+        if label_of_root[root] == 0 {
+            label_of_root[root] = components.len() as u32 + 1;
+            let r = runs[i];
+            components.push(Component {
+                label: label_of_root[root],
+                area: 0,
+                bbox: (r.x0, r.y, r.x1, r.y),
+            });
+        }
+        let lbl = label_of_root[root];
+        comp_of_run[i] = lbl;
+        let r = runs[i];
+        let c = &mut components[(lbl - 1) as usize];
+        c.area += r.x1 - r.x0 + 1;
+        c.bbox.0 = c.bbox.0.min(r.x0);
+        c.bbox.1 = c.bbox.1.min(r.y);
+        c.bbox.2 = c.bbox.2.max(r.x1);
+        c.bbox.3 = c.bbox.3.max(r.y);
+    }
+
+    // Paint the label image by runs (contiguous fills, not per-pixel writes).
+    let mut labels = vec![0u32; w * h];
+    for (run, &lbl) in runs.iter().zip(&comp_of_run) {
+        labels[run.y * w + run.x0..run.y * w + run.x1 + 1].fill(lbl);
     }
 
     Labeling {
@@ -158,16 +233,24 @@ pub fn label(mask: &Mask, connectivity: Connectivity) -> Labeling {
 pub fn remove_small_components(mask: &Mask, min_area: usize, connectivity: Connectivity) -> Mask {
     let (w, h) = mask.dims();
     let labeling = label(mask, connectivity);
-    let keep: std::collections::HashSet<u32> = labeling
-        .components()
-        .iter()
-        .filter(|c| c.area >= min_area)
-        .map(|c| c.label)
-        .collect();
-    Mask::from_fn(w, h, |x, y| {
-        let l = labeling.labels[y * w + x];
-        l != 0 && keep.contains(&l)
-    })
+    // keep[l] answers "does label l survive?" in O(1); keep[0] (background)
+    // is false. The output words are packed 64 pixels at a time.
+    let mut keep = vec![false; labeling.components.len() + 1];
+    for c in &labeling.components {
+        keep[c.label as usize] = c.area >= min_area;
+    }
+    let mut out = Mask::new(w, h);
+    for y in 0..h {
+        let row = &labeling.labels[y * w..(y + 1) * w];
+        for (wi, chunk) in row.chunks(64).enumerate() {
+            let mut word = 0u64;
+            for (bit, &l) in chunk.iter().enumerate() {
+                word |= u64::from(keep[l as usize]) << bit;
+            }
+            out.set_row_word(y, wi, word);
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -23,30 +23,71 @@ pub fn box_blur(frame: &Frame, radius: usize) -> Frame {
     directional_box(&horizontal, radius, false)
 }
 
+/// One separable box pass as a sliding-window accumulator: the window sum at
+/// `x+1` is the sum at `x` minus the tap leaving the window plus the tap
+/// entering it — O(1) per pixel regardless of radius, and exactly the same
+/// integer sums as the naive O(radius) taps (edge-clamped windows are
+/// multisets; the slide only moves elements in and out).
 fn directional_box(frame: &Frame, radius: usize, horizontal: bool) -> Frame {
     let (w, h) = frame.dims();
     let mut out = Frame::new(w, h);
-    let r = radius as i64;
-    for y in 0..h {
-        for x in 0..w {
-            let (mut sr, mut sg, mut sb, mut n) = (0u32, 0u32, 0u32, 0u32);
-            for d in -r..=r {
-                let (sx, sy) = if horizontal {
-                    ((x as i64 + d).clamp(0, w as i64 - 1) as usize, y)
-                } else {
-                    (x, (y as i64 + d).clamp(0, h as i64 - 1) as usize)
-                };
-                let p = frame.get(sx, sy);
+    let n = (2 * radius + 1) as u32;
+    if horizontal {
+        for y in 0..h {
+            let src = frame.row(y);
+            let dst = out.row_mut(y);
+            let last = w - 1;
+            let (mut sr, mut sg, mut sb) = (0u32, 0u32, 0u32);
+            for d in -(radius as i64)..=(radius as i64) {
+                let p = src[d.clamp(0, last as i64) as usize];
                 sr += p.r as u32;
                 sg += p.g as u32;
                 sb += p.b as u32;
-                n += 1;
             }
-            out.put(
-                x,
-                y,
-                Rgb::new(round_div(sr, n), round_div(sg, n), round_div(sb, n)),
-            );
+            for x in 0..w {
+                dst[x] = Rgb::new(round_div(sr, n), round_div(sg, n), round_div(sb, n));
+                if x < last {
+                    let add = src[(x + 1 + radius).min(last)];
+                    let sub = src[x.saturating_sub(radius)];
+                    sr += add.r as u32;
+                    sr -= sub.r as u32;
+                    sg += add.g as u32;
+                    sg -= sub.g as u32;
+                    sb += add.b as u32;
+                    sb -= sub.b as u32;
+                }
+            }
+        }
+    } else {
+        // Vertical pass slides whole rows through a per-column accumulator:
+        // the inner loops are straight runs over contiguous rows.
+        let last = h - 1;
+        let mut acc = vec![[0u32; 3]; w];
+        for d in -(radius as i64)..=(radius as i64) {
+            let src = frame.row(d.clamp(0, last as i64) as usize);
+            for (a, p) in acc.iter_mut().zip(src) {
+                a[0] += p.r as u32;
+                a[1] += p.g as u32;
+                a[2] += p.b as u32;
+            }
+        }
+        for y in 0..h {
+            let dst = out.row_mut(y);
+            for (d, a) in dst.iter_mut().zip(&acc) {
+                *d = Rgb::new(round_div(a[0], n), round_div(a[1], n), round_div(a[2], n));
+            }
+            if y < last {
+                let add = frame.row((y + 1 + radius).min(last));
+                let sub = frame.row(y.saturating_sub(radius));
+                for ((a, pa), ps) in acc.iter_mut().zip(add).zip(sub) {
+                    a[0] += pa.r as u32;
+                    a[0] -= ps.r as u32;
+                    a[1] += pa.g as u32;
+                    a[1] -= ps.g as u32;
+                    a[2] += pa.b as u32;
+                    a[2] -= ps.b as u32;
+                }
+            }
         }
     }
     out
@@ -54,9 +95,11 @@ fn directional_box(frame: &Frame, radius: usize, horizontal: bool) -> Frame {
 
 /// Round-to-nearest integer division for channel means. Truncating here
 /// (`(sum / n) as u8`) darkens every averaged pixel by up to 1 LSB — a
-/// systematic bias that leaks into the BBM detection thresholds.
+/// systematic bias that leaks into the BBM detection thresholds. Public so
+/// every channel-averaging site in the workspace (blur kernels, pyramid
+/// levels, the matting estimator's region means) shares one rounding rule.
 #[inline]
-fn round_div(sum: u32, n: u32) -> u8 {
+pub fn round_div(sum: u32, n: u32) -> u8 {
     ((sum + n / 2) / n) as u8
 }
 
@@ -98,34 +141,81 @@ pub fn gaussian_blur(frame: &Frame, sigma: f32) -> Result<Frame, ImagingError> {
     Ok(convolve_1d(&horizontal, &kernel, false))
 }
 
+#[inline]
+fn quantize_f32(v: f32) -> u8 {
+    v.round().clamp(0.0, 255.0) as u8
+}
+
+/// 1-D convolution, restructured for straight-line inner loops while keeping
+/// the floating-point result bit-identical to the naive per-pixel version:
+/// every output accumulator still sums its taps in ascending kernel order,
+/// so the (non-associative) f32 addition sequence is unchanged — the
+/// interior/border split and the vertical loop interchange only remove the
+/// per-tap clamp and the strided access, never reorder the adds.
 fn convolve_1d(frame: &Frame, kernel: &[f32], horizontal: bool) -> Frame {
     let (w, h) = frame.dims();
-    let radius = (kernel.len() / 2) as i64;
+    let radius = kernel.len() / 2;
     let mut out = Frame::new(w, h);
-    for y in 0..h {
-        for x in 0..w {
-            let (mut sr, mut sg, mut sb) = (0.0f32, 0.0f32, 0.0f32);
-            for (ki, &kv) in kernel.iter().enumerate() {
-                let d = ki as i64 - radius;
-                let (sx, sy) = if horizontal {
-                    ((x as i64 + d).clamp(0, w as i64 - 1) as usize, y)
-                } else {
-                    (x, (y as i64 + d).clamp(0, h as i64 - 1) as usize)
-                };
-                let p = frame.get(sx, sy);
-                sr += kv * p.r as f32;
-                sg += kv * p.g as f32;
-                sb += kv * p.b as f32;
+    if horizontal {
+        let last = w as i64 - 1;
+        // Interior = columns whose full window fits without clamping. A frame
+        // narrower than the kernel has no interior: every column is border.
+        let interior = if w > 2 * radius {
+            radius..w - radius
+        } else {
+            0..0
+        };
+        for y in 0..h {
+            let src = frame.row(y);
+            let dst = out.row_mut(y);
+            for x in (0..interior.start).chain(interior.end..w) {
+                let (mut sr, mut sg, mut sb) = (0.0f32, 0.0f32, 0.0f32);
+                for (ki, &kv) in kernel.iter().enumerate() {
+                    let sx = (x as i64 + ki as i64 - radius as i64).clamp(0, last) as usize;
+                    let p = src[sx];
+                    sr += kv * p.r as f32;
+                    sg += kv * p.g as f32;
+                    sb += kv * p.b as f32;
+                }
+                dst[x] = Rgb::new(quantize_f32(sr), quantize_f32(sg), quantize_f32(sb));
             }
-            out.put(
-                x,
-                y,
-                Rgb::new(
-                    sr.round().clamp(0.0, 255.0) as u8,
-                    sg.round().clamp(0.0, 255.0) as u8,
-                    sb.round().clamp(0.0, 255.0) as u8,
-                ),
-            );
+            for x in interior.clone() {
+                let (mut sr, mut sg, mut sb) = (0.0f32, 0.0f32, 0.0f32);
+                let window = &src[x - radius..x - radius + kernel.len()];
+                for (&kv, p) in kernel.iter().zip(window) {
+                    sr += kv * p.r as f32;
+                    sg += kv * p.g as f32;
+                    sb += kv * p.b as f32;
+                }
+                dst[x] = Rgb::new(quantize_f32(sr), quantize_f32(sg), quantize_f32(sb));
+            }
+        }
+    } else {
+        let last = h as i64 - 1;
+        let mut accr = vec![0.0f32; w];
+        let mut accg = vec![0.0f32; w];
+        let mut accb = vec![0.0f32; w];
+        for y in 0..h {
+            accr.fill(0.0);
+            accg.fill(0.0);
+            accb.fill(0.0);
+            for (ki, &kv) in kernel.iter().enumerate() {
+                let sy = (y as i64 + ki as i64 - radius as i64).clamp(0, last) as usize;
+                let src = frame.row(sy);
+                for (x, p) in src.iter().enumerate() {
+                    accr[x] += kv * p.r as f32;
+                    accg[x] += kv * p.g as f32;
+                    accb[x] += kv * p.b as f32;
+                }
+            }
+            let dst = out.row_mut(y);
+            for (x, d) in dst.iter_mut().enumerate() {
+                *d = Rgb::new(
+                    quantize_f32(accr[x]),
+                    quantize_f32(accg[x]),
+                    quantize_f32(accb[x]),
+                );
+            }
         }
     }
     out
@@ -141,22 +231,26 @@ pub fn motion_blur(frame: &Frame, length: usize) -> Frame {
     }
     let (w, h) = frame.dims();
     let mut out = Frame::new(w, h);
+    let n = length as u32;
     for y in 0..h {
+        let src = frame.row(y);
+        let dst = out.row_mut(y);
+        // Trailing window {src[max(x−d, 0)] : d < length}, maintained as a
+        // sliding sum; at x = 0 every tap clamps to src[0].
+        let p0 = src[0];
+        let (mut sr, mut sg, mut sb) = (n * p0.r as u32, n * p0.g as u32, n * p0.b as u32);
         for x in 0..w {
-            let (mut sr, mut sg, mut sb, mut n) = (0u32, 0u32, 0u32, 0u32);
-            for d in 0..length {
-                let sx = (x as i64 - d as i64).clamp(0, w as i64 - 1) as usize;
-                let p = frame.get(sx, y);
-                sr += p.r as u32;
-                sg += p.g as u32;
-                sb += p.b as u32;
-                n += 1;
+            dst[x] = Rgb::new(round_div(sr, n), round_div(sg, n), round_div(sb, n));
+            if x + 1 < w {
+                let add = src[x + 1];
+                let sub = src[(x + 1).saturating_sub(length)];
+                sr += add.r as u32;
+                sr -= sub.r as u32;
+                sg += add.g as u32;
+                sg -= sub.g as u32;
+                sb += add.b as u32;
+                sb -= sub.b as u32;
             }
-            out.put(
-                x,
-                y,
-                Rgb::new(round_div(sr, n), round_div(sg, n), round_div(sb, n)),
-            );
         }
     }
     out

@@ -178,6 +178,52 @@ impl Frame {
         &self.data
     }
 
+    /// Contiguous view of row `y` (length [`Frame::width`]). The row slices
+    /// are the unit of the data-parallel kernels: operating on `&[Rgb]` rows
+    /// keeps the inner loops free of per-pixel index arithmetic and bounds
+    /// checks, which is what lets the compiler vectorise them.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `y` is out of bounds.
+    #[inline]
+    pub fn row(&self, y: usize) -> &[Rgb] {
+        &self.data[y * self.width..(y + 1) * self.width]
+    }
+
+    /// Mutable contiguous view of row `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `y` is out of bounds.
+    #[inline]
+    pub fn row_mut(&mut self, y: usize) -> &mut [Rgb] {
+        &mut self.data[y * self.width..(y + 1) * self.width]
+    }
+
+    /// Iterates over the contiguous rows, top to bottom.
+    pub fn rows(&self) -> impl Iterator<Item = &[Rgb]> {
+        self.data.chunks_exact(self.width)
+    }
+
+    /// Overwrites this frame's pixels from `other` without reallocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::DimensionMismatch`] when sizes differ.
+    pub fn copy_from(&mut self, other: &Frame) -> Result<(), ImagingError> {
+        self.check_same_dims(other)?;
+        self.data.copy_from_slice(&other.data);
+        Ok(())
+    }
+
+    /// Consumes the frame and returns its raw pixel buffer — the inverse of
+    /// [`Frame::from_pixels`], used by [`crate::pool::FramePool`] to recycle
+    /// allocations.
+    pub fn into_pixels(self) -> Vec<Rgb> {
+        self.data
+    }
+
     /// Mutable view of the raw pixel buffer, row-major.
     #[inline]
     pub fn pixels_mut(&mut self) -> &mut [Rgb] {
@@ -270,6 +316,64 @@ impl Frame {
         self.data.iter().filter(|&&p| pred(p)).count()
     }
 
+    /// Counts mask-selected pixels for which `pred` holds, walking the
+    /// mask's packed words so all-zero 64-pixel spans cost one comparison
+    /// and set pixels are read from the contiguous row slice. Mismatched
+    /// dimensions count nothing.
+    pub fn count_masked_where(&self, mask: &Mask, mut pred: impl FnMut(Rgb) -> bool) -> usize {
+        if (self.width, self.height) != mask.dims() {
+            return 0;
+        }
+        let mut count = 0usize;
+        for y in 0..self.height {
+            let row = self.row(y);
+            for (wi, &word) in mask.row_words(y).iter().enumerate() {
+                if word == 0 {
+                    continue;
+                }
+                let lo = wi * 64;
+                let mut bits = word;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    count += usize::from(pred(row[lo + b]));
+                    bits &= bits - 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Builds the sub-mask of `mask` whose pixels satisfy `pred`, walking
+    /// the packed words like [`Frame::count_masked_where`]. Each selected
+    /// pixel is evaluated exactly once, so callers that need several counts
+    /// over subsets of `mask` (per-component evidence, say) can build this
+    /// once and intersect instead of re-running the predicate. Mismatched
+    /// dimensions yield an empty mask.
+    pub fn mask_where(&self, mask: &Mask, mut pred: impl FnMut(Rgb) -> bool) -> Mask {
+        let mut out = Mask::new(self.width, self.height);
+        if (self.width, self.height) != mask.dims() {
+            return out;
+        }
+        for y in 0..self.height {
+            let row = self.row(y);
+            for (wi, &word) in mask.row_words(y).iter().enumerate() {
+                if word == 0 {
+                    continue;
+                }
+                let lo = wi * 64;
+                let mut keep = 0u64;
+                let mut bits = word;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    keep |= u64::from(pred(row[lo + b])) << b;
+                    bits &= bits - 1;
+                }
+                out.set_row_word(y, wi, keep);
+            }
+        }
+        out
+    }
+
     /// Applies `f` to every pixel in place.
     pub fn map_in_place(&mut self, mut f: impl FnMut(Rgb) -> Rgb) {
         for p in &mut self.data {
@@ -304,11 +408,19 @@ impl Frame {
     /// Returns [`ImagingError::DimensionMismatch`] when sizes differ.
     pub fn match_mask(&self, other: &Frame, tau: u8) -> Result<Mask, ImagingError> {
         self.check_same_dims(other)?;
-        // from_fn packs the comparison results straight into mask words.
-        Ok(Mask::from_fn(self.width, self.height, |x, y| {
-            let i = y * self.width + x;
-            self.data[i].matches(other.data[i], tau)
-        }))
+        // Two-step per row: a vectorisable compare loop fills 0/1 bytes,
+        // then the mask packs them 8-per-multiply — no per-pixel coordinate
+        // arithmetic and no serial shift-OR chain.
+        let mut out = Mask::new(self.width, self.height);
+        let mut bits = vec![0u8; self.width];
+        for y in 0..self.height {
+            let (a, b) = (self.row(y), other.row(y));
+            for ((pa, pb), d) in a.iter().zip(b).zip(&mut bits) {
+                *d = u8::from(pa.matches(*pb, tau));
+            }
+            out.set_row_from_bytes(y, &bits);
+        }
+        Ok(out)
     }
 
     /// Number of pixels that match `other` within tolerance `tau` — the
@@ -319,12 +431,14 @@ impl Frame {
     /// Returns [`ImagingError::DimensionMismatch`] when sizes differ.
     pub fn match_score(&self, other: &Frame, tau: u8) -> Result<usize, ImagingError> {
         self.check_same_dims(other)?;
+        // Branchless sum (not filter + count) so the compare loop stays
+        // vectorisable.
         Ok(self
             .data
             .iter()
             .zip(&other.data)
-            .filter(|(a, b)| a.matches(**b, tau))
-            .count())
+            .map(|(a, b)| usize::from(a.matches(*b, tau)))
+            .sum())
     }
 
     /// Mean per-channel absolute difference against another frame, a cheap

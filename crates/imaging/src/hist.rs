@@ -65,9 +65,29 @@ impl ColorHistogram {
         if frame.dims() != mask.dims() {
             return;
         }
-        for (&p, on) in frame.pixels().iter().zip(mask.iter()) {
-            if on {
-                self.add(p);
+        // Mask-directed: walk the packed row words and skip 64 background
+        // pixels per all-zero word; all-one words take the branch-free
+        // full-chunk path.
+        let (_, h) = mask.dims();
+        for y in 0..h {
+            let row = frame.row(y);
+            for (wi, &word) in mask.row_words(y).iter().enumerate() {
+                if word == 0 {
+                    continue;
+                }
+                let lo = wi * 64;
+                if word == u64::MAX {
+                    for &p in &row[lo..lo + 64] {
+                        self.add(p);
+                    }
+                } else {
+                    let mut bits = word;
+                    while bits != 0 {
+                        let b = bits.trailing_zeros() as usize;
+                        self.add(row[lo + b]);
+                        bits &= bits - 1;
+                    }
+                }
             }
         }
     }
@@ -115,6 +135,35 @@ impl ColorHistogram {
     /// Raw count of the bucket containing `p`.
     pub fn count(&self, p: Rgb) -> u32 {
         self.counts[self.bucket(p)]
+    }
+
+    /// Smallest bucket count whose [`ColorHistogram::frequency`] is at
+    /// least `min_freq` — i.e. `frequency(p) < min_freq` exactly when
+    /// `count(p) < rarity_threshold(min_freq)`.
+    ///
+    /// `c ↦ (c as f64) / (total as f64)` is monotone non-decreasing in `c`
+    /// (both the exact quotient and its rounding are), so a binary search
+    /// with the *same float expression* finds the exact cut-over once; hot
+    /// loops then test a pixel's rarity with one integer compare instead of
+    /// one f64 division per pixel. Returns 0 for an empty histogram (every
+    /// frequency is reported as 0, matching [`ColorHistogram::frequency`]'s
+    /// guard only when `min_freq <= 0`; callers treat an empty histogram
+    /// separately, as there is nothing to refine).
+    pub fn rarity_threshold(&self, min_freq: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let total = self.total as f64;
+        let (mut lo, mut hi) = (0u64, self.total + 1);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if mid as f64 / total >= min_freq {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
     }
 
     /// Histogram intersection similarity with another histogram of the same
@@ -284,6 +333,40 @@ mod tests {
     fn empty_histogram_frequency_zero() {
         let h = ColorHistogram::new(4);
         assert_eq!(h.frequency(Rgb::WHITE), 0.0);
+    }
+
+    #[test]
+    fn rarity_threshold_matches_frequency_predicate() {
+        // For every count value the integer cut-over must reproduce the
+        // float comparison exactly, including awkward thresholds.
+        let mut h = ColorHistogram::new(2);
+        let mut state = 7u64;
+        for _ in 0..997 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.add(Rgb::new(
+                (state >> 16) as u8,
+                (state >> 24) as u8,
+                (state >> 32) as u8,
+            ));
+        }
+        for min_freq in [
+            0.0,
+            1e-9,
+            0.001,
+            0.02,
+            0.03,
+            1.0 / 3.0,
+            0.5,
+            0.999,
+            1.0,
+            1.5,
+        ] {
+            let cut = h.rarity_threshold(min_freq);
+            for c in 0..=h.total() {
+                let by_freq = (c as f64 / h.total() as f64) < min_freq;
+                assert_eq!(c < cut, by_freq, "count {c} at min_freq {min_freq}");
+            }
+        }
     }
 
     #[test]

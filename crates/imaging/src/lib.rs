@@ -54,8 +54,10 @@ pub mod io;
 pub mod mask;
 pub mod morph;
 pub mod pixel;
+pub mod pool;
 
 pub use error::ImagingError;
+pub use filter::round_div;
 pub use frame::Frame;
 pub use mask::{Mask, TriState, Trimap, WORD_BITS};
 pub use pixel::{Hsv, Rgb};

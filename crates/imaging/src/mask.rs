@@ -156,6 +156,35 @@ impl Mask {
         self.words[y * self.words_per_row + wi] = masked;
     }
 
+    /// Overwrites row `y` from a slice of 0/1 bytes, one byte per pixel.
+    ///
+    /// This is the fast lane for predicates evaluated over a whole row: the
+    /// caller fills a plain byte buffer (a loop compilers happily
+    /// vectorise, unlike a variable-distance shift-OR chain), and the bytes
+    /// are packed eight at a time with one multiply. The multiplier places
+    /// byte `k`'s low bit at bit `56 + k` of the product; every
+    /// intermediate bit position receives exactly one term, so no carries
+    /// cross between lanes. Bytes must be 0 or 1; anything else corrupts
+    /// the packing (enforced with a debug assertion).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `y` is out of bounds or `bytes.len() != width`.
+    pub fn set_row_from_bytes(&mut self, y: usize, bytes: &[u8]) {
+        assert!(y < self.height && bytes.len() == self.width);
+        debug_assert!(bytes.iter().all(|&b| b <= 1));
+        for (wi, chunk) in bytes.chunks(WORD_BITS).enumerate() {
+            let mut word = 0u64;
+            for (g, group) in chunk.chunks(8).enumerate() {
+                let mut raw = [0u8; 8];
+                raw[..group.len()].copy_from_slice(group);
+                let x = u64::from_le_bytes(raw);
+                word |= (x.wrapping_mul(0x0102_0408_1020_4080) >> 56) << (8 * g);
+            }
+            self.set_row_word(y, wi, word);
+        }
+    }
+
     /// Value at `(x, y)`.
     ///
     /// # Panics
@@ -275,6 +304,19 @@ impl Mask {
             *a &= *b;
         }
         Ok(out)
+    }
+
+    /// Size of the intersection (`|self ∩ other|`) without materialising it:
+    /// one AND + popcount per word pair. Mismatched dimensions count zero.
+    pub fn count_intersection(&self, other: &Mask) -> usize {
+        if self.dims() != other.dims() {
+            return 0;
+        }
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
     }
 
     /// Set difference (`self \ other`) — the residue operator of §V-E, where
@@ -490,6 +532,29 @@ mod tests {
 
     fn checker(w: usize, h: usize) -> Mask {
         Mask::from_fn(w, h, |x, y| (x + y) % 2 == 0)
+    }
+
+    #[test]
+    fn set_row_from_bytes_matches_per_pixel_set() {
+        // Pseudorandom bytes across widths that exercise partial words and
+        // partial 8-byte groups, checked against the one-bit-at-a-time path.
+        let mut state = 0xfeed_beef_dead_2024u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 62) == 3 // set ~1 in 4
+        };
+        for w in [1usize, 7, 8, 9, 63, 64, 65, 100, 127, 128, 130] {
+            let bytes: Vec<u8> = (0..w).map(|_| u8::from(next())).collect();
+            let mut fast = Mask::new(w, 2);
+            fast.set_row_from_bytes(1, &bytes);
+            let mut slow = Mask::new(w, 2);
+            for (x, &b) in bytes.iter().enumerate() {
+                slow.set(x, 1, b == 1);
+            }
+            assert_eq!(fast, slow, "w={w}");
+        }
     }
 
     #[test]

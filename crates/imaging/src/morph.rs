@@ -6,8 +6,13 @@
 //! structuring element also power the matting error models in `bb-callsim`
 //! and cleanup passes in `bb-segment`.
 //!
-//! All operators run in `O(w·h)` using a two-pass Euclidean distance transform
-//! (Felzenszwalb & Huttenlocher), so a φ of 20 over VGA frames stays cheap.
+//! Dilation (and everything built on it: erosion, open/close, [`band`]) runs
+//! word-parallel on the packed mask rows — the Euclidean disc decomposes into
+//! per-row-offset horizontal dilations, each a chain of shift-OR passes over
+//! 64-pixel words. The exact two-pass Euclidean distance transform
+//! (Felzenszwalb & Huttenlocher, [`squared_distance_transform`]) is retained
+//! both as a public primitive and as the bit-exact reference the word-level
+//! fast path is tested against.
 
 use crate::mask::{Mask, WORD_BITS};
 
@@ -88,17 +93,104 @@ pub fn squared_distance_transform(mask: &Mask) -> Vec<f64> {
     grid
 }
 
+/// One grow-by-one horizontal dilation pass over a row of packed words:
+/// `dst = src ∪ (src << 1) ∪ (src >> 1)` with carries across word
+/// boundaries. Carries never cross rows — callers hand in one row at a time.
+fn grow1_row(dst: &mut [u64], src: &[u64]) {
+    let n = src.len();
+    for i in 0..n {
+        let cur = src[i];
+        let west = (cur << 1)
+            | if i > 0 {
+                src[i - 1] >> (WORD_BITS - 1)
+            } else {
+                0
+            };
+        let east = (cur >> 1)
+            | if i + 1 < n {
+                src[i + 1] << (WORD_BITS - 1)
+            } else {
+                0
+            };
+        dst[i] = cur | west | east;
+    }
+}
+
 /// Dilates `mask` with a disc of the given `radius` (Euclidean metric).
 ///
 /// `radius = 0` returns the mask unchanged.
+///
+/// Runs word-parallel on the packed rows: the Euclidean disc decomposes into
+/// a union over row offsets `dy ∈ [−r, r]` of *horizontal* dilations by
+/// `k(dy) = ⌊√(r² − dy²)⌋`, and a horizontal dilation by `k` is `k`
+/// grow-by-one shift-OR passes, computed incrementally for all `k ≤ r` at
+/// once. Both this and thresholding the exact squared distance transform at
+/// `r²` decide the same predicate — "some source pixel within Euclidean
+/// distance r" — so the result is bit-identical to the historical
+/// [`squared_distance_transform`]-based dilation (which remains available as
+/// the reference implementation). Stray bits that shifts push into a last
+/// word's zero tail are harmless: any through-tail path from a source pixel
+/// is at least as long as the direct in-row path, and the tail is re-zeroed
+/// when the output rows are stored.
 pub fn dilate(mask: &Mask, radius: usize) -> Mask {
     if radius == 0 {
         return mask.clone();
     }
     let (w, h) = mask.dims();
-    let dist = squared_distance_transform(mask);
-    let r2 = (radius * radius) as f64;
-    Mask::from_fn(w, h, |x, y| dist[y * w + x] <= r2)
+    let wpr = mask.words_per_row();
+
+    // hdil[k] = all rows horizontally dilated by k, k = 0..=radius.
+    let mut hdil: Vec<Vec<u64>> = Vec::with_capacity(radius + 1);
+    let mut base = Vec::with_capacity(h * wpr);
+    for y in 0..h {
+        base.extend_from_slice(mask.row_words(y));
+    }
+    hdil.push(base);
+    for _ in 1..=radius {
+        let prev = hdil.last().expect("hdil is non-empty");
+        let mut next = vec![0u64; h * wpr];
+        for (dst, src) in next.chunks_mut(wpr).zip(prev.chunks(wpr)) {
+            grow1_row(dst, src);
+        }
+        hdil.push(next);
+    }
+
+    // k(dy): the widest horizontal reach of the disc at row offset dy.
+    // Non-increasing in dy, so one decrementing scan computes all of them.
+    let r2 = radius * radius;
+    let mut k_of = vec![0usize; radius + 1];
+    let mut k = radius;
+    for (dy, slot) in k_of.iter_mut().enumerate() {
+        while k * k + dy * dy > r2 {
+            k -= 1;
+        }
+        *slot = k;
+    }
+
+    let mut out = Mask::new(w, h);
+    let mut acc = vec![0u64; wpr];
+    for y in 0..h {
+        acc.copy_from_slice(&hdil[radius][y * wpr..(y + 1) * wpr]);
+        for dy in 1..=radius {
+            let plane = &hdil[k_of[dy]];
+            if y >= dy {
+                let src = &plane[(y - dy) * wpr..(y - dy + 1) * wpr];
+                for (a, &s) in acc.iter_mut().zip(src) {
+                    *a |= s;
+                }
+            }
+            if y + dy < h {
+                let src = &plane[(y + dy) * wpr..(y + dy + 1) * wpr];
+                for (a, &s) in acc.iter_mut().zip(src) {
+                    *a |= s;
+                }
+            }
+        }
+        for (wi, &word) in acc.iter().enumerate() {
+            out.set_row_word(y, wi, word);
+        }
+    }
+    out
 }
 
 /// Erodes `mask` with a disc of the given `radius` (Euclidean metric).
@@ -297,6 +389,22 @@ mod tests {
                 (dx * dx + dy * dy).sqrt() <= phi as f64
             });
             assert!(within, "({px},{py}) outside radius {phi}");
+        }
+    }
+
+    #[test]
+    fn word_parallel_dilate_matches_distance_transform() {
+        // The shift-OR fast path must be bit-identical to thresholding the
+        // exact squared distance transform — including across word
+        // boundaries (w = 70 puts columns 64.. in a second, partial word).
+        let (w, h) = (70, 23);
+        let m = Mask::from_fn(w, h, |x, y| (x * 7 + y * 13) % 19 == 0);
+        for radius in 0..=7 {
+            let fast = dilate(&m, radius);
+            let dist = squared_distance_transform(&m);
+            let r2 = (radius * radius) as f64;
+            let reference = Mask::from_fn(w, h, |x, y| dist[y * w + x] <= r2);
+            assert_eq!(fast, reference, "radius {radius}");
         }
     }
 

@@ -1,0 +1,155 @@
+//! A free-list allocator for frame buffers.
+//!
+//! The streaming reconstruction session clones every pushed frame into its
+//! block buffer and drops the clones once the block is processed — one heap
+//! allocation and one deallocation per frame, forever. [`FramePool`] breaks
+//! that cycle: recycled pixel buffers are handed back out for the next
+//! frame, so a steady-state session allocates nothing per frame.
+//!
+//! The pool is deliberately dumb: a LIFO stack of `Vec<Rgb>` buffers with a
+//! retention cap. Buffers of the wrong capacity are still reused (`Vec`
+//! resize handles it); the cap only bounds how many idle buffers are kept
+//! alive between blocks.
+
+use crate::error::ImagingError;
+use crate::frame::Frame;
+use crate::pixel::Rgb;
+
+/// Default number of idle buffers retained; larger returns are dropped.
+/// Sized to a streaming block (warmup ≤ 64 frames in practice).
+pub const DEFAULT_RETAIN: usize = 128;
+
+/// A reusable pool of frame pixel buffers.
+///
+/// # Example
+///
+/// ```
+/// use bb_imaging::{pool::FramePool, Frame, Rgb};
+/// let mut pool = FramePool::new();
+/// let src = Frame::filled(8, 8, Rgb::grey(7));
+/// let copy = pool.take_copy(&src).unwrap();
+/// assert_eq!(copy, src);
+/// pool.recycle(copy);
+/// assert_eq!(pool.idle(), 1);
+/// let again = pool.take_copy(&src).unwrap(); // reuses the buffer
+/// assert_eq!(pool.idle(), 0);
+/// assert_eq!(again, src);
+/// ```
+#[derive(Debug, Default)]
+pub struct FramePool {
+    free: Vec<Vec<Rgb>>,
+    retain: usize,
+    reuses: u64,
+    allocs: u64,
+}
+
+impl FramePool {
+    /// Creates an empty pool with the default retention cap.
+    pub fn new() -> Self {
+        Self::with_retain(DEFAULT_RETAIN)
+    }
+
+    /// Creates an empty pool keeping at most `retain` idle buffers.
+    pub fn with_retain(retain: usize) -> Self {
+        FramePool {
+            free: Vec::new(),
+            retain,
+            reuses: 0,
+            allocs: 0,
+        }
+    }
+
+    /// Takes a frame that is a pixel-for-pixel copy of `src`, reusing a
+    /// pooled buffer when one is available.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::EmptyImage`] when `src` has zero size (never
+    /// the case for a constructed [`Frame`]).
+    pub fn take_copy(&mut self, src: &Frame) -> Result<Frame, ImagingError> {
+        let (w, h) = src.dims();
+        match self.free.pop() {
+            Some(mut buf) => {
+                self.reuses += 1;
+                buf.clear();
+                buf.extend_from_slice(src.pixels());
+                Frame::from_pixels(w, h, buf)
+            }
+            None => {
+                self.allocs += 1;
+                Ok(src.clone())
+            }
+        }
+    }
+
+    /// Returns a frame's buffer to the pool. Buffers past the retention cap
+    /// are dropped.
+    pub fn recycle(&mut self, frame: Frame) {
+        if self.free.len() < self.retain {
+            self.free.push(frame.into_pixels());
+        }
+    }
+
+    /// Number of idle buffers currently held.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+
+    /// `(reuses, fresh allocations)` served so far — observability for the
+    /// steady-state-allocates-nothing claim.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.reuses, self.allocs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_copy_matches_source() {
+        let mut pool = FramePool::new();
+        let src = Frame::from_fn(5, 3, |x, y| Rgb::new(x as u8, y as u8, 9));
+        let copy = pool.take_copy(&src).unwrap();
+        assert_eq!(copy, src);
+        assert_eq!(pool.stats(), (0, 1));
+    }
+
+    #[test]
+    fn steady_state_reuses_buffers() {
+        let mut pool = FramePool::new();
+        let src = Frame::filled(16, 16, Rgb::grey(3));
+        let f = pool.take_copy(&src).unwrap();
+        pool.recycle(f);
+        for _ in 0..10 {
+            let f = pool.take_copy(&src).unwrap();
+            assert_eq!(f, src);
+            pool.recycle(f);
+        }
+        let (reuses, allocs) = pool.stats();
+        assert_eq!(allocs, 1, "steady state must not allocate");
+        assert_eq!(reuses, 10);
+    }
+
+    #[test]
+    fn reuse_across_sizes_is_correct() {
+        let mut pool = FramePool::new();
+        let big = Frame::filled(32, 32, Rgb::grey(1));
+        let small = Frame::from_fn(3, 7, |x, y| Rgb::new(x as u8, y as u8, 2));
+        let f = pool.take_copy(&big).unwrap();
+        pool.recycle(f);
+        let g = pool.take_copy(&small).unwrap();
+        assert_eq!(g.dims(), (3, 7));
+        assert_eq!(g, small);
+    }
+
+    #[test]
+    fn retention_cap_bounds_idle_buffers() {
+        let mut pool = FramePool::with_retain(2);
+        for _ in 0..5 {
+            let f = Frame::new(4, 4);
+            pool.recycle(f);
+        }
+        assert_eq!(pool.idle(), 2);
+    }
+}

@@ -1,0 +1,226 @@
+//! Model-based tests for the rewritten per-pixel kernels.
+//!
+//! Every data-parallel kernel (sliding-window blurs, the interior/border
+//! convolution, the word-parallel dilation, the byte-packed frame matcher)
+//! is checked bit-for-bit against a naive scalar reference — the per-pixel
+//! formulation the kernel replaced. Dimensions are drawn around the 64-bit
+//! word boundaries (sub-word, exact multiples, partial last words) and radii
+//! span `0..=7`, the regimes where window clamping and tail-bit handling can
+//! go wrong.
+
+use bb_imaging::filter::{box_blur, gaussian_blur, gaussian_kernel, motion_blur, round_div};
+use bb_imaging::morph::dilate;
+use bb_imaging::{Frame, Mask, Rgb};
+
+/// Width/height pairs straddling the packed-word boundaries.
+const DIMS: &[(usize, usize)] = &[
+    (1, 1),
+    (3, 5),
+    (63, 4),
+    (64, 3),
+    (65, 3),
+    (100, 2),
+    (127, 2),
+    (128, 2),
+    (130, 3),
+];
+
+/// Deterministic xorshift generator so failures replay exactly.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn frame(&mut self, w: usize, h: usize) -> Frame {
+        let mut f = Frame::new(w, h);
+        for y in 0..h {
+            for p in f.row_mut(y) {
+                let v = self.next();
+                *p = Rgb::new(v as u8, (v >> 8) as u8, (v >> 16) as u8);
+            }
+        }
+        f
+    }
+
+    fn mask(&mut self, w: usize, h: usize) -> Mask {
+        let mut bits = Vec::with_capacity(w * h);
+        for _ in 0..w * h {
+            bits.push(self.next().is_multiple_of(3));
+        }
+        Mask::from_fn(w, h, |x, y| bits[y * w + x])
+    }
+}
+
+/// Naive single-direction box pass: per-pixel sum over the edge-clamped
+/// window, rounded — the O(radius)-per-pixel loop the sliding window
+/// replaced.
+fn naive_box_pass(frame: &Frame, radius: usize, horizontal: bool) -> Frame {
+    let (w, h) = frame.dims();
+    let n = (2 * radius + 1) as u32;
+    Frame::from_fn(w, h, |x, y| {
+        let (mut sr, mut sg, mut sb) = (0u32, 0u32, 0u32);
+        for d in -(radius as i64)..=(radius as i64) {
+            let (sx, sy) = if horizontal {
+                ((x as i64 + d).clamp(0, w as i64 - 1) as usize, y)
+            } else {
+                (x, (y as i64 + d).clamp(0, h as i64 - 1) as usize)
+            };
+            let p = frame.get(sx, sy);
+            sr += u32::from(p.r);
+            sg += u32::from(p.g);
+            sb += u32::from(p.b);
+        }
+        Rgb::new(round_div(sr, n), round_div(sg, n), round_div(sb, n))
+    })
+}
+
+#[test]
+fn box_blur_matches_naive_taps() {
+    let mut rng = Rng(0x1357_9bdf_2468_ace1);
+    for &(w, h) in DIMS {
+        let frame = rng.frame(w, h);
+        for radius in 0..=7 {
+            let expect = naive_box_pass(&naive_box_pass(&frame, radius, true), radius, false);
+            assert_eq!(
+                box_blur(&frame, radius),
+                expect,
+                "box_blur diverged at {w}x{h} radius {radius}"
+            );
+        }
+    }
+}
+
+#[test]
+fn motion_blur_matches_naive_trailing_window() {
+    let mut rng = Rng(0x0f0f_1e1e_3c3c_7881);
+    for &(w, h) in DIMS {
+        let frame = rng.frame(w, h);
+        for length in 0..=7 {
+            let expect = if length <= 1 {
+                frame.clone()
+            } else {
+                let n = length as u32;
+                Frame::from_fn(w, h, |x, y| {
+                    let (mut sr, mut sg, mut sb) = (0u32, 0u32, 0u32);
+                    for d in 0..length {
+                        let p = frame.get(x.saturating_sub(d), y);
+                        sr += u32::from(p.r);
+                        sg += u32::from(p.g);
+                        sb += u32::from(p.b);
+                    }
+                    Rgb::new(round_div(sr, n), round_div(sg, n), round_div(sb, n))
+                })
+            };
+            assert_eq!(
+                motion_blur(&frame, length),
+                expect,
+                "motion_blur diverged at {w}x{h} length {length}"
+            );
+        }
+    }
+}
+
+/// Naive 1-D convolution: per-pixel, taps in ascending kernel order with an
+/// edge-clamped index — the exact f32 addition sequence the restructured
+/// interior/border kernel promises to preserve.
+fn naive_convolve(frame: &Frame, kernel: &[f32], horizontal: bool) -> Frame {
+    let (w, h) = frame.dims();
+    let radius = kernel.len() as i64 / 2;
+    Frame::from_fn(w, h, |x, y| {
+        let (mut sr, mut sg, mut sb) = (0.0f32, 0.0f32, 0.0f32);
+        for (ki, &kv) in kernel.iter().enumerate() {
+            let d = ki as i64 - radius;
+            let (sx, sy) = if horizontal {
+                ((x as i64 + d).clamp(0, w as i64 - 1) as usize, y)
+            } else {
+                (x, (y as i64 + d).clamp(0, h as i64 - 1) as usize)
+            };
+            let p = frame.get(sx, sy);
+            sr += kv * f32::from(p.r);
+            sg += kv * f32::from(p.g);
+            sb += kv * f32::from(p.b);
+        }
+        let q = |v: f32| v.round().clamp(0.0, 255.0) as u8;
+        Rgb::new(q(sr), q(sg), q(sb))
+    })
+}
+
+#[test]
+fn gaussian_blur_matches_naive_convolution_bit_for_bit() {
+    let mut rng = Rng(0xdead_beef_0bad_f00d);
+    for &(w, h) in DIMS {
+        let frame = rng.frame(w, h);
+        for sigma in [0.4f32, 0.8, 1.3, 2.0] {
+            let kernel = gaussian_kernel(sigma).unwrap();
+            let expect = naive_convolve(&naive_convolve(&frame, &kernel, true), &kernel, false);
+            assert_eq!(
+                gaussian_blur(&frame, sigma).unwrap(),
+                expect,
+                "gaussian_blur diverged at {w}x{h} sigma {sigma}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dilate_matches_naive_disc_scan() {
+    let mut rng = Rng(0x00c0_ffee_c001_d00d);
+    for &(w, h) in DIMS {
+        let mask = rng.mask(w, h);
+        for radius in 0..=7usize {
+            let r2 = (radius * radius) as i64;
+            let expect = Mask::from_fn(w, h, |x, y| {
+                for sy in y.saturating_sub(radius)..(y + radius + 1).min(h) {
+                    for sx in x.saturating_sub(radius)..(x + radius + 1).min(w) {
+                        let dx = sx as i64 - x as i64;
+                        let dy = sy as i64 - y as i64;
+                        if dx * dx + dy * dy <= r2 && mask.get(sx, sy) {
+                            return true;
+                        }
+                    }
+                }
+                false
+            });
+            assert_eq!(
+                dilate(&mask, radius),
+                expect,
+                "dilate diverged at {w}x{h} radius {radius}"
+            );
+        }
+    }
+}
+
+#[test]
+fn match_mask_and_score_match_per_pixel_loop() {
+    let mut rng = Rng(0x5a5a_a5a5_1234_8765);
+    for &(w, h) in DIMS {
+        let a = rng.frame(w, h);
+        // Mix of near-identical and fully random pixels so both branches of
+        // the tolerance test occur.
+        let mut b = rng.frame(w, h);
+        for y in 0..h {
+            let src = a.row(y);
+            for (x, p) in b.row_mut(y).iter_mut().enumerate() {
+                if (x + y) % 2 == 0 {
+                    let q = src[x];
+                    *p = Rgb::new(q.r.saturating_add(3), q.g, q.b.saturating_sub(2));
+                }
+            }
+        }
+        for tau in [0u8, 2, 5, 40] {
+            let expect = Mask::from_fn(w, h, |x, y| a.get(x, y).matches(b.get(x, y), tau));
+            let got = a.match_mask(&b, tau).unwrap();
+            assert_eq!(got, expect, "match_mask diverged at {w}x{h} tau {tau}");
+            assert_eq!(
+                a.match_score(&b, tau).unwrap(),
+                expect.count_set(),
+                "match_score diverged at {w}x{h} tau {tau}"
+            );
+        }
+    }
+}

@@ -50,7 +50,46 @@ impl Default for SegmenterParams {
 /// Skin-color prior: warm hue, moderate saturation, adequate brightness.
 /// Covers the synthetic skin-tone gamut (and most human skin under neutral
 /// light).
+///
+/// Decided in integer arithmetic on the hot path; the handful of colors
+/// sitting exactly on a rational threshold boundary (where f32 rounding in
+/// the HSV conversion picks the side) defer to [`is_skin_hsv`]. The two
+/// agree on every one of the 2^24 RGB values — `skin_prior_is_exact` spot
+/// checks the strict regions, and the boundary cases are float by
+/// construction. The thresholds map as: `v >= 0.25` ⇔ `max >= 64`;
+/// `0.07 <= s <= 0.72` ⇔ `7·max <= 100·d` and `25·d <= 18·max` (d = max −
+/// min); warm hue (`h <= 50` or `h >= 340`) requires `max == r` and then
+/// `6(g−b) < 5d` (g ≥ b side) or `3(b−g) < d` (b > g side).
 pub fn is_skin(p: bb_imaging::Rgb) -> bool {
+    let (r, g, b) = (p.r as u32, p.g as u32, p.b as u32);
+    let m = r.max(g).max(b);
+    let d = m - r.min(g).min(b);
+    if m < 64 || m != r {
+        return false;
+    }
+    if 100 * d == 7 * m || 25 * d == 18 * m {
+        return is_skin_hsv(p);
+    }
+    if 100 * d < 7 * m || 25 * d > 18 * m {
+        return false;
+    }
+    if g >= b {
+        if 6 * (g - b) == 5 * d {
+            return is_skin_hsv(p);
+        }
+        6 * (g - b) < 5 * d
+    } else {
+        if 3 * (b - g) == d {
+            return is_skin_hsv(p);
+        }
+        3 * (b - g) < d
+    }
+}
+
+/// The skin prior as originally written, through the f32 HSV conversion.
+/// [`is_skin`] must match this bit-for-bit; it is the semantic definition
+/// and the tie-breaker for exact-boundary colors.
+fn is_skin_hsv(p: bb_imaging::Rgb) -> bool {
     let hsv = p.to_hsv();
     (hsv.h <= 50.0 || hsv.h >= 340.0) && (0.07..=0.72).contains(&hsv.s) && hsv.v >= 0.25
 }
@@ -123,11 +162,17 @@ impl PersonSegmenter {
         if frame.dims() != (w, h) {
             return Mask::new(w, h);
         }
+        // Change detection: a vectorisable compare loop fills 0/1 bytes per
+        // row, which the mask packs 8-per-multiply into its words.
         let mut changed = Mask::new(w, h);
-        for (i, (a, b)) in frame.pixels().iter().zip(self.model.pixels()).enumerate() {
-            if a.linf(*b) > self.params.diff_tau {
-                changed.set_index(i, true);
+        let tau = self.params.diff_tau;
+        let mut bits = vec![0u8; w];
+        for y in 0..h {
+            let (a, b) = (frame.row(y), self.model.row(y));
+            for ((pa, pb), d) in a.iter().zip(b).zip(&mut bits) {
+                *d = u8::from(pa.linf(*pb) > tau);
             }
+            changed.set_row_from_bytes(y, &bits);
         }
         let closed = morph::close(&changed, self.params.close_radius);
         let opened = morph::open(&closed, self.params.open_radius);
@@ -160,6 +205,10 @@ impl PersonSegmenter {
             return Mask::new(w, h);
         }
 
+        // Skin evidence: evaluate the prior once per candidate pixel, then
+        // count per component with a word AND + popcount. Components are
+        // disjoint, so this also caps total predicate work at |cleaned|.
+        let skin_mask = frame.mask_where(&cleaned, is_skin);
         let mut scored: Vec<(f64, u32)> = Vec::new();
         for comp in labeling.components() {
             let area_frac = comp.area as f64 / (w * h) as f64;
@@ -167,11 +216,7 @@ impl PersonSegmenter {
                 continue;
             }
             let comp_mask = labeling.component_mask(comp.label, h);
-            let skin = comp_mask
-                .iter_set()
-                .filter(|&(x, y)| is_skin(frame.get(x, y)))
-                .count() as f64
-                / comp.area as f64;
+            let skin = skin_mask.count_intersection(&comp_mask) as f64 / comp.area as f64;
             // Anchoring: does the component reach the lower third?
             let reaches_bottom = comp.bbox.3 >= h * 2 / 3;
             let score = area_frac + skin * 0.5 + if reaches_bottom { 0.3 } else { 0.0 };
@@ -200,11 +245,7 @@ impl PersonSegmenter {
                 .expect("label exists");
             if comp.area * 10 >= best_area * 6 {
                 let m = labeling.component_mask(label, h);
-                let skin_frac = m
-                    .iter_set()
-                    .filter(|&(x, y)| is_skin(frame.get(x, y)))
-                    .count() as f64
-                    / comp.area as f64;
+                let skin_frac = skin_mask.count_intersection(&m) as f64 / comp.area as f64;
                 if skin_frac >= self.params.skin_evidence_frac {
                     out.union_in_place(&m).expect("same dims");
                 }
@@ -347,6 +388,42 @@ mod tests {
         }
         assert!(!is_skin(Rgb::new(90, 160, 210)), "sky counted as skin");
         assert!(!is_skin(Rgb::new(30, 60, 150)), "apparel counted as skin");
+    }
+
+    #[test]
+    fn skin_prior_is_exact() {
+        // The integer fast path must agree with the f32 HSV definition.
+        // Pseudorandom colors cover the strict regions; near-boundary colors
+        // (hue ratios around 5/6 and -1/3, saturation around 0.07 and 0.72)
+        // are seeded explicitly since random sampling rarely lands on them.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 40) as u32
+        };
+        for _ in 0..200_000 {
+            let v = next();
+            let p = Rgb::new(v as u8, (v >> 8) as u8, (v >> 16) as u8);
+            assert_eq!(is_skin(p), is_skin_hsv(p), "disagree at {p}");
+        }
+        for d in 0..=42u8 {
+            for m in 64..=255u8 {
+                // h == 50 boundary: 6(g-b) == 5d → d = 6k, g-b = 5k.
+                let (k6, k5) = (d.saturating_mul(6), d.saturating_mul(5));
+                if m >= k6 {
+                    let p = Rgb::new(m, m - k6 + k5, m - k6);
+                    assert_eq!(is_skin(p), is_skin_hsv(p), "h=50 boundary {p}");
+                }
+                // h == 340 boundary: 3(b-g) == d → d = 3k, b-g = k.
+                let k3 = d.saturating_mul(3);
+                if m >= k3 {
+                    let p = Rgb::new(m, m - k3, m - k3 + d);
+                    assert_eq!(is_skin(p), is_skin_hsv(p), "h=340 boundary {p}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -28,13 +28,35 @@ pub fn color_refine(frame: &Frame, vcm: &Mask, min_freq: f64, bits: u8) -> (Mask
     }
     let mut hist = ColorHistogram::new(bits);
     hist.add_masked(frame, vcm);
+    // One integer compare per pixel instead of one f64 division:
+    // `frequency(p) < min_freq` ⇔ `count(p) < rare_below`, resolved once.
+    let rare_below = hist.rarity_threshold(min_freq);
 
+    // Mask-directed: walk the packed row words, test only set pixels via the
+    // contiguous row slice, and clear whole words at a time.
     let mut refined = vcm.clone();
     let mut flipped = 0usize;
-    for (x, y) in vcm.iter_set() {
-        if hist.frequency(frame.get(x, y)) < min_freq {
-            refined.set(x, y, false);
-            flipped += 1;
+    let (_, h) = vcm.dims();
+    for y in 0..h {
+        let row = frame.row(y);
+        for (wi, &word) in vcm.row_words(y).iter().enumerate() {
+            if word == 0 {
+                continue;
+            }
+            let lo = wi * 64;
+            let mut cleared = 0u64;
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                if u64::from(hist.count(row[lo + b])) < rare_below {
+                    cleared |= 1u64 << b;
+                }
+                bits &= bits - 1;
+            }
+            if cleared != 0 {
+                refined.set_row_word(y, wi, word & !cleared);
+                flipped += cleared.count_ones() as usize;
+            }
         }
     }
     (refined, flipped)

@@ -280,11 +280,16 @@ fn telemetry_on_a_real_run_is_consistent() {
         .map(|(_, v)| *v)
         .sum();
     assert_eq!(pass1_jobs, FRAMES as u64);
-    // Each spawned worker has its own busy lane; the serial label is
-    // reserved for the inline fallback and must not appear here.
-    assert!(report.stages.contains_key("workers/pass1/busy/w0"));
-    assert!(!report.stages.contains_key("workers/pass1/busy/serial"));
-    assert!(!report.counters.contains_key("workers/pass1/jobs/serial"));
+    // Each busy lane is either a spawned worker (`w<k>`, multi-core hosts)
+    // or the inline fallback (`serial`, when available parallelism clamps
+    // the pool to one) — exactly one of the two shapes, never both.
+    let spawned = report.stages.contains_key("workers/pass1/busy/w0");
+    let serial = report.stages.contains_key("workers/pass1/busy/serial");
+    assert!(spawned ^ serial, "spawned={spawned} serial={serial}");
+    assert_eq!(
+        report.counters.contains_key("workers/pass1/jobs/serial"),
+        serial
+    );
 
     // Every timed stage also has a latency histogram that agrees with the
     // exact stats on its extremes.
