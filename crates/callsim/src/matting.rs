@@ -21,7 +21,7 @@
 //! * **Lighting sensitivity** — low light multiplies the error rates
 //!   ([`MattingParams::low_light_gain`], Fig 10/11).
 
-use bb_imaging::{morph, Frame, Mask, Rgb};
+use bb_imaging::{morph, round_div_u64, Frame, Mask, Rgb};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -238,10 +238,14 @@ fn mean_color(frame: &Frame, mask: &Mask) -> Option<Rgb> {
         g += p.g as u64;
         b += p.b as u64;
     }
+    // Round to nearest, like every other channel mean in the workspace:
+    // truncation biased the estimated caller color dark by up to 1 LSB per
+    // channel, which shifted the color-confusion test at the matte boundary.
+    let n = n as u64;
     Some(Rgb::new(
-        (r / n as u64) as u8,
-        (g / n as u64) as u8,
-        (b / n as u64) as u8,
+        round_div_u64(r, n),
+        round_div_u64(g, n),
+        round_div_u64(b, n),
     ))
 }
 
@@ -284,6 +288,20 @@ mod tests {
         let p = MattingParams::default();
         assert_eq!(estimate_mask(&p, &input, 7), estimate_mask(&p, &input, 7));
         assert_ne!(estimate_mask(&p, &input, 7), estimate_mask(&p, &input, 8));
+    }
+
+    #[test]
+    fn mean_color_rounds_to_nearest() {
+        // Channel sums that do not divide evenly by the 3 pixels: r sums to
+        // 5 (5/3 rounds to 2), g to 4 (4/3 rounds to 1), b to 765 (exactly
+        // 255). The truncating mean reported (1, 1, 255) — dark-biased on r.
+        let mut f = Frame::new(3, 1);
+        f.put(0, 0, Rgb::new(1, 2, 255));
+        f.put(1, 0, Rgb::new(2, 1, 255));
+        f.put(2, 0, Rgb::new(2, 1, 255));
+        let mask = Mask::full(3, 1);
+        assert_eq!(mean_color(&f, &mask), Some(Rgb::new(2, 1, 255)));
+        assert_eq!(mean_color(&f, &Mask::new(3, 1)), None);
     }
 
     #[test]

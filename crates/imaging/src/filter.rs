@@ -103,6 +103,14 @@ pub fn round_div(sum: u32, n: u32) -> u8 {
     ((sum + n / 2) / n) as u8
 }
 
+/// [`round_div`] for 64-bit accumulators — the same rounding rule for
+/// channel sums over whole regions (e.g. the matting estimator's
+/// caller-color mean), where `sum` can exceed `u32::MAX`.
+#[inline]
+pub fn round_div_u64(sum: u64, n: u64) -> u8 {
+    ((sum + n / 2) / n) as u8
+}
+
 /// Builds a normalised 1-D Gaussian kernel with the given `sigma`, truncated
 /// at three standard deviations.
 ///

@@ -57,7 +57,7 @@ pub mod pixel;
 pub mod pool;
 
 pub use error::ImagingError;
-pub use filter::round_div;
+pub use filter::{round_div, round_div_u64};
 pub use frame::Frame;
 pub use mask::{Mask, TriState, Trimap, WORD_BITS};
 pub use pixel::{Hsv, Rgb};

@@ -140,6 +140,13 @@ fn fnv1a_of(recon: &Reconstruction) -> u64 {
 /// Re-pinned from 0x4743_d504_77e5_052c for two intentional fixes: the
 /// Boyer–Moore vote-replacement threshold (replace at zero, not below) and
 /// round-to-nearest channel means in box/motion blur and downsampling.
+///
+/// The matting estimator's caller-color mean moving from truncation to
+/// round-to-nearest was verified NOT to move this hash: the color-confusion
+/// test compares band pixels (virtual-background colors) against the caller
+/// mean, and at this scenario's tau no pixel sits within 1 LSB of the
+/// threshold. The data-parallel kernel rewrite is likewise hash-neutral by
+/// construction.
 const GOLDEN_HASH: u64 = 0x0122_7bed_58af_d18d;
 
 #[test]
