@@ -10,7 +10,10 @@
 //! * the locked→worker-local speedup,
 //! * the telemetry hot-path overhead (`telemetry_overhead`): the same
 //!   reconstruction with observability fully off vs sink + journal on,
-//!   against a 5% budget.
+//!   against a 5% budget,
+//! * the multi-session service (`serve`): a loadgen fleet driven through
+//!   `bb-serve` with admission control and checkpoint eviction engaged
+//!   (sessions/sec, aggregate Mpix/sec, eviction counts).
 //!
 //! The workload is fixed (seed, dimensions, frame count), so numbers are
 //! comparable across commits on the same machine. Pass an output path to
@@ -427,6 +430,102 @@ fn streaming_bench(video: &VideoStream) -> Json {
     Json::Object(section)
 }
 
+/// Benchmarks the multi-session service: a synthetic fleet replayed through
+/// `bb-serve`'s scheduler with an admission cap below the fleet size and a
+/// memory budget tight enough to force checkpoint eviction, so the numbers
+/// cover the expensive paths (spill + resume), not just steady-state
+/// streaming. Asserts the soak invariants (nothing failed, nothing leaked,
+/// backpressure actually engaged) before reporting throughput.
+fn serve_bench(quick: bool) -> Json {
+    let config = if quick {
+        bb_serve::loadgen::LoadgenConfig {
+            sessions: 48,
+            concurrency: 16,
+            arrivals_per_round: 8,
+            frames_per_call: 12,
+            chunk: 4,
+            width: 48,
+            height: 36,
+            budget_bytes: 96 * 1024,
+            spill_dir: std::env::temp_dir().join("bb_perf_serve_quick"),
+            ..Default::default()
+        }
+    } else {
+        bb_serve::loadgen::LoadgenConfig {
+            sessions: 1000,
+            concurrency: 128,
+            arrivals_per_round: 64,
+            frames_per_call: 24,
+            chunk: 8,
+            width: 64,
+            height: 48,
+            budget_bytes: 2 << 20,
+            spill_dir: std::env::temp_dir().join("bb_perf_serve"),
+            ..Default::default()
+        }
+    };
+    let report = bb_serve::loadgen::run(&config, Telemetry::disabled()).expect("loadgen runs");
+    assert_eq!(
+        report.completed, config.sessions as u64,
+        "every synthetic session must complete"
+    );
+    assert_eq!(report.failed, 0, "no session may fail under load");
+    assert_eq!(report.leaked, 0, "no session may leak from the server");
+    assert!(report.denied > 0, "admission control must engage");
+    assert!(report.evicted > 0, "the budget must force evictions");
+    assert!(
+        report.peak_live_bytes <= config.budget_bytes,
+        "peak footprint {} exceeds the {}-byte budget",
+        report.peak_live_bytes,
+        config.budget_bytes
+    );
+    eprintln!(
+        "  {} sessions ({} concurrent cap) in {:.2}s: {:.1} sessions/s, \
+         {:.2} Mpix/s, {} evictions, {} denials",
+        report.completed,
+        config.concurrency,
+        report.wall_secs,
+        report.sessions_per_sec,
+        report.aggregate_mpix_per_sec,
+        report.evicted,
+        report.denied
+    );
+
+    let mut section = BTreeMap::new();
+    section.insert("sessions".into(), Json::Number(config.sessions as f64));
+    section.insert(
+        "concurrency".into(),
+        Json::Number(config.concurrency as f64),
+    );
+    section.insert(
+        "frames_per_call".into(),
+        Json::Number(config.frames_per_call as f64),
+    );
+    section.insert(
+        "budget_bytes".into(),
+        Json::Number(config.budget_bytes as f64),
+    );
+    section.insert("completed".into(), Json::Number(report.completed as f64));
+    section.insert("denied".into(), Json::Number(report.denied as f64));
+    section.insert("evicted".into(), Json::Number(report.evicted as f64));
+    section.insert("resumed".into(), Json::Number(report.resumed as f64));
+    section.insert(
+        "peak_live_bytes".into(),
+        Json::Number(report.peak_live_bytes as f64),
+    );
+    section.insert("wall_secs".into(), Json::Number(report.wall_secs));
+    section.insert(
+        "sessions_per_sec".into(),
+        Json::Number(report.sessions_per_sec),
+    );
+    section.insert(
+        "aggregate_mpix_per_sec".into(),
+        Json::Number(report.aggregate_mpix_per_sec),
+    );
+    section.insert("mean_rbrr_percent".into(), Json::Number(report.mean_rbrr));
+    Json::Object(section)
+}
+
 /// Pulls `modes.worker_local.wall_secs` out of a previously written baseline
 /// at `path`, provided its scenario matches the current one (same schema,
 /// same quick flag) — otherwise the comparison would be meaningless.
@@ -523,6 +622,9 @@ fn main() {
     eprintln!("benchmarking streaming session vs batch…");
     let streaming = streaming_bench(&video);
 
+    eprintln!("benchmarking the multi-session service (loadgen fleet)…");
+    let serve = serve_bench(quick);
+
     let mut root = BTreeMap::new();
     root.insert(
         "schema".into(),
@@ -533,6 +635,7 @@ fn main() {
     root.insert("mask_ops".into(), mask_ops);
     root.insert("telemetry_overhead".into(), telemetry_overhead);
     root.insert("streaming".into(), streaming);
+    root.insert("serve".into(), serve);
     root.insert(
         "speedup_worker_local_vs_locked".into(),
         Json::Number(locked.wall_secs / worker_local.wall_secs),

@@ -33,6 +33,19 @@ COMMANDS:
     locate    rank the built-in 200-room dictionary against a call
               flags: --top N (default 5)  [same attack flags]
     inspect   print stream metadata for a .bbv file
+    serve     run a BBWS wire stream through the multi-session service;
+              prints `session N : rbrr …` per completed call plus stable
+              eviction/throughput lines
+              flags: --budget-mb N (default 256)  --max-sessions N
+                     --workers N  --spill-dir DIR  --out-dir DIR
+                     --phi N --tau N --warmup N  --unknown-vb
+              encode: bbuster serve call.bbv --encode OUT.bbws --session N
+    loadgen   replay a synthetic fleet through the service (soak test);
+              prints one stable `key : value` line per fact, so CI can
+              gate on `leaked : 0`
+              flags: --sessions N --concurrency N --arrivals N --frames N
+                     --chunk N --width N --height N --budget-kb N
+                     --workers N --seed N --spill-dir DIR
     report    summarize a RunReport, or gate on a regression
               summary: bbuster report run.json
               diff:    bbuster report --diff NEW.json [BASELINE.json]
@@ -42,7 +55,7 @@ COMMANDS:
               stage slowed down past the threshold.
     help      this message
 
-    synth/attack/locate also accept:
+    synth/attack/locate/serve/loadgen also accept:
       --telemetry-out FILE.json   per-stage timings, counters, and latency
                                   histograms, written as a RunReport
       --journal-out FILE.jsonl    per-frame structured event journal
@@ -56,6 +69,9 @@ EXAMPLES:
         --checkpoint-every 32 --streaming
     bbuster reconstruct demo.call.bbv --checkpoint ck.bbsc --streaming --resume
     bbuster locate demo.call.bbv --top 5
+    bbuster serve demo.call.bbv --encode demo.bbws
+    bbuster serve demo.bbws --out-dir recovered/
+    bbuster loadgen --sessions 1000 --concurrency 64 --budget-kb 4096
     bbuster report run.json
     bbuster report --diff run.json BENCH_pipeline.json --fail-over-pct 25
 ";
@@ -73,6 +89,8 @@ pub fn dispatch(argv: &[String]) -> Result<i32, String> {
         Some("reconstruct") => reconstruct_cmd(&flags).map(|()| 0),
         Some("locate") => locate(&flags).map(|()| 0),
         Some("inspect") => inspect(&flags).map(|()| 0),
+        Some("serve") => crate::serve_cmd::serve(&flags).map(|()| 0),
+        Some("loadgen") => crate::serve_cmd::loadgen(&flags).map(|()| 0),
         Some("report") => crate::report_cmd::report(&flags),
         Some("help") | None => {
             print!("{HELP}");
@@ -84,7 +102,7 @@ pub fn dispatch(argv: &[String]) -> Result<i32, String> {
 
 /// Where a run's observability artifacts go (all optional).
 #[derive(Debug, Default)]
-struct ObservabilityOut {
+pub(crate) struct ObservabilityOut {
     report: Option<String>,
     journal: Option<String>,
     trace: Option<String>,
@@ -98,7 +116,7 @@ struct ObservabilityOut {
 /// # Errors
 ///
 /// Rejects valueless output flags instead of silently writing nothing.
-fn telemetry_from(flags: &Flags) -> Result<(Telemetry, ObservabilityOut), String> {
+pub(crate) fn telemetry_from(flags: &Flags) -> Result<(Telemetry, ObservabilityOut), String> {
     for key in ["telemetry-out", "journal-out", "trace-out"] {
         if flags.has(key) && flags.get(key).is_none() {
             return Err(format!("--{key} requires a file path"));
@@ -121,7 +139,7 @@ fn telemetry_from(flags: &Flags) -> Result<(Telemetry, ObservabilityOut), String
 }
 
 /// Writes whichever observability artifacts were requested.
-fn flush_telemetry(telemetry: &Telemetry, out: ObservabilityOut) -> Result<(), String> {
+pub(crate) fn flush_telemetry(telemetry: &Telemetry, out: ObservabilityOut) -> Result<(), String> {
     if let Some(path) = &out.report {
         std::fs::write(path, telemetry.report().to_json()).map_err(|e| format!("{path}: {e}"))?;
         println!("wrote {path} (telemetry report)");

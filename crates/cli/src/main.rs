@@ -9,6 +9,10 @@
 //! * `locate` — rank the built-in 200-room dictionary against a
 //!   reconstruction.
 //! * `inspect` — print stream metadata for a `.bbv` file.
+//! * `serve` — run a BBWS wire stream through the multi-session
+//!   reconstruction service (or `--encode` a `.bbv` into that format).
+//! * `loadgen` — replay a synthetic fleet through the service and print a
+//!   soak report.
 //! * `report` — summarize a telemetry RunReport, or diff two runs and exit
 //!   non-zero (code 3) on a latency regression.
 //!
@@ -17,6 +21,7 @@
 mod args;
 mod commands;
 mod report_cmd;
+mod serve_cmd;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();

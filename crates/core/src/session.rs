@@ -420,11 +420,7 @@ impl ReconstructionSession {
         if !self.is_locked() {
             self.lock()?;
         }
-        if self.telemetry.is_enabled() {
-            let (reuses, allocs) = self.pool.stats();
-            self.telemetry.add("session/pool/reuses", reuses);
-            self.telemetry.add("session/pool/allocs", allocs);
-        }
+        let mut pool = self.pool;
         let telemetry = self.telemetry;
         let config = self.config;
         let locked = match self.state {
@@ -432,6 +428,8 @@ impl ReconstructionSession {
             SessionState::Warmup(_) => unreachable!("lock() left the session unlocked"),
         };
         let LockedState {
+            width,
+            height,
             frames_seen,
             reference,
             mut canvas,
@@ -451,8 +449,22 @@ impl ReconstructionSession {
         if telemetry.is_enabled() {
             telemetry.add("pixels/recovered", recovered.count_set() as u64);
         }
+        // Render the background through the pool: the batch path recycled
+        // its warmup buffers at lock, and this draw is what cashes them in
+        // (`session/pool/reuses` must be non-zero even for a pure-batch
+        // run). Stats are read only after the draw so the report includes
+        // it.
+        let mut background = pool
+            .take_filled(width, height, Rgb::BLACK)
+            .expect("locked session dimensions are non-zero");
+        canvas.write_colors(&mut background);
+        if telemetry.is_enabled() {
+            let (reuses, allocs) = pool.stats();
+            telemetry.add("session/pool/reuses", reuses);
+            telemetry.add("session/pool/allocs", allocs);
+        }
         Ok(Reconstruction {
-            background: canvas.to_frame(Rgb::BLACK),
+            background,
             recovered,
             canvas,
             vb_reference: reference,
@@ -1200,6 +1212,27 @@ mod tests {
         );
         let streamed = session.finalize().unwrap();
         assert_same(&batch, &streamed);
+    }
+
+    #[test]
+    fn batch_path_reuses_pooled_buffers() {
+        // The pure-batch path (every frame buffered, lock at finalize)
+        // recycles its warmup buffers at lock and must cash at least one in
+        // when the final background is drawn — `session/pool/reuses: 0` on
+        // a batch run means the pool is dead weight.
+        let video = toy_call(30);
+        let telemetry = bb_telemetry::Telemetry::enabled();
+        let _ = Reconstructor::new(VbSource::UnknownImage, config())
+            .with_telemetry(telemetry.clone())
+            .reconstruct(&video)
+            .unwrap();
+        let report = telemetry.report();
+        let reuses = report.counters["session/pool/reuses"];
+        let allocs = report.counters["session/pool/allocs"];
+        assert!(
+            reuses > 0,
+            "batch path must hit the pool ({reuses} reuses, {allocs} allocs)"
+        );
     }
 
     #[test]

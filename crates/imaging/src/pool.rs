@@ -82,6 +82,35 @@ impl FramePool {
         }
     }
 
+    /// Takes a `width`×`height` frame filled with `color`, reusing a pooled
+    /// buffer when one is available.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::EmptyImage`] when either dimension is zero.
+    pub fn take_filled(
+        &mut self,
+        width: usize,
+        height: usize,
+        color: Rgb,
+    ) -> Result<Frame, ImagingError> {
+        if width == 0 || height == 0 {
+            return Err(ImagingError::EmptyImage);
+        }
+        match self.free.pop() {
+            Some(mut buf) => {
+                self.reuses += 1;
+                buf.clear();
+                buf.resize(width * height, color);
+                Frame::from_pixels(width, height, buf)
+            }
+            None => {
+                self.allocs += 1;
+                Ok(Frame::filled(width, height, color))
+            }
+        }
+    }
+
     /// Returns a frame's buffer to the pool. Buffers past the retention cap
     /// are dropped.
     pub fn recycle(&mut self, frame: Frame) {
@@ -141,6 +170,22 @@ mod tests {
         let g = pool.take_copy(&small).unwrap();
         assert_eq!(g.dims(), (3, 7));
         assert_eq!(g, small);
+    }
+
+    #[test]
+    fn take_filled_reuses_recycled_buffers() {
+        let mut pool = FramePool::new();
+        let src = Frame::from_fn(6, 4, |x, y| Rgb::new(x as u8, y as u8, 1));
+        let copy = pool.take_copy(&src).unwrap();
+        pool.recycle(copy);
+        // The filled frame must come from the recycled buffer, not malloc,
+        // and be fully overwritten regardless of the buffer's old contents.
+        let filled = pool.take_filled(9, 2, Rgb::grey(5)).unwrap();
+        assert_eq!(filled, Frame::filled(9, 2, Rgb::grey(5)));
+        let (reuses, allocs) = pool.stats();
+        assert!(reuses > 0, "take_filled must hit the pool");
+        assert_eq!((reuses, allocs), (1, 1));
+        assert!(pool.take_filled(0, 3, Rgb::BLACK).is_err());
     }
 
     #[test]

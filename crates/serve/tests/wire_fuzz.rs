@@ -1,0 +1,166 @@
+//! Adversarial input for the BBWS wire decoder (satellite of the service
+//! PR): truncations at *every* byte boundary, oversized length prefixes,
+//! mid-frame cuts, bit flips, and random garbage must all fail with a typed
+//! [`ServeError`] — never a panic, never an over-allocation. This mirrors
+//! the `CheckpointCorrupt` strictness tests for the BBSC checkpoint codec.
+
+use bb_imaging::{Frame, Rgb};
+use bb_serve::server::{ReconServer, ServeConfig};
+use bb_serve::wire::{self, WireDecoder};
+use bb_serve::{ServeError, WireEncoder};
+use bb_video::VideoStream;
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn toy_video(frames: usize) -> VideoStream {
+    VideoStream::generate(frames, 30.0, |i| {
+        Frame::from_fn(8, 6, |x, y| Rgb::new(x as u8, (y * 3) as u8, i as u8))
+    })
+    .unwrap()
+}
+
+/// Drains a decoder, returning the first error (if any).
+fn drain(bytes: &[u8]) -> Result<usize, ServeError> {
+    let mut dec = WireDecoder::new(bytes)?;
+    let mut n = 0;
+    while dec.next_message()?.is_some() {
+        n += 1;
+    }
+    Ok(n)
+}
+
+#[test]
+fn every_truncation_fails_typed_or_ends_cleanly() {
+    let bytes = wire::encode_call(7, &toy_video(3));
+    // Collect the clean message boundaries: offsets where a prefix is a
+    // complete, valid stream.
+    for cut in 0..bytes.len() {
+        let prefix = &bytes[..cut];
+        let outcome = catch_unwind(AssertUnwindSafe(|| drain(prefix)));
+        let result = outcome.unwrap_or_else(|_| panic!("decoder panicked at cut {cut}"));
+        match result {
+            // A cut on a message boundary (or inside nothing) decodes what
+            // it has; anything else must be a typed Wire error.
+            Ok(_) => {}
+            Err(ServeError::Wire(_)) => {}
+            Err(other) => panic!("cut {cut}: expected a Wire error, got {other}"),
+        }
+    }
+    // The untruncated stream decodes fully: open + 3 frames + close.
+    assert_eq!(drain(&bytes).unwrap(), 5);
+}
+
+#[test]
+fn mid_frame_cut_is_a_typed_error_for_the_server() {
+    let video = toy_video(3);
+    let bytes = wire::encode_call(7, &video);
+    // Cut in the middle of the second frame's pixel payload: past the
+    // header and the first messages, inside message bytes.
+    let cut = bytes.len() - (8 * 6 * 3) / 2;
+    let dir = std::env::temp_dir().join(format!("bb_wire_fuzz_cut_{}", std::process::id()));
+    let mut server = ReconServer::new(fuzz_prototype(), ServeConfig::new(&dir)).unwrap();
+    match server.serve_wire(&bytes[..cut]) {
+        Err(ServeError::Wire(msg)) => assert!(msg.contains("truncated"), "message: {msg}"),
+        other => panic!("expected a truncation error, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn oversized_length_prefix_never_allocates() {
+    // A hostile length prefix claiming ~4 GiB must be rejected before any
+    // buffer is sized from it. Drain must return a Wire error mentioning
+    // the bound, instantly.
+    let mut bytes = WireEncoder::new().finish();
+    bytes.extend_from_slice(&(u32::MAX - 7).to_le_bytes());
+    bytes.extend_from_slice(&[0u8; 32]);
+    match drain(&bytes) {
+        Err(ServeError::Wire(msg)) => assert!(msg.contains("bound"), "message: {msg}"),
+        other => panic!("expected a Wire error, got {other:?}"),
+    }
+}
+
+#[test]
+fn reordered_frames_are_rejected_not_misapplied() {
+    let video = toy_video(4);
+    let mut enc = WireEncoder::new();
+    enc.open(1, 8, 6, 30.0);
+    enc.frame(1, 0, video.frame(0));
+    enc.frame(1, 2, video.frame(2)); // gap: seq 1 skipped
+    let gap = enc.finish();
+    let mut enc = WireEncoder::new();
+    enc.open(2, 8, 6, 30.0);
+    enc.frame(2, 0, video.frame(0));
+    enc.frame(2, 0, video.frame(0)); // replay of seq 0
+    let replay = enc.finish();
+    let dir = std::env::temp_dir().join(format!("bb_wire_fuzz_seq_{}", std::process::id()));
+    for (what, bytes) in [("gap", gap), ("replay", replay)] {
+        let mut server = ReconServer::new(fuzz_prototype(), ServeConfig::new(&dir)).unwrap();
+        match server.serve_wire(&bytes) {
+            Err(ServeError::Protocol(msg)) => {
+                assert!(msg.contains("seq"), "{what}: message: {msg}")
+            }
+            other => panic!("{what}: expected a Protocol error, got {other:?}"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wrong_geometry_frame_is_a_protocol_error() {
+    let video = toy_video(1);
+    let mut enc = WireEncoder::new();
+    enc.open(1, 16, 12, 30.0); // session opened at 16x12...
+    enc.frame(1, 0, video.frame(0)); // ...but the frame is 8x6
+    let bytes = enc.finish();
+    let dir = std::env::temp_dir().join(format!("bb_wire_fuzz_geom_{}", std::process::id()));
+    let mut server = ReconServer::new(fuzz_prototype(), ServeConfig::new(&dir)).unwrap();
+    match server.serve_wire(&bytes) {
+        Err(ServeError::Protocol(msg)) => assert!(msg.contains("pixels"), "message: {msg}"),
+        other => panic!("expected a Protocol error, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn fuzz_prototype() -> bb_core::pipeline::Reconstructor {
+    use bb_core::pipeline::{Reconstructor, ReconstructorConfig, VbSource};
+    let config = ReconstructorConfig {
+        parallelism: 1,
+        warmup_frames: 4,
+        ..Default::default()
+    };
+    Reconstructor::new(VbSource::UnknownImage, config)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Single-byte corruption anywhere in a valid stream either still
+    /// decodes (the byte was payload data) or fails typed — never panics.
+    #[test]
+    fn bit_flips_never_panic(offset in 0usize..512, flip in 1u8..=255) {
+        let bytes = wire::encode_call(3, &toy_video(2));
+        let mut mutated = bytes.clone();
+        let i = offset % mutated.len();
+        mutated[i] ^= flip;
+        let outcome = catch_unwind(AssertUnwindSafe(|| drain(&mutated)));
+        prop_assert!(outcome.is_ok(), "decoder panicked on a bit flip at {i}");
+    }
+
+    /// Pure garbage never panics the decoder.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+        let outcome = catch_unwind(AssertUnwindSafe(|| drain(&bytes)));
+        prop_assert!(outcome.is_ok(), "decoder panicked on random bytes");
+    }
+
+    /// Garbage behind a valid header never panics and never decodes into
+    /// an unbounded allocation (drain returns promptly).
+    #[test]
+    fn garbage_after_header_never_panics(tail in proptest::collection::vec(0u8..=255, 0..192)) {
+        let mut bytes = WireEncoder::new().finish();
+        bytes.extend_from_slice(&tail);
+        let outcome = catch_unwind(AssertUnwindSafe(|| drain(&bytes)));
+        prop_assert!(outcome.is_ok(), "decoder panicked on garbage messages");
+    }
+}

@@ -187,6 +187,52 @@ fn golden_hash_holds_for_streaming_push_and_finalize() {
 }
 
 #[test]
+fn wire_served_session_lands_on_the_golden_hash() {
+    // The full service stack — BBWS encode, the ReconServer scheduler, and
+    // a budget small enough that the session is checkpoint-evicted and
+    // resumed on effectively every pushed frame — must land on the exact
+    // batch bytes. Byte-identity through the wire is the service's core
+    // contract.
+    use bb_serve::server::{ReconServer, ServeConfig};
+
+    let video = seeded_call();
+    let config = ReconstructorConfig {
+        phi: 3,
+        parallelism: 8,
+        ..Default::default()
+    };
+    let prototype = Reconstructor::new(
+        VbSource::KnownImages(background::builtin_images(W, H)),
+        config,
+    );
+    let dir = std::env::temp_dir().join(format!("bb_determinism_wire_{}", std::process::id()));
+    let serve_config = ServeConfig {
+        // Far below one warmup buffer: every push round-trips through a
+        // BBSC checkpoint on disk.
+        budget_bytes: 16 * 1024,
+        ..ServeConfig::new(&dir)
+    };
+    let mut server = ReconServer::new(prototype, serve_config).unwrap();
+    let bytes = bb_serve::wire::encode_call(1, &video);
+    let mut closed = server.serve_wire(&bytes).unwrap();
+    assert_eq!(closed.len(), 1, "one session opened, one closed");
+    let stats = server.stats();
+    assert!(
+        stats.evicted >= FRAMES as u64 - 1,
+        "the 16 KiB budget must evict on every push (evicted {})",
+        stats.evicted
+    );
+    assert_eq!(stats.evicted, stats.resumed, "every eviction was resumed");
+    let (_, recon) = closed.pop().unwrap();
+    let hash = fnv1a_of(&recon);
+    assert_eq!(
+        hash, GOLDEN_HASH,
+        "wire-served output drifted from batch: got {hash:#018x}, pinned {GOLDEN_HASH:#018x}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn checkpoint_resume_is_byte_identical_to_the_uninterrupted_run() {
     // Serialize mid-call, resume in a fresh session (as a fresh process
     // would), and still land on the uninterrupted run's exact bytes — for a

@@ -149,6 +149,64 @@ fn attacks_reject_empty_reconstructions() {
 }
 
 #[test]
+fn panicking_session_is_isolated_and_reaped_by_the_server() {
+    use bb_serve::server::{ReconServer, ServeConfig};
+    use bb_serve::ServeError;
+    use std::sync::Arc;
+
+    let video = VideoStream::generate(10, 30.0, |i| {
+        Frame::from_fn(24, 18, |x, y| Rgb::new(x as u8, y as u8, (i * 9) as u8))
+    })
+    .unwrap();
+    let prototype = Reconstructor::new(
+        VbSource::UnknownImage,
+        ReconstructorConfig {
+            parallelism: 1,
+            warmup_frames: 12,
+            ..Default::default()
+        },
+    );
+    let dir = std::env::temp_dir().join(format!("bb_failinj_serve_{}", std::process::id()));
+    let mut server = ReconServer::new(prototype, ServeConfig::new(&dir)).unwrap();
+    for id in 0..4u64 {
+        server.open_session(id, 24, 18).unwrap();
+    }
+    // Inject a panic into session 2's frame callback only.
+    server.set_frame_observer(Arc::new(|id, _| {
+        assert!(id != 2, "injected panic for session 2");
+    }));
+    let batch: Vec<(u64, Vec<Frame>)> = (0..4u64).map(|id| (id, video.frames().to_vec())).collect();
+    let results = server.push_many(batch).unwrap();
+    for (id, result) in &results {
+        if *id == 2 {
+            assert!(
+                matches!(
+                    result,
+                    Err(ServeError::Session {
+                        id: 2,
+                        source: CoreError::WorkerPanic(_)
+                    })
+                ),
+                "session 2 must fail with WorkerPanic, got {result:?}"
+            );
+        } else {
+            assert!(result.is_ok(), "sibling session {id} stalled: {result:?}");
+        }
+    }
+    // The panicking session is reaped — gone from the map, bytes released —
+    // and siblings keep serving frames afterwards.
+    assert_eq!(server.session_count(), 3);
+    assert!(matches!(
+        server.push_frame(2, video.frame(0)),
+        Err(ServeError::UnknownSession(2))
+    ));
+    for id in [0u64, 1, 3] {
+        server.push_frame(id, video.frame(0)).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn ppm_decoder_survives_garbage() {
     for garbage in [
         &b""[..],
