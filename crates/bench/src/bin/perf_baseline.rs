@@ -11,6 +11,9 @@
 //! * the telemetry hot-path overhead (`telemetry_overhead`): the same
 //!   reconstruction with observability fully off vs sink + journal on,
 //!   against a 5% budget,
+//! * container ingest (`ingest`): the streamed v1 `BbvReader` vs the
+//!   zero-copy mmap paths and the striped parallel BBV v2 decode, with the
+//!   v2 compression ratio and the 2x `speedup_vs_v1_reader` floor,
 //! * the multi-session service (`serve`): a loadgen fleet driven through
 //!   `bb-serve` with admission control and checkpoint eviction engaged
 //!   (sessions/sec, aggregate Mpix/sec, eviction counts).
@@ -430,6 +433,118 @@ fn streaming_bench(video: &VideoStream) -> Json {
     Json::Object(section)
 }
 
+/// Benchmarks the ingest layer on the pinned workload: the historical
+/// streamed `BbvReader` (the "before" side — buffered file reads, one
+/// allocation per frame) against the zero-copy paths this container stack
+/// provides — mmap-backed v1 views, serial BBV v2 span-delta decode, and the
+/// striped parallel v2 decode. Also records the v2 compression ratio. The
+/// headline `speedup_vs_v1_reader` (parallel v2 vs `BbvReader`) is held to
+/// a 2x floor on the full workload; quick runs record but don't gate.
+fn ingest_bench(video: &VideoStream, quick: bool) -> Json {
+    use bb_video::mmap::MmapSource;
+    use bb_video::source::{BbvReader, FrameSource};
+
+    let dir = std::env::temp_dir().join(format!("bb_perf_ingest_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("ingest bench temp dir");
+    let v1_path = dir.join("call.v1.bbv");
+    let v2_path = dir.join("call.v2.bbv");
+    bb_video::io::save(video, &v1_path).expect("save v1");
+    bb_video::v2::save(video, &v2_path, bb_video::v2::DEFAULT_STRIPE).expect("save v2");
+    let v1_bytes = std::fs::metadata(&v1_path).expect("v1 meta").len();
+    let v2_bytes = std::fs::metadata(&v2_path).expect("v2 meta").len();
+
+    let (w, h) = video.dims();
+    let frames = video.len();
+    let mpix = (frames * w * h) as f64 / 1e6;
+    let reps = 5;
+    // Best-of-reps wall time for one full drain of `source`.
+    let time_drain = |mut run: Box<dyn FnMut() -> usize>| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let started = Instant::now();
+            let n = run();
+            best = best.min(started.elapsed().as_secs_f64());
+            assert_eq!(n, frames, "ingest path dropped frames");
+        }
+        best
+    };
+
+    let v1p = v1_path.clone();
+    let v1_reader_secs = time_drain(Box::new(move || {
+        let mut reader = BbvReader::open(&v1p).expect("open v1");
+        let mut n = 0;
+        while let Some(frame) = reader.next_frame().expect("read") {
+            black_box(&frame);
+            n += 1;
+        }
+        n
+    }));
+
+    // The zero-copy paths share one reusable frame buffer: steady-state
+    // ingest allocates nothing per frame.
+    let drain_mmap = |path: std::path::PathBuf| -> Box<dyn FnMut() -> usize> {
+        Box::new(move || {
+            let mut source = MmapSource::open(&path).expect("mmap");
+            let mut frame = bb_imaging::Frame::filled(w, h, bb_imaging::Rgb::new(0, 0, 0));
+            let mut n = 0;
+            while source.next_frame_into(&mut frame).expect("read") {
+                black_box(&frame);
+                n += 1;
+            }
+            n
+        })
+    };
+    let v1_mmap_secs = time_drain(drain_mmap(v1_path.clone()));
+    let v2_serial_secs = time_drain(drain_mmap(v2_path.clone()));
+
+    let v2p = v2_path.clone();
+    let v2_parallel_secs = time_drain(Box::new(move || {
+        let decoded = bb_core::ingest::load_video(&v2p, PARALLELISM, &Telemetry::disabled())
+            .expect("parallel decode");
+        black_box(&decoded);
+        decoded.len()
+    }));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let compression = v1_bytes as f64 / v2_bytes as f64;
+    let speedup = v1_reader_secs / v2_parallel_secs;
+    eprintln!(
+        "  v1 reader {:.1} Mpix/s, v1 mmap {:.1}, v2 serial {:.1}, v2 parallel {:.1} \
+         ({speedup:.2}x vs reader); v2 container {compression:.2}x smaller",
+        mpix / v1_reader_secs,
+        mpix / v1_mmap_secs,
+        mpix / v2_serial_secs,
+        mpix / v2_parallel_secs
+    );
+    if !quick {
+        assert!(
+            speedup >= 2.0,
+            "ingest acceptance: parallel v2 decode must be >= 2x the v1 \
+             BbvReader on the pinned workload, got {speedup:.2}x"
+        );
+    }
+
+    let mut section = BTreeMap::new();
+    section.insert("reps".into(), Json::Number(reps as f64));
+    section.insert("v1_container_bytes".into(), Json::Number(v1_bytes as f64));
+    section.insert("v2_container_bytes".into(), Json::Number(v2_bytes as f64));
+    section.insert("v2_compression_ratio".into(), Json::Number(compression));
+    for (name, secs) in [
+        ("v1_reader", v1_reader_secs),
+        ("v1_mmap", v1_mmap_secs),
+        ("v2_serial", v2_serial_secs),
+        ("v2_parallel", v2_parallel_secs),
+    ] {
+        let mut path = BTreeMap::new();
+        path.insert("secs".into(), Json::Number(secs));
+        path.insert("mpix_per_sec".into(), Json::Number(mpix / secs));
+        section.insert(name.into(), Json::Object(path));
+    }
+    section.insert("speedup_vs_v1_reader".into(), Json::Number(speedup));
+    section.insert("floor_speedup".into(), Json::Number(2.0));
+    Json::Object(section)
+}
+
 /// Benchmarks the multi-session service: a synthetic fleet replayed through
 /// `bb-serve`'s scheduler with an admission cap below the fleet size and a
 /// memory budget tight enough to force checkpoint eviction, so the numbers
@@ -622,6 +737,9 @@ fn main() {
     eprintln!("benchmarking streaming session vs batch…");
     let streaming = streaming_bench(&video);
 
+    eprintln!("benchmarking container ingest (reader vs mmap vs v2)…");
+    let ingest = ingest_bench(&video, quick);
+
     eprintln!("benchmarking the multi-session service (loadgen fleet)…");
     let serve = serve_bench(quick);
 
@@ -635,6 +753,7 @@ fn main() {
     root.insert("mask_ops".into(), mask_ops);
     root.insert("telemetry_overhead".into(), telemetry_overhead);
     root.insert("streaming".into(), streaming);
+    root.insert("ingest".into(), ingest);
     root.insert("serve".into(), serve);
     root.insert(
         "speedup_worker_local_vs_locked".into(),

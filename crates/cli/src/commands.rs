@@ -6,7 +6,8 @@ use bb_core::pipeline::{MaskRetention, Reconstructor, ReconstructorConfig, VbSou
 use bb_core::session::ReconstructionSession;
 use bb_synth::{Action, Lighting, Room, Scenario};
 use bb_telemetry::{chrome_trace, Journal, Telemetry};
-use bb_video::source::{BbvReader, FrameSource};
+use bb_video::mmap::{ContainerVersion, MmapSource};
+use bb_video::source::FrameSource;
 use rand::{rngs::StdRng, SeedableRng};
 
 const HELP: &str = "\
@@ -21,6 +22,12 @@ COMMANDS:
               flags: --out PREFIX  --action NAME  --frames N  --seed N
                      --width N --height N  --software zoom|skype
                      --vb beach|office|space  --lights-off
+                     --format v1|v2 (container; v2 = span-delta compressed)
+    encode    convert a .bbv container between format versions
+              (input version is auto-detected)
+              usage: bbuster encode IN.bbv OUT.bbv --format v1|v2
+              flags: --format v1|v2 (default v2)  --stripe N (v2 keyframe
+                     interval, default 16)
     attack    reconstruct the real background from a composited call
               flags: --out FILE.ppm  --phi N  --tau N  --unknown-vb
     reconstruct
@@ -29,10 +36,13 @@ COMMANDS:
               flags: --out FILE.ppm  --phi N  --tau N  --warmup N
                      --checkpoint FILE  --checkpoint-every N  --stop-after N
                      --streaming  --resume  --unknown-vb
-              (switches go last: `--streaming call.bbv` would eat the path)
+              (switches go last: `--streaming call.bbv` would eat the path);
+              streaming reads are zero-copy: the container is memory-mapped
+              and frames are decoded in place (v1 or v2, auto-detected)
     locate    rank the built-in 200-room dictionary against a call
               flags: --top N (default 5)  [same attack flags]
-    inspect   print stream metadata for a .bbv file
+    inspect   print stream metadata for a .bbv file (either container
+              version; the `container :` line names which one)
     serve     run a BBWS wire stream through the multi-session service;
               prints `session N : rbrr …` per completed call plus stable
               eviction/throughput lines
@@ -50,9 +60,13 @@ COMMANDS:
               summary: bbuster report run.json
               diff:    bbuster report --diff NEW.json [BASELINE.json]
                          --fail-over-pct N (default 15)  --min-ms N (default 1)
+              floor:   bbuster report --ingest-floor X [BENCH.json]
+                       (fails when the baseline's ingest speedup_vs_v1_reader
+                        is below X)
               BASELINE defaults to BENCH_pipeline.json; both RunReport JSON
               and the perf-baseline schema are accepted. Exit code 3 means a
-              stage slowed down past the threshold.
+              stage slowed down past the threshold (or the ingest floor was
+              missed).
     help      this message
 
     synth/attack/locate/serve/loadgen also accept:
@@ -64,6 +78,7 @@ COMMANDS:
 
 EXAMPLES:
     bbuster synth --out demo --action enter-exit --frames 180
+    bbuster encode demo.call.bbv demo.v2.bbv --format v2
     bbuster attack demo.call.bbv --out recovered.ppm --trace-out trace.json
     bbuster reconstruct demo.call.bbv --checkpoint ck.bbsc \\
         --checkpoint-every 32 --streaming
@@ -85,6 +100,7 @@ pub fn dispatch(argv: &[String]) -> Result<i32, String> {
     let flags = Flags::parse(argv);
     match flags.positional().first().map(String::as_str) {
         Some("synth") => synth(&flags).map(|()| 0),
+        Some("encode") => encode_cmd(&flags).map(|()| 0),
         Some("attack") => attack(&flags).map(|()| 0),
         Some("reconstruct") => reconstruct_cmd(&flags).map(|()| 0),
         Some("locate") => locate(&flags).map(|()| 0),
@@ -187,6 +203,57 @@ fn vb_by_name(name: &str, w: usize, h: usize) -> Result<VirtualBackground, Strin
     }
 }
 
+/// Parses a `--format` flag into a container version (default `v1` for
+/// `synth` compatibility; `encode` overrides the default to `v2`).
+fn format_by_name(name: &str) -> Result<ContainerVersion, String> {
+    match name {
+        "v1" => Ok(ContainerVersion::V1),
+        "v2" => Ok(ContainerVersion::V2),
+        other => Err(format!("unknown container format {other:?} (v1|v2)")),
+    }
+}
+
+/// Saves a stream in the requested container version.
+fn save_stream(
+    video: &bb_video::VideoStream,
+    path: &str,
+    format: ContainerVersion,
+    stripe: usize,
+) -> Result<(), String> {
+    match format {
+        ContainerVersion::V1 => bb_video::io::save(video, path),
+        ContainerVersion::V2 => bb_video::v2::save(video, path, stripe),
+    }
+    .map_err(|e| format!("{path}: {e}"))
+}
+
+/// `bbuster encode`: converts a `.bbv` container between format versions.
+/// The input version is auto-detected; re-encoding to the same version is a
+/// valid (if pointless) normalization pass.
+fn encode_cmd(flags: &Flags) -> Result<(), String> {
+    let input = flags.positional().get(1).ok_or("missing input .bbv file")?;
+    let output = flags
+        .positional()
+        .get(2)
+        .ok_or("missing output .bbv file")?;
+    let format = format_by_name(flags.get_or("format", "v2"))?;
+    let stripe: usize = flags.get_num("stripe", bb_video::v2::DEFAULT_STRIPE)?;
+    if stripe == 0 {
+        return Err("--stripe must be at least 1".into());
+    }
+    let video = bb_video::io::load(input).map_err(|e| format!("{input}: {e}"))?;
+    save_stream(&video, output, format, stripe)?;
+    let in_bytes = std::fs::metadata(input).map_err(|e| e.to_string())?.len();
+    let out_bytes = std::fs::metadata(output).map_err(|e| e.to_string())?.len();
+    println!(
+        "wrote {output} ({} frames, {:?}, {out_bytes} bytes, {:.2}x vs input)",
+        video.len(),
+        format,
+        in_bytes as f64 / out_bytes.max(1) as f64
+    );
+    Ok(())
+}
+
 fn synth(flags: &Flags) -> Result<(), String> {
     let out = flags.get_or("out", "bbuster");
     let frames: usize = flags.get_num("frames", 150)?;
@@ -205,6 +272,7 @@ fn synth(flags: &Flags) -> Result<(), String> {
         other => return Err(format!("unknown software {other:?} (zoom|skype)")),
     };
     let vb = vb_by_name(flags.get_or("vb", "beach"), width, height)?;
+    let format = format_by_name(flags.get_or("format", "v1"))?;
 
     let room = Room::sample(seed, width, height, 5, &mut StdRng::seed_from_u64(seed));
     let scenario = Scenario {
@@ -234,8 +302,9 @@ fn synth(flags: &Flags) -> Result<(), String> {
 
     let raw_path = format!("{out}.raw.bbv");
     let call_path = format!("{out}.call.bbv");
-    bb_video::io::save(&gt.video, &raw_path).map_err(|e| e.to_string())?;
-    bb_video::io::save(&call.video, &call_path).map_err(|e| e.to_string())?;
+    let stripe = bb_video::v2::DEFAULT_STRIPE;
+    save_stream(&gt.video, &raw_path, format, stripe)?;
+    save_stream(&call.video, &call_path, format, stripe)?;
     let bg_path = format!("{out}.background.ppm");
     bb_imaging::io::save_ppm(&gt.background, &bg_path).map_err(|e| e.to_string())?;
     println!("wrote {raw_path} ({} frames, ground truth)", gt.video.len());
@@ -291,8 +360,9 @@ fn write_checkpoint(path: &str, session: &ReconstructionSession) -> Result<(), S
 }
 
 /// `bbuster reconstruct`: the attack pipeline with an explicit streaming
-/// mode. `--streaming` reads the `.bbv` incrementally through [`BbvReader`]
-/// and pushes frames into a [`ReconstructionSession`]; `--checkpoint FILE`
+/// mode. `--streaming` memory-maps the `.bbv` (v1 or v2, auto-detected)
+/// through [`MmapSource`] — frames are decoded zero-copy off the mapping —
+/// and pushes them into a [`ReconstructionSession`]; `--checkpoint FILE`
 /// with `--checkpoint-every N` persists resumable state as it goes,
 /// `--stop-after N` interrupts deterministically (for drills and tests), and
 /// `--resume` picks up from the checkpoint, skipping the frames it already
@@ -311,7 +381,7 @@ fn reconstruct_cmd(flags: &Flags) -> Result<(), String> {
     }
 
     let path = flags.positional().get(1).ok_or("missing input .bbv file")?;
-    let mut reader = BbvReader::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut reader = MmapSource::open(path).map_err(|e| format!("{path}: {e}"))?;
     let (w, h) = reader.dims_hint().expect("bbv header carries dimensions");
     let config = ReconstructorConfig::builder()
         .tau(flags.get_num("tau", 14u8)?)
@@ -426,8 +496,16 @@ fn locate(flags: &Flags) -> Result<(), String> {
 }
 
 fn inspect(flags: &Flags) -> Result<(), String> {
+    let path = flags.positional().get(1).ok_or("missing input .bbv file")?;
+    let container = MmapSource::open(path)
+        .map(|s| match s.version() {
+            ContainerVersion::V1 => "BBV1 (raw)",
+            ContainerVersion::V2 => "BBV2 (span deltas)",
+        })
+        .map_err(|e| format!("{path}: {e}"))?;
     let video = load_call(flags)?;
     let (w, h) = video.dims();
+    println!("container  : {container}");
     println!("resolution : {w}x{h}");
     println!("frames     : {}", video.len());
     println!("fps        : {}", video.fps());
@@ -697,6 +775,133 @@ mod tests {
             "interrupt + resume diverged from the uninterrupted run"
         );
         assert_eq!(straight_bytes, batch_bytes, "streaming diverged from batch");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v2_container_round_trips_through_encode_and_streaming_resume() {
+        // The whole drill again, but on a BBV2 container produced by
+        // `encode`: synth v1 → convert → interrupt → resume, and the
+        // recovered backgrounds must match the v1 run byte for byte.
+        let dir = std::env::temp_dir().join("bbuster_cli_v2_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("s").to_string_lossy().to_string();
+        run(&[
+            "synth", "--out", &prefix, "--frames", "30", "--width", "64", "--height", "48",
+            "--action", "clapping",
+        ])
+        .expect("synth");
+        let v1_call = format!("{prefix}.call.bbv");
+        let v2_call = format!("{prefix}.call.v2.bbv");
+        run(&["encode", &v1_call, &v2_call, "--format", "v2"]).expect("encode v2");
+        assert!(
+            std::fs::metadata(&v2_call).unwrap().len() < std::fs::metadata(&v1_call).unwrap().len(),
+            "v2 container must be smaller than raw v1 on synthetic content"
+        );
+        // Converting back to v1 reproduces the original container exactly.
+        let v1_back = format!("{prefix}.call.back.bbv");
+        run(&["encode", &v2_call, &v1_back, "--format", "v1"]).expect("encode back");
+        assert_eq!(
+            std::fs::read(&v1_call).unwrap(),
+            std::fs::read(&v1_back).unwrap(),
+            "v1 → v2 → v1 must be lossless"
+        );
+        run(&["inspect", &v2_call]).expect("inspect v2");
+
+        let ck = dir.join("state.bbsc").to_string_lossy().to_string();
+        let args = |extra: &[&str]| -> Vec<String> {
+            let mut v: Vec<String> = ["reconstruct", &v2_call, "--phi", "2", "--warmup", "12"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            v.extend(extra.iter().map(|s| s.to_string()));
+            v
+        };
+        let v1_out = dir.join("v1.ppm").to_string_lossy().to_string();
+        run(&[
+            "reconstruct",
+            &v1_call,
+            "--phi",
+            "2",
+            "--warmup",
+            "12",
+            "--out",
+            &v1_out,
+            "--streaming",
+        ])
+        .expect("v1 streaming run");
+        dispatch(&args(&[
+            "--checkpoint",
+            &ck,
+            "--stop-after",
+            "20",
+            "--streaming",
+        ]))
+        .expect("interrupted v2 run");
+        let resumed = dir.join("resumed.ppm").to_string_lossy().to_string();
+        dispatch(&args(&[
+            "--checkpoint",
+            &ck,
+            "--out",
+            &resumed,
+            "--streaming",
+            "--resume",
+        ]))
+        .expect("resumed v2 run");
+        assert_eq!(
+            std::fs::read(&v1_out).unwrap(),
+            std::fs::read(&resumed).unwrap(),
+            "v2 interrupt + resume diverged from the v1 streaming run"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_ingest_floor_exit_codes_are_pinned() {
+        let dir = std::env::temp_dir().join("bbuster_cli_floor_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let write = |name: &str, speedup: &str| -> String {
+            let p = dir.join(name).to_string_lossy().to_string();
+            std::fs::write(
+                &p,
+                format!("{{\"ingest\": {{\"speedup_vs_v1_reader\": {speedup}}}}}"),
+            )
+            .unwrap();
+            p
+        };
+        let fast = write("fast.json", "3.5");
+        let slow = write("slow.json", "1.2");
+        assert_eq!(run(&["report", "--ingest-floor", "2.0", &fast]).unwrap(), 0);
+        assert_eq!(
+            run(&["report", "--ingest-floor", "2.0", &slow]).unwrap(),
+            crate::report_cmd::EXIT_REGRESSION
+        );
+        // Missing section / unreadable file / bad floor are hard errors.
+        let empty = write("empty.json", "1.0");
+        std::fs::write(&empty, "{}").unwrap();
+        assert!(run(&["report", "--ingest-floor", "2.0", &empty]).is_err());
+        assert!(run(&["report", "--ingest-floor", "2.0", "/nonexistent.json"]).is_err());
+        assert!(run(&["report", "--ingest-floor", &fast]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn encode_rejects_bad_arguments() {
+        assert!(run(&["encode"]).is_err());
+        assert!(run(&["encode", "/nonexistent.bbv"]).is_err());
+        assert!(run(&["encode", "/nonexistent.bbv", "/tmp/out.bbv"]).is_err());
+        let dir = std::env::temp_dir().join("bbuster_cli_encode_err_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("e").to_string_lossy().to_string();
+        run(&[
+            "synth", "--out", &prefix, "--frames", "4", "--width", "16", "--height", "12",
+        ])
+        .expect("synth");
+        let call = format!("{prefix}.call.bbv");
+        let out = format!("{prefix}.out.bbv");
+        assert!(run(&["encode", &call, &out, "--format", "v3"]).is_err());
+        assert!(run(&["encode", &call, &out, "--stripe", "0"]).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -4,6 +4,8 @@
 //!
 //! * `synth` — render a synthetic call (ground truth + composited) to `.bbv`
 //!   files, so every other subcommand has something to chew on.
+//! * `encode` — convert a `.bbv` between container versions (raw BBV1 and
+//!   the compressed span-delta BBV2).
 //! * `attack` — run the reconstruction framework over a composited `.bbv`
 //!   call and write the recovered background as a PPM.
 //! * `locate` — rank the built-in 200-room dictionary against a

@@ -10,6 +10,12 @@
 //! RunReport or a committed `BENCH_pipeline.json` perf baseline — the
 //! bench schema is detected and its `worker_local` stage totals (in ms)
 //! are normalized to nanoseconds.
+//!
+//! Ingest-floor mode (`--ingest-floor X BENCH.json`) gates on the perf
+//! baseline's `ingest` section: the parallel BBV v2 decode must be at
+//! least `X` times the bandwidth of the historical v1 `BbvReader`
+//! (`speedup_vs_v1_reader`), otherwise the command exits with
+//! [`EXIT_REGRESSION`].
 
 use crate::args::Flags;
 use bb_telemetry::{json, RunReport};
@@ -24,11 +30,53 @@ pub const EXIT_REGRESSION: i32 = 3;
 ///
 /// Returns a message on unreadable/unparseable inputs or missing arguments.
 pub fn report(flags: &Flags) -> Result<i32, String> {
-    if flags.get("diff").is_some() || flags.has("diff") {
+    if flags.get("ingest-floor").is_some() || flags.has("ingest-floor") {
+        ingest_floor(flags)
+    } else if flags.get("diff").is_some() || flags.has("diff") {
         diff(flags)
     } else {
         summarize(flags)
     }
+}
+
+/// `bbuster report --ingest-floor X BENCH.json`: reads the perf baseline's
+/// `ingest` section and fails (exit [`EXIT_REGRESSION`]) when the measured
+/// `speedup_vs_v1_reader` falls below the floor.
+fn ingest_floor(flags: &Flags) -> Result<i32, String> {
+    let floor: f64 = flags
+        .get("ingest-floor")
+        .ok_or("report --ingest-floor requires a minimum speedup value")?
+        .parse()
+        .map_err(|e| format!("--ingest-floor: {e}"))?;
+    let path = flags
+        .positional()
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("BENCH_pipeline.json");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let value = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let root = value.as_object(path).map_err(|e| e.to_string())?;
+    let ingest = root
+        .get("ingest")
+        .ok_or(format!("{path}: no ingest section (old baseline?)"))?
+        .as_object("ingest")
+        .map_err(|e| e.to_string())?;
+    let speedup = ingest
+        .get("speedup_vs_v1_reader")
+        .ok_or(format!(
+            "{path}: ingest section has no speedup_vs_v1_reader"
+        ))?
+        .as_f64("speedup_vs_v1_reader")
+        .map_err(|e| e.to_string())?;
+    if !speedup.is_finite() {
+        return Err(format!("{path}: ingest speedup is not finite"));
+    }
+    if speedup < floor {
+        println!("REGRESSION: ingest speedup {speedup:.2}x below the {floor:.2}x floor");
+        return Ok(EXIT_REGRESSION);
+    }
+    println!("ok: ingest speedup {speedup:.2}x (floor {floor:.2}x)");
+    Ok(0)
 }
 
 fn load_report(path: &str) -> Result<RunReport, String> {

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod bbmask;
+pub mod ingest;
 pub mod metrics;
 pub mod pipeline;
 pub mod recon;

@@ -341,6 +341,12 @@ impl ReconstructionSession {
     /// `chunk_frames` frames at a time (so file readers stay bounded too).
     /// Returns the total frames ingested so far.
     ///
+    /// Before the lock, chunk frames are pulled by value and recycled into
+    /// the pool so the warmup copies reuse them; after the lock the chunk
+    /// slots are filled in place via [`FrameSource::next_frame_into`] —
+    /// steady-state ingest allocates nothing per frame on either side of
+    /// the source boundary.
+    ///
     /// # Errors
     ///
     /// Propagates source read errors and processing failures.
@@ -351,7 +357,7 @@ impl ReconstructionSession {
     ) -> Result<usize, CoreError> {
         let chunk = chunk_frames.max(1);
         let mut buf: Vec<Frame> = Vec::with_capacity(chunk);
-        loop {
+        while !self.is_locked() {
             while buf.len() < chunk {
                 match source.next_frame()? {
                     Some(f) => buf.push(f),
@@ -359,7 +365,7 @@ impl ReconstructionSession {
                 }
             }
             if buf.is_empty() {
-                break;
+                return Ok(self.frames_seen());
             }
             let exhausted = buf.len() < chunk;
             self.push_frames(&buf)?;
@@ -370,8 +376,48 @@ impl ReconstructionSession {
                 self.pool.recycle(f);
             }
             if exhausted {
+                return Ok(self.frames_seen());
+            }
+        }
+        // Locked: frames are processed by reference, so the chunk slots are
+        // reusable buffers filled in place. They come out of the pool (the
+        // warmup buffers recycled at lock) and go back when the source ends.
+        loop {
+            let mut filled = 0;
+            while filled < chunk {
+                if filled == buf.len() {
+                    let slot = match source.dims_hint() {
+                        Some((w, h)) if w > 0 && h > 0 => {
+                            self.pool.take_filled(w, h, Rgb::new(0, 0, 0))?
+                        }
+                        // Geometry unknown up front: let the source size
+                        // the first slot.
+                        _ => match source.next_frame()? {
+                            Some(f) => {
+                                buf.push(f);
+                                filled += 1;
+                                continue;
+                            }
+                            None => break,
+                        },
+                    };
+                    buf.push(slot);
+                }
+                if source.next_frame_into(&mut buf[filled])? {
+                    filled += 1;
+                } else {
+                    break;
+                }
+            }
+            if filled > 0 {
+                self.push_frames(&buf[..filled])?;
+            }
+            if filled < chunk {
                 break;
             }
+        }
+        for f in buf.drain(..) {
+            self.pool.recycle(f);
         }
         Ok(self.frames_seen())
     }
@@ -1212,6 +1258,34 @@ mod tests {
         );
         let streamed = session.finalize().unwrap();
         assert_same(&batch, &streamed);
+    }
+
+    #[test]
+    fn ingest_from_mmap_sources_matches_batch() {
+        // Streaming through the zero-copy layer — both container versions,
+        // with the chunk slots filled in place — must stay byte-identical
+        // to the batch run.
+        let video = toy_call(30);
+        let cfg = ReconstructorConfig {
+            warmup_frames: 10,
+            ..config()
+        };
+        let reconstructor = Reconstructor::new(VbSource::UnknownImage, cfg);
+        let batch = reconstructor.reconstruct(&video).unwrap();
+        let dir = std::env::temp_dir().join("bb_session_mmap_ingest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p1 = dir.join("v1.bbv");
+        bb_video::io::save(&video, &p1).unwrap();
+        let p2 = dir.join("v2.bbv");
+        bb_video::v2::save(&video, &p2, 4).unwrap();
+        for path in [&p1, &p2] {
+            let mut source = bb_video::mmap::MmapSource::open(path).unwrap();
+            let mut session = reconstructor.session();
+            session.ingest(&mut source, 7).unwrap();
+            let streamed = session.finalize().unwrap();
+            assert_same(&batch, &streamed);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -175,6 +175,7 @@ pub fn run(config: &LoadgenConfig, telemetry: Telemetry) -> Result<LoadgenReport
         max_sessions: config.concurrency.max(1),
         spill_dir: config.spill_dir.clone(),
         scheduler_workers: config.scheduler_workers,
+        ..ServeConfig::new(config.spill_dir.clone())
     };
     let mut server =
         ReconServer::new(loadgen_prototype(vb), serve_config)?.with_telemetry(telemetry);

@@ -62,17 +62,26 @@ pub struct ServeConfig {
     /// Scheduler worker threads for [`ReconServer::push_many`]
     /// (0 = the host's available parallelism).
     pub scheduler_workers: usize,
+    /// Frames buffered per session while draining a wire stream before a
+    /// scheduler round is dispatched ([`ReconServer::serve_wire`]): larger
+    /// batches amortize evict/resume churn and let interleaved sessions
+    /// progress in one parallel round; `1` reproduces the per-frame pushes
+    /// of the unbatched server (maximum eviction pressure, useful in
+    /// drills). Output is byte-identical at any value.
+    pub wire_batch_frames: usize,
 }
 
 impl ServeConfig {
     /// A config with the given spill directory and generous defaults:
-    /// 256 MiB budget, 4096-session cap, auto scheduler width.
+    /// 256 MiB budget, 4096-session cap, auto scheduler width, 8-frame
+    /// wire batches.
     pub fn new(spill_dir: impl Into<PathBuf>) -> ServeConfig {
         ServeConfig {
             budget_bytes: 256 << 20,
             max_sessions: 4096,
             spill_dir: spill_dir.into(),
             scheduler_workers: 0,
+            wire_batch_frames: 8,
         }
     }
 }
@@ -421,13 +430,29 @@ impl ReconServer {
     /// [`ServeError::UnknownSession`], spill I/O errors, and per-session
     /// failures as [`ServeError::Session`] (a panicking session is reaped).
     pub fn push_frame(&mut self, id: u64, frame: &Frame) -> Result<FrameOutcome, ServeError> {
-        let mut out = self.push_many(vec![(id, vec![frame.clone()])])?;
-        let (_, result) = out.pop().expect("push_many returns one entry per input");
-        let outcomes = result?;
+        let outcomes = self.push_frames(id, vec![frame.clone()])?;
         Ok(outcomes
             .into_iter()
             .next()
             .expect("one outcome per pushed frame"))
+    }
+
+    /// Pushes a batch of frames into one session, in order, with a single
+    /// resume/evict round trip — the ingest-side complement of
+    /// [`ReconstructionSession::push_frames`]. Frames move by value; no
+    /// per-frame clone.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ReconServer::push_frame`].
+    pub fn push_frames(
+        &mut self,
+        id: u64,
+        frames: Vec<Frame>,
+    ) -> Result<Vec<FrameOutcome>, ServeError> {
+        let mut out = self.push_many(vec![(id, frames)])?;
+        let (_, result) = out.pop().expect("push_many returns one entry per input");
+        result
     }
 
     /// Drives a batch of sessions concurrently: one scheduler job per
@@ -658,8 +683,13 @@ impl ReconServer {
     /// for sequencing violations (out-of-order frames, wrong payload size,
     /// unknown session), plus any session/spill failure.
     pub fn serve_wire(&mut self, bytes: &[u8]) -> Result<Vec<(u64, Reconstruction)>, ServeError> {
+        let batch_cap = self.config.wire_batch_frames.max(1);
         let mut decoder = WireDecoder::new(bytes)?;
         let mut closed = Vec::new();
+        // Frames buffered per session between scheduler rounds, in arrival
+        // order. Memory is bounded: at most `batch_cap` frames per open
+        // session before a round is forced.
+        let mut pending: Vec<(u64, Vec<Frame>)> = Vec::new();
         while let Some(message) = decoder.next_message()? {
             match message {
                 Message::Open {
@@ -667,27 +697,68 @@ impl ReconServer {
                     width,
                     height,
                     ..
-                } => self.open_session(session, width, height)?,
+                } => {
+                    // Settle outstanding frames first so admission and
+                    // budget decisions see the true session states.
+                    self.flush_wire_pending(&mut pending)?;
+                    self.open_session(session, width, height)?;
+                }
                 Message::Frame { session, seq, rgb } => {
                     let entry = self
                         .sessions
                         .get(&session)
                         .ok_or(ServeError::UnknownSession(session))?;
-                    if seq != entry.next_seq {
+                    let queued = pending
+                        .iter()
+                        .find(|(id, _)| *id == session)
+                        .map_or(0, |(_, v)| v.len() as u64);
+                    let expected = entry.next_seq + queued;
+                    if seq != expected {
                         return Err(ServeError::Protocol(format!(
-                            "session {session}: frame seq {seq} arrived, expected {}",
-                            entry.next_seq
+                            "session {session}: frame seq {seq} arrived, expected {expected}"
                         )));
                     }
                     let frame = wire::frame_from_rgb(&rgb, entry.width, entry.height)?;
-                    self.push_frame(session, &frame)?;
+                    let full = match pending.iter_mut().find(|(id, _)| *id == session) {
+                        Some((_, v)) => {
+                            v.push(frame);
+                            v.len() >= batch_cap
+                        }
+                        None => {
+                            pending.push((session, vec![frame]));
+                            batch_cap == 1
+                        }
+                    };
+                    // One full session flushes the whole round: sessions
+                    // interleaved in the stream progress in parallel.
+                    if full {
+                        self.flush_wire_pending(&mut pending)?;
+                    }
                 }
                 Message::Close { session } => {
+                    self.flush_wire_pending(&mut pending)?;
                     closed.push((session, self.close_session(session)?));
                 }
             }
         }
+        self.flush_wire_pending(&mut pending)?;
         Ok(closed)
+    }
+
+    /// Dispatches buffered wire frames as one [`ReconServer::push_many`]
+    /// round and surfaces the first per-session failure.
+    fn flush_wire_pending(
+        &mut self,
+        pending: &mut Vec<(u64, Vec<Frame>)>,
+    ) -> Result<(), ServeError> {
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let results = self.push_many(std::mem::take(pending))?;
+        for (_, result) in results {
+            result?;
+        }
+        Ok(())
     }
 }
 

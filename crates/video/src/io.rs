@@ -21,11 +21,37 @@ use std::path::Path;
 const MAGIC: &[u8; 4] = b"BBV1";
 /// Upper bound on frame count / dimensions accepted by the decoder, to
 /// reject corrupt headers before allocating.
-const MAX_DIM: u32 = 1 << 14;
-const MAX_FRAMES: u32 = 1 << 20;
+pub(crate) const MAX_DIM: u32 = 1 << 14;
+pub(crate) const MAX_FRAMES: u32 = 1 << 20;
+
+/// Rejects streams the header cannot represent (dimensions or frame count
+/// past the decoder's bounds), so every stream `encode` accepts decodes
+/// back — shared with the v2 encoder.
+pub(crate) fn validate_encodable(stream: &VideoStream) -> Result<(), VideoError> {
+    let (w, h) = stream.dims();
+    if w > MAX_DIM as usize || h > MAX_DIM as usize {
+        return Err(VideoError::Decode(format!(
+            "stream dimensions {w}x{h} exceed the container bound {MAX_DIM}"
+        )));
+    }
+    if stream.len() > MAX_FRAMES as usize {
+        return Err(VideoError::Decode(format!(
+            "stream length {} exceeds the container bound {MAX_FRAMES}",
+            stream.len()
+        )));
+    }
+    Ok(())
+}
 
 /// Serializes a stream into an in-memory buffer.
-pub fn encode(stream: &VideoStream) -> Bytes {
+///
+/// # Errors
+///
+/// [`VideoError::Decode`] when the stream exceeds the container bounds
+/// (`MAX_DIM` per dimension, `MAX_FRAMES` frames) — anything accepted here
+/// round-trips through [`decode`]; nothing is silently truncated.
+pub fn encode(stream: &VideoStream) -> Result<Bytes, VideoError> {
+    validate_encodable(stream)?;
     let (w, h) = stream.dims();
     let mut buf = BytesMut::with_capacity(24 + stream.len() * w * h * 3);
     buf.put_slice(MAGIC);
@@ -40,7 +66,7 @@ pub fn encode(stream: &VideoStream) -> Bytes {
             buf.put_u8(p.b);
         }
     }
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 /// Deserializes a stream from a buffer produced by [`encode`].
@@ -93,19 +119,34 @@ pub fn decode(mut data: impl Buf) -> Result<VideoStream, VideoError> {
     VideoStream::from_frames(frames, fps)
 }
 
-/// Writes a stream to a `.bbv` file.
+/// Writes a stream to a `.bbv` file (v1 container). Use
+/// [`crate::v2::save`] for the compressed v2 container.
 ///
 /// # Errors
 ///
-/// Propagates I/O failures.
+/// Propagates I/O failures and [`encode`] bound violations.
 pub fn save(stream: &VideoStream, path: impl AsRef<Path>) -> Result<(), VideoError> {
-    let bytes = encode(stream);
+    let bytes = encode(stream)?;
     let mut file = std::fs::File::create(path)?;
     file.write_all(&bytes)?;
     Ok(())
 }
 
-/// Loads a stream from a `.bbv` file.
+/// Decodes a `.bbv` buffer of either container version, dispatching on the
+/// magic bytes (`BBV1` raw, `BBV2` compressed).
+///
+/// # Errors
+///
+/// Propagates decode failures from the matching decoder.
+pub fn decode_any(data: &[u8]) -> Result<VideoStream, VideoError> {
+    if data.starts_with(crate::v2::MAGIC) {
+        crate::v2::decode(data)
+    } else {
+        decode(Bytes::from(data.to_vec()))
+    }
+}
+
+/// Loads a stream from a `.bbv` file of either container version.
 ///
 /// # Errors
 ///
@@ -113,7 +154,7 @@ pub fn save(stream: &VideoStream, path: impl AsRef<Path>) -> Result<(), VideoErr
 pub fn load(path: impl AsRef<Path>) -> Result<VideoStream, VideoError> {
     let mut data = Vec::new();
     std::fs::File::open(path)?.read_to_end(&mut data)?;
-    decode(Bytes::from(data))
+    decode_any(&data)
 }
 
 #[cfg(test)]
@@ -130,7 +171,7 @@ mod tests {
     #[test]
     fn round_trip() {
         let v = sample();
-        let encoded = encode(&v);
+        let encoded = encode(&v).unwrap();
         let decoded = decode(encoded).unwrap();
         assert_eq!(decoded, v);
     }
@@ -138,7 +179,7 @@ mod tests {
     #[test]
     fn bad_magic_rejected() {
         let v = sample();
-        let mut bytes = encode(&v).to_vec();
+        let mut bytes = encode(&v).unwrap().to_vec();
         bytes[0] = b'X';
         assert!(matches!(
             decode(Bytes::from(bytes)),
@@ -154,7 +195,7 @@ mod tests {
     #[test]
     fn truncated_payload_rejected() {
         let v = sample();
-        let bytes = encode(&v).to_vec();
+        let bytes = encode(&v).unwrap().to_vec();
         let cut = Bytes::from(bytes[..bytes.len() - 5].to_vec());
         assert!(matches!(decode(cut), Err(VideoError::Decode(_))));
     }

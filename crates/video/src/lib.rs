@@ -18,15 +18,27 @@
 //! * [`source`] — the pull-based [`source::FrameSource`] trait for
 //!   streaming ingestion, with an in-memory source and a chunked `.bbv`
 //!   file reader.
+//! * [`v2`] — the compressed BBV v2 container (raw keyframes + sparse
+//!   span deltas on a striped schedule, so stripes decode independently).
+//! * [`mmap`] — memory-mapped file access and [`mmap::MmapSource`], a
+//!   zero-copy [`source::FrameSource`] over either container version.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the mmap module opts back in for the two
+// FFI calls it needs, behind a documented safety argument.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod delta;
 pub mod io;
 pub mod loopdet;
+pub mod mmap;
+// Like `mmap::sys`, the RGB24 cast module opts back into `unsafe` behind
+// compile-time layout checks and a documented safety argument.
+#[allow(unsafe_code)]
+mod rgb24;
 pub mod source;
 pub mod stream;
+pub mod v2;
 
 pub use source::FrameSource;
 pub use stream::VideoStream;

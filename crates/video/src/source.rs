@@ -10,12 +10,98 @@
 //!   [`Read`], one frame-sized chunk per pull, so arbitrarily long files
 //!   stream with O(frame) memory. [`BbvReader::open`] is the file-backed
 //!   convenience constructor.
+//!
+//! A third, [`crate::mmap::MmapSource`], memory-maps `.bbv` files (either
+//! container version) and yields borrowed [`FrameView`]s with no per-frame
+//! heap traffic.
 
 use crate::stream::STANDARD_FPS;
 use crate::{VideoError, VideoStream};
 use bb_imaging::{Frame, Rgb};
 use std::io::Read;
 use std::path::Path;
+
+/// Maps a failed read to the right error class: an early end of stream is
+/// a container problem ([`VideoError::Decode`]); anything else (permissions,
+/// disk faults, interrupted transports) is a real I/O failure that callers
+/// like `bb-serve` must be able to distinguish from corrupt files.
+pub(crate) fn classify_read(e: std::io::Error, what: &str) -> VideoError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        VideoError::Decode(format!("{what} truncated"))
+    } else {
+        VideoError::Io(e.to_string())
+    }
+}
+
+/// A borrowed view of one decoded frame: `width × height` RGB24 bytes in
+/// row-major order, living inside a source's buffer (or directly inside a
+/// memory-mapped file). Converting to an owned [`Frame`] is explicit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameView<'a> {
+    width: usize,
+    height: usize,
+    rgb: &'a [u8],
+}
+
+impl<'a> FrameView<'a> {
+    /// Wraps a raw RGB24 slice.
+    ///
+    /// # Errors
+    ///
+    /// [`VideoError::Decode`] when the slice length does not equal
+    /// `width × height × 3` or either dimension is zero.
+    pub fn new(width: usize, height: usize, rgb: &'a [u8]) -> Result<Self, VideoError> {
+        if width == 0 || height == 0 {
+            return Err(VideoError::Decode(format!(
+                "frame view with zero dimension {width}x{height}"
+            )));
+        }
+        if rgb.len() != width * height * 3 {
+            return Err(VideoError::Decode(format!(
+                "frame view length {} does not match {width}x{height}x3",
+                rgb.len()
+            )));
+        }
+        Ok(FrameView { width, height, rgb })
+    }
+
+    /// Frame width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// `(width, height)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// The raw RGB24 bytes, row-major.
+    pub fn rgb(&self) -> &'a [u8] {
+        self.rgb
+    }
+
+    /// Materializes an owned [`Frame`] (allocates; the pixel conversion is
+    /// a single memcpy).
+    pub fn to_frame(&self) -> Frame {
+        Frame::from_pixels(self.width, self.height, crate::rgb24::to_pixels(self.rgb))
+            .expect("view length is validated at construction")
+    }
+
+    /// Writes the view into `out`, reusing its buffer when the geometry
+    /// matches (no allocation, one memcpy) and replacing it otherwise.
+    pub fn write_into(&self, out: &mut Frame) {
+        if out.dims() == (self.width, self.height) {
+            crate::rgb24::copy_into(self.rgb, out.pixels_mut());
+        } else {
+            *out = self.to_frame();
+        }
+    }
+}
 
 /// A pull-based supplier of video frames.
 pub trait FrameSource {
@@ -25,6 +111,46 @@ pub trait FrameSource {
     ///
     /// Propagates read/decode failures.
     fn next_frame(&mut self) -> Result<Option<Frame>, VideoError>;
+
+    /// Reads the next frame into `out`, reusing its buffer when the
+    /// geometry matches so steady-state ingest allocates nothing. Returns
+    /// `false` (leaving `out` untouched) when the source is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read/decode failures.
+    fn next_frame_into(&mut self, out: &mut Frame) -> Result<bool, VideoError> {
+        match self.next_frame()? {
+            Some(f) => {
+                if out.dims() == f.dims() {
+                    out.copy_from(&f).map_err(VideoError::Imaging)?;
+                } else {
+                    *out = f;
+                }
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Skips up to `n` frames (bounded by what remains), returning how many
+    /// were skipped — lets a resumed session jump past the frames its
+    /// checkpoint already covers. The default decodes and discards; indexed
+    /// sources override this with a seek.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read/decode failures.
+    fn skip_frames(&mut self, n: usize) -> Result<usize, VideoError> {
+        let mut skipped = 0;
+        while skipped < n {
+            if self.next_frame()?.is_none() {
+                break;
+            }
+            skipped += 1;
+        }
+        Ok(skipped)
+    }
 
     /// The source's frame rate (defaults to the standard 30 fps).
     fn fps(&self) -> f64 {
@@ -65,6 +191,27 @@ impl FrameSource for MemorySource {
         Ok(frame)
     }
 
+    fn next_frame_into(&mut self, out: &mut Frame) -> Result<bool, VideoError> {
+        match self.stream.get(self.next) {
+            Some(f) => {
+                if out.dims() == f.dims() {
+                    out.copy_from(f).map_err(VideoError::Imaging)?;
+                } else {
+                    *out = f.clone();
+                }
+                self.next += 1;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn skip_frames(&mut self, n: usize) -> Result<usize, VideoError> {
+        let skipped = n.min(self.stream.len() - self.next);
+        self.next += skipped;
+        Ok(skipped)
+    }
+
     fn fps(&self) -> f64 {
         self.stream.fps()
     }
@@ -83,6 +230,12 @@ const MAGIC: &[u8; 4] = b"BBV1";
 const MAX_DIM: u32 = 1 << 14;
 const MAX_FRAMES: u32 = 1 << 20;
 
+/// When the stream length is unknown the header dimensions are untrusted:
+/// grow the frame buffer in chunks of at most this many bytes as payload
+/// actually arrives, so a hostile header claiming huge dimensions costs one
+/// chunk of memory before the missing payload surfaces as an error.
+const EAGER_CHUNK: usize = 1 << 22;
+
 /// Incremental `.bbv` decoder: parses the 24-byte header eagerly, then
 /// reads one `width × height × 3`-byte chunk per [`FrameSource::next_frame`]
 /// call — memory stays O(frame size) regardless of file length.
@@ -97,30 +250,49 @@ pub struct BbvReader<R: Read> {
 }
 
 impl BbvReader<std::io::BufReader<std::fs::File>> {
-    /// Opens a `.bbv` file for streaming decode.
+    /// Opens a `.bbv` file for streaming decode. The file length validates
+    /// the header before any frame buffer is allocated.
     ///
     /// # Errors
     ///
     /// Propagates I/O failures and header validation errors.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, VideoError> {
         let file = std::fs::File::open(path)?;
-        BbvReader::new(std::io::BufReader::new(file))
+        let len = file.metadata().map(|m| m.len()).ok();
+        BbvReader::with_len(std::io::BufReader::new(file), len)
     }
 }
 
 impl<R: Read> BbvReader<R> {
     /// Wraps any reader positioned at the start of a `.bbv` payload and
-    /// validates the header.
+    /// validates the header. The stream length is unknown, so the frame
+    /// buffer is grown lazily as payload bytes arrive (see
+    /// [`BbvReader::with_len`] for the validated fast path).
     ///
     /// # Errors
     ///
     /// [`VideoError::Decode`] on bad magic or implausible headers,
     /// [`VideoError::Io`] on read failures.
-    pub fn new(mut reader: R) -> Result<Self, VideoError> {
+    pub fn new(reader: R) -> Result<Self, VideoError> {
+        BbvReader::with_len(reader, None)
+    }
+
+    /// Like [`BbvReader::new`], but when the total stream length is known
+    /// (file metadata, a received buffer's size) the header's claimed
+    /// payload is validated against it up front — a header whose
+    /// `width × height × count` exceeds the stream is rejected before a
+    /// single payload byte is read or a frame buffer allocated.
+    ///
+    /// # Errors
+    ///
+    /// [`VideoError::Decode`] on bad magic, implausible headers, or a
+    /// header that claims more payload than `stream_len` holds;
+    /// [`VideoError::Io`] on read failures.
+    pub fn with_len(mut reader: R, stream_len: Option<u64>) -> Result<Self, VideoError> {
         let mut header = [0u8; 24];
         reader
             .read_exact(&mut header)
-            .map_err(|_| VideoError::Decode("header truncated".into()))?;
+            .map_err(|e| classify_read(e, "header"))?;
         if &header[..4] != MAGIC {
             return Err(VideoError::Decode(format!("bad magic {:?}", &header[..4])));
         }
@@ -143,32 +315,52 @@ impl<R: Read> BbvReader<R> {
         }
         let width = w as usize;
         let height = h as usize;
+        let frame_bytes = width * height * 3;
+        let raw = match stream_len {
+            Some(len) => {
+                let need = 24 + frame_bytes as u64 * count as u64;
+                if len < need {
+                    return Err(VideoError::Decode(format!(
+                        "payload truncated: header claims {need} bytes, stream has {len}"
+                    )));
+                }
+                // Header verified against real bytes on disk: the eager
+                // frame-sized allocation is safe.
+                vec![0u8; frame_bytes]
+            }
+            // Untrusted length: defer allocation to the first read, which
+            // grows the buffer in EAGER_CHUNK steps as data arrives.
+            None => Vec::new(),
+        };
         Ok(BbvReader {
             reader,
             fps,
             width,
             height,
             remaining: count as usize,
-            raw: vec![0u8; width * height * 3],
+            raw,
         })
     }
 
-    /// Reads and discards `n` frames (bounded by what remains) — lets a
-    /// resumed session skip the frames its checkpoint already covers
-    /// without decoding them into `Frame`s.
-    ///
-    /// # Errors
-    ///
-    /// [`VideoError::Decode`] when the payload ends early.
-    pub fn skip_frames(&mut self, n: usize) -> Result<usize, VideoError> {
-        let to_skip = n.min(self.remaining);
-        for _ in 0..to_skip {
+    /// Reads the next frame's raw bytes into `self.raw`.
+    fn read_raw_frame(&mut self) -> Result<(), VideoError> {
+        let frame_bytes = self.width * self.height * 3;
+        if self.raw.len() < frame_bytes {
+            let mut filled = 0;
+            while filled < frame_bytes {
+                let want = (frame_bytes - filled).min(EAGER_CHUNK);
+                self.raw.resize(filled + want, 0);
+                self.reader
+                    .read_exact(&mut self.raw[filled..filled + want])
+                    .map_err(|e| classify_read(e, "payload"))?;
+                filled += want;
+            }
+        } else {
             self.reader
-                .read_exact(&mut self.raw)
-                .map_err(|_| VideoError::Decode("payload truncated".into()))?;
-            self.remaining -= 1;
+                .read_exact(&mut self.raw[..frame_bytes])
+                .map_err(|e| classify_read(e, "payload"))?;
         }
-        Ok(to_skip)
+        Ok(())
     }
 }
 
@@ -177,9 +369,7 @@ impl<R: Read> FrameSource for BbvReader<R> {
         if self.remaining == 0 {
             return Ok(None);
         }
-        self.reader
-            .read_exact(&mut self.raw)
-            .map_err(|_| VideoError::Decode("payload truncated".into()))?;
+        self.read_raw_frame()?;
         self.remaining -= 1;
         let pixels: Vec<Rgb> = self
             .raw
@@ -187,6 +377,31 @@ impl<R: Read> FrameSource for BbvReader<R> {
             .map(|c| Rgb::new(c[0], c[1], c[2]))
             .collect();
         Ok(Some(Frame::from_pixels(self.width, self.height, pixels)?))
+    }
+
+    fn next_frame_into(&mut self, out: &mut Frame) -> Result<bool, VideoError> {
+        if self.remaining == 0 {
+            return Ok(false);
+        }
+        self.read_raw_frame()?;
+        self.remaining -= 1;
+        let view = FrameView::new(
+            self.width,
+            self.height,
+            &self.raw[..self.width * self.height * 3],
+        )
+        .expect("reader buffer matches header dims");
+        view.write_into(out);
+        Ok(true)
+    }
+
+    fn skip_frames(&mut self, n: usize) -> Result<usize, VideoError> {
+        let to_skip = n.min(self.remaining);
+        for _ in 0..to_skip {
+            self.read_raw_frame()?;
+            self.remaining -= 1;
+        }
+        Ok(to_skip)
     }
 
     fn fps(&self) -> f64 {
@@ -241,9 +456,48 @@ mod tests {
     }
 
     #[test]
+    fn memory_source_skip_is_an_index_seek() {
+        let v = sample(6);
+        let mut src = MemorySource::new(v.clone());
+        assert_eq!(src.skip_frames(4).unwrap(), 4);
+        assert_eq!(src.len_hint(), Some(2));
+        assert_eq!(src.next_frame().unwrap().unwrap(), *v.frame(4));
+        assert_eq!(src.skip_frames(100).unwrap(), 1);
+        assert!(src.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn next_frame_into_reuses_matching_buffers() {
+        let v = sample(3);
+        let mut src = MemorySource::new(v.clone());
+        let mut out = Frame::filled(5, 4, Rgb::new(9, 9, 9));
+        for i in 0..3 {
+            assert!(src.next_frame_into(&mut out).unwrap());
+            assert_eq!(&out, v.frame(i));
+        }
+        assert!(!src.next_frame_into(&mut out).unwrap());
+        // A mismatched buffer is replaced, not written through.
+        let mut src = MemorySource::new(v.clone());
+        let mut odd = Frame::filled(2, 2, Rgb::new(0, 0, 0));
+        assert!(src.next_frame_into(&mut odd).unwrap());
+        assert_eq!(&odd, v.frame(0));
+    }
+
+    #[test]
+    fn frame_view_validates_and_converts() {
+        let rgb = [1u8, 2, 3, 4, 5, 6];
+        let view = FrameView::new(2, 1, &rgb).unwrap();
+        assert_eq!(view.dims(), (2, 1));
+        let frame = view.to_frame();
+        assert_eq!(frame.pixels(), &[Rgb::new(1, 2, 3), Rgb::new(4, 5, 6)]);
+        assert!(FrameView::new(2, 2, &rgb).is_err());
+        assert!(FrameView::new(0, 1, &[]).is_err());
+    }
+
+    #[test]
     fn bbv_reader_round_trips_encode() {
         let v = sample(7);
-        let bytes = crate::io::encode(&v);
+        let bytes = crate::io::encode(&v).unwrap();
         let mut reader = BbvReader::new(std::io::Cursor::new(bytes.to_vec())).unwrap();
         assert_eq!(reader.dims_hint(), Some((5, 4)));
         assert_eq!(reader.len_hint(), Some(7));
@@ -254,7 +508,7 @@ mod tests {
     #[test]
     fn bbv_reader_skip_then_read() {
         let v = sample(7);
-        let bytes = crate::io::encode(&v);
+        let bytes = crate::io::encode(&v).unwrap();
         let mut reader = BbvReader::new(std::io::Cursor::new(bytes.to_vec())).unwrap();
         assert_eq!(reader.skip_frames(3).unwrap(), 3);
         assert_eq!(reader.len_hint(), Some(4));
@@ -270,7 +524,7 @@ mod tests {
     fn bbv_reader_rejects_bad_and_truncated_input() {
         assert!(BbvReader::new(std::io::Cursor::new(b"XXXX".to_vec())).is_err());
         let v = sample(3);
-        let bytes = crate::io::encode(&v).to_vec();
+        let bytes = crate::io::encode(&v).unwrap().to_vec();
         let mut bad_magic = bytes.clone();
         bad_magic[0] = b'X';
         assert!(BbvReader::new(std::io::Cursor::new(bad_magic)).is_err());
@@ -279,6 +533,95 @@ mod tests {
         assert!(reader.next_frame().is_ok());
         assert!(reader.next_frame().is_ok());
         assert!(matches!(reader.next_frame(), Err(VideoError::Decode(_))));
+    }
+
+    /// A reader that fails with a non-EOF error after `ok_bytes` bytes.
+    struct FaultyReader {
+        data: Vec<u8>,
+        pos: usize,
+        ok_bytes: usize,
+    }
+
+    impl Read for FaultyReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.ok_bytes {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::PermissionDenied,
+                    "injected fault",
+                ));
+            }
+            let n = buf
+                .len()
+                .min(self.ok_bytes - self.pos)
+                .min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn io_faults_surface_as_io_not_decode() {
+        let v = sample(3);
+        let bytes = crate::io::encode(&v).unwrap().to_vec();
+        // Fault inside the header: Io, not "header truncated".
+        let faulty = FaultyReader {
+            data: bytes.clone(),
+            pos: 0,
+            ok_bytes: 10,
+        };
+        assert!(matches!(
+            BbvReader::new(faulty),
+            Err(VideoError::Io(msg)) if msg.contains("injected fault")
+        ));
+        // Fault inside the payload: Io from next_frame and skip_frames.
+        for skip in [false, true] {
+            let faulty = FaultyReader {
+                data: bytes.clone(),
+                pos: 0,
+                ok_bytes: 24 + 5 * 4 * 3 + 7,
+            };
+            let mut reader = BbvReader::new(faulty).unwrap();
+            assert!(reader.next_frame().unwrap().is_some());
+            let err = if skip {
+                reader.skip_frames(1).unwrap_err()
+            } else {
+                reader.next_frame().unwrap_err()
+            };
+            assert!(matches!(err, VideoError::Io(_)), "got {err:?}");
+        }
+        // A plain truncation is still classified as Decode.
+        let cut = bytes[..bytes.len() - 5].to_vec();
+        let mut reader = BbvReader::new(std::io::Cursor::new(cut)).unwrap();
+        reader.next_frame().unwrap();
+        reader.next_frame().unwrap();
+        assert!(matches!(reader.next_frame(), Err(VideoError::Decode(_))));
+    }
+
+    #[test]
+    fn oversized_header_rejected_by_known_length() {
+        // Header claims MAX_DIM × MAX_DIM × MAX_FRAMES but the stream holds
+        // only the header: with a known length this is rejected up front,
+        // before any frame-sized allocation.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&30.0f64.to_le_bytes());
+        bytes.extend_from_slice(&MAX_DIM.to_le_bytes());
+        bytes.extend_from_slice(&MAX_DIM.to_le_bytes());
+        bytes.extend_from_slice(&MAX_FRAMES.to_le_bytes());
+        let len = bytes.len() as u64;
+        let err = BbvReader::with_len(std::io::Cursor::new(bytes.clone()), Some(len)).unwrap_err();
+        assert!(matches!(err, VideoError::Decode(msg) if msg.contains("truncated")));
+        // Unknown length: construction succeeds but the first read grows
+        // the buffer at most one bounded chunk before hitting EOF.
+        let mut reader = BbvReader::new(std::io::Cursor::new(bytes)).unwrap();
+        assert!(reader.raw.is_empty(), "allocation must be deferred");
+        assert!(reader.next_frame().is_err());
+        assert!(
+            reader.raw.len() <= EAGER_CHUNK,
+            "lying header must not commit a giant buffer ({} bytes)",
+            reader.raw.len()
+        );
     }
 
     #[test]

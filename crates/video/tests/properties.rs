@@ -27,13 +27,13 @@ proptest! {
 
     #[test]
     fn container_round_trip(v in arb_stream()) {
-        let encoded = io::encode(&v);
+        let encoded = io::encode(&v).unwrap();
         prop_assert_eq!(io::decode(encoded).unwrap(), v);
     }
 
     #[test]
     fn truncated_container_always_errors(v in arb_stream(), cut in 1usize..24) {
-        let bytes = io::encode(&v).to_vec();
+        let bytes = io::encode(&v).unwrap().to_vec();
         let keep = bytes.len().saturating_sub(cut);
         if keep < bytes.len() {
             let t = bytes::Bytes::from(bytes[..keep].to_vec());

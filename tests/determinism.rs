@@ -208,11 +208,13 @@ fn wire_served_session_lands_on_the_golden_hash() {
     let dir = std::env::temp_dir().join(format!("bb_determinism_wire_{}", std::process::id()));
     let serve_config = ServeConfig {
         // Far below one warmup buffer: every push round-trips through a
-        // BBSC checkpoint on disk.
+        // BBSC checkpoint on disk. Wire batching pinned to 1 so a push is
+        // exactly one frame — maximum eviction pressure.
         budget_bytes: 16 * 1024,
+        wire_batch_frames: 1,
         ..ServeConfig::new(&dir)
     };
-    let mut server = ReconServer::new(prototype, serve_config).unwrap();
+    let mut server = ReconServer::new(prototype.clone(), serve_config).unwrap();
     let bytes = bb_serve::wire::encode_call(1, &video);
     let mut closed = server.serve_wire(&bytes).unwrap();
     assert_eq!(closed.len(), 1, "one session opened, one closed");
@@ -228,6 +230,77 @@ fn wire_served_session_lands_on_the_golden_hash() {
     assert_eq!(
         hash, GOLDEN_HASH,
         "wire-served output drifted from batch: got {hash:#018x}, pinned {GOLDEN_HASH:#018x}"
+    );
+
+    // The default batched wire ingest (several frames per scheduler round,
+    // still under eviction pressure) must land on the same bytes.
+    let batched_config = ServeConfig {
+        budget_bytes: 16 * 1024,
+        ..ServeConfig::new(&dir)
+    };
+    let mut server = ReconServer::new(prototype, batched_config).unwrap();
+    let mut closed = server.serve_wire(&bytes).unwrap();
+    assert!(
+        server.stats().evicted > 0,
+        "the 16 KiB budget must still evict between batched pushes"
+    );
+    let (_, recon) = closed.pop().unwrap();
+    let hash = fnv1a_of(&recon);
+    assert_eq!(
+        hash, GOLDEN_HASH,
+        "batched wire ingest drifted from batch: got {hash:#018x}, pinned {GOLDEN_HASH:#018x}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn golden_hash_holds_through_v2_containers_and_mmap_ingest() {
+    // The zero-copy ingest path — BBV v2 encode, mmap the container,
+    // parallel striped decode, and streaming session ingest from the
+    // mmap-backed source — must land on the exact batch bytes. Compression
+    // and memory mapping are transport details, never observable ones.
+    use bb_video::mmap::MmapSource;
+
+    let video = seeded_call();
+    let dir = std::env::temp_dir().join(format!("bb_determinism_v2_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let v2_path = dir.join("call.bbv");
+    bb_video::v2::save(&video, &v2_path, bb_video::v2::DEFAULT_STRIPE).expect("v2 save");
+
+    // Batch: the whole container through the parallel striped decoder.
+    let decoded =
+        bb_core::ingest::load_video(&v2_path, 8, &Telemetry::disabled()).expect("parallel decode");
+    let recon = reconstruct(
+        &decoded,
+        8,
+        CollectMode::WorkerLocal,
+        &Telemetry::disabled(),
+    );
+    let hash = fnv1a_of(&recon);
+    assert_eq!(
+        hash, GOLDEN_HASH,
+        "v2 parallel-decode output drifted: got {hash:#018x}, pinned {GOLDEN_HASH:#018x}"
+    );
+
+    // Streaming: the session pulls borrowed views straight off the mapping.
+    let config = ReconstructorConfig {
+        phi: 3,
+        parallelism: 8,
+        ..Default::default()
+    };
+    let reconstructor = Reconstructor::new(
+        VbSource::KnownImages(background::builtin_images(W, H)),
+        config,
+    );
+    let mut session = reconstructor.session();
+    let mut source = MmapSource::open(&v2_path).expect("mmap v2");
+    let frames = session.ingest(&mut source, 7).expect("ingest");
+    assert_eq!(frames, FRAMES);
+    let recon = session.finalize().expect("finalize");
+    let hash = fnv1a_of(&recon);
+    assert_eq!(
+        hash, GOLDEN_HASH,
+        "mmap-ingest output drifted from batch: got {hash:#018x}, pinned {GOLDEN_HASH:#018x}"
     );
     std::fs::remove_dir_all(&dir).ok();
 }

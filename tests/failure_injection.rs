@@ -12,11 +12,11 @@ use rand::{rngs::StdRng, SeedableRng};
 #[test]
 fn corrupted_video_container_is_rejected() {
     let good = VideoStream::generate(3, 30.0, |_| Frame::new(4, 4)).unwrap();
-    let mut bytes = bb_video::io::encode(&good).to_vec();
+    let mut bytes = bb_video::io::encode(&good).unwrap().to_vec();
     // Flip the magic, truncate, and scramble the header.
     bytes[0] ^= 0xFF;
     assert!(bb_video::io::decode(bytes::Bytes::from(bytes.clone())).is_err());
-    let truncated = bytes::Bytes::from(bb_video::io::encode(&good)[..10].to_vec());
+    let truncated = bytes::Bytes::from(bb_video::io::encode(&good).unwrap()[..10].to_vec());
     assert!(bb_video::io::decode(truncated).is_err());
     assert!(bb_video::io::decode(bytes::Bytes::new()).is_err());
 }
