@@ -29,7 +29,7 @@ use bb_core::CollectMode;
 use bb_imaging::Mask;
 use bb_synth::{Action, GroundTruth, Lighting, Room, Scenario};
 use bb_telemetry::json::{self, Json};
-use bb_telemetry::{Journal, Telemetry};
+use bb_telemetry::{Journal, MetricsHub, Telemetry};
 use bb_video::VideoStream;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -334,6 +334,82 @@ fn telemetry_overhead_bench(video: &VideoStream) -> Json {
     Json::Object(section)
 }
 
+/// Measures the live metrics plane's cost two ways. First a contended
+/// microbench: [`PARALLELISM`] threads hammer one shared [`MetricsHub`]
+/// with a counter add plus a histogram record per iteration — the exact
+/// shape the serving hot paths mirror into the hub — reported as ns/op.
+/// Then end-to-end: the same reconstruction as [`telemetry_overhead_bench`]
+/// with the sink alone vs sink + hub attached, interleaved best-of-3,
+/// against the same 5% overhead budget.
+fn metrics_plane_bench(video: &VideoStream) -> Json {
+    const OPS: usize = 50_000;
+    let hub = MetricsHub::new();
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..PARALLELISM {
+            let hub = hub.clone();
+            scope.spawn(move || {
+                for i in 0..OPS {
+                    hub.add("bench/ops", 1);
+                    hub.record("bench/lat", (i * (worker + 1)) as u64);
+                }
+            });
+        }
+    });
+    let hub_ns_per_op = started.elapsed().as_nanos() as f64 / (OPS * PARALLELISM * 2) as f64;
+    let snapshot_started = Instant::now();
+    let snapshot = hub.snapshot();
+    let snapshot_us = snapshot_started.elapsed().as_nanos() as f64 / 1e3;
+    assert_eq!(
+        snapshot.counters["bench/ops"].total,
+        (OPS * PARALLELISM) as u64,
+        "contended hub updates must not lose counts"
+    );
+
+    let (w, h) = video.dims();
+    let config = ReconstructorConfig {
+        phi: (h / 24).max(2),
+        parallelism: PARALLELISM,
+        ..Default::default()
+    };
+    let run = |telemetry: Telemetry| -> f64 {
+        let reconstructor = Reconstructor::new(
+            VbSource::KnownImages(background::builtin_images(w, h)),
+            config,
+        )
+        .with_telemetry(telemetry);
+        let started = Instant::now();
+        black_box(reconstructor.reconstruct(video).expect("reconstruction"));
+        started.elapsed().as_secs_f64()
+    };
+    let reps = 3;
+    let mut sink_secs = f64::INFINITY;
+    let mut hub_secs = f64::INFINITY;
+    for _ in 0..reps {
+        sink_secs = sink_secs.min(run(Telemetry::enabled()));
+        hub_secs = hub_secs.min(run(Telemetry::enabled().with_metrics(MetricsHub::new())));
+    }
+    let overhead_pct = (hub_secs - sink_secs) / sink_secs * 100.0;
+    eprintln!(
+        "  hub update {hub_ns_per_op:.0}ns/op contended x{PARALLELISM}, snapshot {snapshot_us:.0}µs; \
+         sink {sink_secs:.3}s vs sink+hub {hub_secs:.3}s ({overhead_pct:+.2}% overhead)"
+    );
+    if overhead_pct >= 5.0 {
+        eprintln!("  WARNING: metrics hub overhead {overhead_pct:.2}% exceeds the 5% budget");
+    }
+    let mut section = BTreeMap::new();
+    section.insert("contended_threads".into(), Json::Number(PARALLELISM as f64));
+    section.insert("ops_per_thread".into(), Json::Number((OPS * 2) as f64));
+    section.insert("hub_ns_per_op".into(), Json::Number(hub_ns_per_op));
+    section.insert("snapshot_us".into(), Json::Number(snapshot_us));
+    section.insert("reps".into(), Json::Number(reps as f64));
+    section.insert("sink_only_secs".into(), Json::Number(sink_secs));
+    section.insert("sink_plus_hub_secs".into(), Json::Number(hub_secs));
+    section.insert("overhead_pct".into(), Json::Number(overhead_pct));
+    section.insert("budget_pct".into(), Json::Number(5.0));
+    Json::Object(section)
+}
+
 /// Benchmarks the streaming session against the batch wrapper on the same
 /// call: same warmup window (so the outputs are byte-comparable), frames
 /// pushed in small chunks, per-frame masks not retained. Reports throughput
@@ -579,7 +655,8 @@ fn serve_bench(quick: bool) -> Json {
             ..Default::default()
         }
     };
-    let report = bb_serve::loadgen::run(&config, Telemetry::disabled()).expect("loadgen runs");
+    let report =
+        bb_serve::loadgen::run(&config, Telemetry::disabled(), None).expect("loadgen runs");
     assert_eq!(
         report.completed, config.sessions as u64,
         "every synthetic session must complete"
@@ -734,6 +811,9 @@ fn main() {
     eprintln!("benchmarking telemetry overhead (off vs sink+journal)…");
     let telemetry_overhead = telemetry_overhead_bench(&video);
 
+    eprintln!("benchmarking the metrics plane (contended hub + end-to-end)…");
+    let metrics_plane = metrics_plane_bench(&video);
+
     eprintln!("benchmarking streaming session vs batch…");
     let streaming = streaming_bench(&video);
 
@@ -752,6 +832,7 @@ fn main() {
     root.insert("modes".into(), Json::Object(modes));
     root.insert("mask_ops".into(), mask_ops);
     root.insert("telemetry_overhead".into(), telemetry_overhead);
+    root.insert("metrics_plane".into(), metrics_plane);
     root.insert("streaming".into(), streaming);
     root.insert("ingest".into(), ingest);
     root.insert("serve".into(), serve);

@@ -5,7 +5,7 @@ use bb_callsim::{background, profile, run_session_traced, Mitigation, VirtualBac
 use bb_core::pipeline::{MaskRetention, Reconstructor, ReconstructorConfig, VbSource};
 use bb_core::session::ReconstructionSession;
 use bb_synth::{Action, Lighting, Room, Scenario};
-use bb_telemetry::{chrome_trace, Journal, Telemetry};
+use bb_telemetry::{chrome_trace, Journal, MetricsExporter, MetricsHub, SloRule, Telemetry};
 use bb_video::mmap::{ContainerVersion, MmapSource};
 use bb_video::source::FrameSource;
 use rand::{rngs::StdRng, SeedableRng};
@@ -63,10 +63,18 @@ COMMANDS:
               floor:   bbuster report --ingest-floor X [BENCH.json]
                        (fails when the baseline's ingest speedup_vs_v1_reader
                         is below X)
+              slo:     bbuster report --slo SNAPSHOT.json [--rules \"R1;R2\"]
+                       (gates on a MetricsSnapshot's health block; --rules
+                        re-evaluates with an explicit rule list)
               BASELINE defaults to BENCH_pipeline.json; both RunReport JSON
               and the perf-baseline schema are accepted. Exit code 3 means a
               stage slowed down past the threshold (or the ingest floor was
-              missed).
+              missed, or the SLO health is failing).
+    metrics   live metrics tooling
+              watch:   bbuster metrics watch SNAPSHOT.json
+                         --interval-ms N (default 1000)  --iterations N (0 =
+                         until interrupted); renders a refreshing table from
+                         the snapshots a serve/loadgen run exports
     help      this message
 
     synth/attack/locate/serve/loadgen also accept:
@@ -75,6 +83,14 @@ COMMANDS:
       --journal-out FILE.jsonl    per-frame structured event journal
       --trace-out FILE.json       Chrome/Perfetto trace (load in ui.perfetto.dev;
                                   one lane per worker thread)
+      --metrics-out FILE.json     live MetricsSnapshot (JSON + FILE.prom text
+                                  exposition), rewritten atomically on an
+                                  interval during serve/loadgen
+      --metrics-interval-ms N     export interval (default 1000)
+      --slo-rules \"R1;R2\"         override the default serve SLO rules
+                                  (grammar: p99:serve/push<=250ms,
+                                   ratio:A:B<=X, rate:C<=N/s, total:C<=N,
+                                   gauge:G<=X)
 
 EXAMPLES:
     bbuster synth --out demo --action enter-exit --frames 180
@@ -86,9 +102,12 @@ EXAMPLES:
     bbuster locate demo.call.bbv --top 5
     bbuster serve demo.call.bbv --encode demo.bbws
     bbuster serve demo.bbws --out-dir recovered/
-    bbuster loadgen --sessions 1000 --concurrency 64 --budget-kb 4096
+    bbuster loadgen --sessions 1000 --concurrency 64 --budget-kb 4096 \\
+        --metrics-out metrics.json
+    bbuster metrics watch metrics.json
     bbuster report run.json
     bbuster report --diff run.json BENCH_pipeline.json --fail-over-pct 25
+    bbuster report --slo metrics.json
 ";
 
 /// Dispatches a parsed command line and returns the process exit code.
@@ -108,6 +127,7 @@ pub fn dispatch(argv: &[String]) -> Result<i32, String> {
         Some("serve") => crate::serve_cmd::serve(&flags).map(|()| 0),
         Some("loadgen") => crate::serve_cmd::loadgen(&flags).map(|()| 0),
         Some("report") => crate::report_cmd::report(&flags),
+        Some("metrics") => crate::metrics_cmd::metrics(&flags),
         Some("help") | None => {
             print!("{HELP}");
             Ok(0)
@@ -122,18 +142,36 @@ pub(crate) struct ObservabilityOut {
     report: Option<String>,
     journal: Option<String>,
     trace: Option<String>,
+    metrics: Option<String>,
+    metrics_interval_ms: u64,
+}
+
+impl ObservabilityOut {
+    /// A periodic snapshot exporter for `--metrics-out`, when requested.
+    pub(crate) fn metrics_exporter(&self) -> Option<MetricsExporter> {
+        self.metrics.as_ref().map(|path| {
+            MetricsExporter::new(
+                path,
+                std::time::Duration::from_millis(self.metrics_interval_ms),
+            )
+        })
+    }
 }
 
 /// Builds the run's [`Telemetry`] handle from the output flags: the sink is
-/// enabled by `--telemetry-out` or `--trace-out` (the trace needs stage
-/// spans), and a journal is attached whenever `--journal-out` or
-/// `--trace-out` asks for per-event data.
+/// enabled by `--telemetry-out`, `--trace-out` (the trace needs stage
+/// spans), or `--metrics-out`; a journal is attached whenever
+/// `--journal-out` or `--trace-out` asks for per-event data; and
+/// `--metrics-out` additionally attaches a live [`bb_telemetry::MetricsHub`]
+/// carrying the default serve SLO rules (overridable with `--slo-rules`,
+/// a `;`-separated rule list).
 ///
 /// # Errors
 ///
-/// Rejects valueless output flags instead of silently writing nothing.
+/// Rejects valueless output flags instead of silently writing nothing, and
+/// malformed `--slo-rules`.
 pub(crate) fn telemetry_from(flags: &Flags) -> Result<(Telemetry, ObservabilityOut), String> {
-    for key in ["telemetry-out", "journal-out", "trace-out"] {
+    for key in ["telemetry-out", "journal-out", "trace-out", "metrics-out"] {
         if flags.has(key) && flags.get(key).is_none() {
             return Err(format!("--{key} requires a file path"));
         }
@@ -142,14 +180,25 @@ pub(crate) fn telemetry_from(flags: &Flags) -> Result<(Telemetry, ObservabilityO
         report: flags.get("telemetry-out").map(str::to_string),
         journal: flags.get("journal-out").map(str::to_string),
         trace: flags.get("trace-out").map(str::to_string),
+        metrics: flags.get("metrics-out").map(str::to_string),
+        metrics_interval_ms: flags.get_num("metrics-interval-ms", 1000u64)?,
     };
-    let mut telemetry = if out.report.is_some() || out.trace.is_some() {
+    let mut telemetry = if out.report.is_some() || out.trace.is_some() || out.metrics.is_some() {
         Telemetry::enabled()
     } else {
         Telemetry::disabled()
     };
     if out.journal.is_some() || out.trace.is_some() {
         telemetry = telemetry.with_journal(Journal::default());
+    }
+    if out.metrics.is_some() {
+        let hub = MetricsHub::new();
+        let rules = match flags.get("slo-rules") {
+            Some(text) => SloRule::parse_list(text).map_err(|e| format!("--slo-rules: {e}"))?,
+            None => bb_telemetry::metrics::default_serve_rules(),
+        };
+        hub.set_rules(rules);
+        telemetry = telemetry.with_metrics(hub);
     }
     Ok((telemetry, out))
 }
@@ -180,6 +229,19 @@ pub(crate) fn flush_telemetry(telemetry: &Telemetry, out: ObservabilityOut) -> R
         let trace = chrome_trace(&telemetry.report(), &events);
         std::fs::write(path, trace).map_err(|e| format!("{path}: {e}"))?;
         println!("wrote {path} (Chrome trace; open in ui.perfetto.dev)");
+    }
+    if let Some(path) = &out.metrics {
+        // Final snapshot so the file always reflects the finished run, even
+        // when the interval never elapsed mid-run.
+        let mut exporter = out
+            .metrics_exporter()
+            .expect("metrics path implies an exporter");
+        let snapshot = exporter.export_now(telemetry)?;
+        println!(
+            "wrote {path} (metrics snapshot seq {}, health {})",
+            snapshot.seq,
+            snapshot.health.state.as_str()
+        );
     }
     Ok(())
 }
@@ -679,6 +741,45 @@ mod tests {
         // Unreadable inputs are hard errors (exit 2 at the binary level).
         assert!(run(&["report", "--diff", "/nonexistent.json", &baseline]).is_err());
         assert!(run(&["report"]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_slo_gate_exit_codes_are_pinned() {
+        let dir = std::env::temp_dir().join("bbuster_cli_slo_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let hub = MetricsHub::new();
+        hub.set_rules(SloRule::parse_list("total:sessions/opened<=100").unwrap());
+        let telemetry = Telemetry::enabled().with_metrics(hub.clone());
+        telemetry.add("sessions/opened", 6);
+        let ok_path = dir.join("ok.json").to_string_lossy().to_string();
+        std::fs::write(&ok_path, hub.snapshot().to_json()).unwrap();
+        // Healthy embedded verdict passes.
+        assert_eq!(run(&["report", "--slo", &ok_path]).unwrap(), 0);
+        // Re-evaluating with a tighter ceiling injects a violation: the
+        // pinned regression code, same as the latency diff gate.
+        assert_eq!(
+            run(&[
+                "report",
+                "--slo",
+                &ok_path,
+                "--rules",
+                "total:sessions/opened<=1"
+            ])
+            .unwrap(),
+            crate::report_cmd::EXIT_REGRESSION
+        );
+        // A snapshot whose baked-in health is failing gates without --rules.
+        hub.set_rules(SloRule::parse_list("total:sessions/opened<=1").unwrap());
+        let bad_path = dir.join("bad.json").to_string_lossy().to_string();
+        std::fs::write(&bad_path, hub.snapshot().to_json()).unwrap();
+        assert_eq!(
+            run(&["report", "--slo", &bad_path]).unwrap(),
+            crate::report_cmd::EXIT_REGRESSION
+        );
+        // Unreadable snapshots and bad rule grammar are hard errors.
+        assert!(run(&["report", "--slo", "/nonexistent.json"]).is_err());
+        assert!(run(&["report", "--slo", &ok_path, "--rules", "p42:x<=1"]).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -22,6 +22,7 @@
 
 mod args;
 mod commands;
+mod metrics_cmd;
 mod report_cmd;
 mod serve_cmd;
 

@@ -18,7 +18,7 @@
 //! [`EXIT_REGRESSION`].
 
 use crate::args::Flags;
-use bb_telemetry::{json, RunReport};
+use bb_telemetry::{json, HealthState, MetricsSnapshot, RunReport, SloRule};
 use std::collections::BTreeMap;
 
 /// Exit code for "the new run regressed past the threshold".
@@ -30,12 +30,66 @@ pub const EXIT_REGRESSION: i32 = 3;
 ///
 /// Returns a message on unreadable/unparseable inputs or missing arguments.
 pub fn report(flags: &Flags) -> Result<i32, String> {
-    if flags.get("ingest-floor").is_some() || flags.has("ingest-floor") {
+    if flags.get("slo").is_some() || flags.has("slo") {
+        slo_gate(flags)
+    } else if flags.get("ingest-floor").is_some() || flags.has("ingest-floor") {
         ingest_floor(flags)
     } else if flags.get("diff").is_some() || flags.has("diff") {
         diff(flags)
     } else {
         summarize(flags)
+    }
+}
+
+/// `bbuster report --slo SNAPSHOT.json [--rules "R1;R2"]`: gates on a
+/// [`MetricsSnapshot`]'s health block. With `--rules` the snapshot is
+/// re-evaluated against the given rule list instead of the embedded one.
+/// `failing` exits [`EXIT_REGRESSION`]; `degraded` warns but passes.
+fn slo_gate(flags: &Flags) -> Result<i32, String> {
+    let path = flags
+        .get("slo")
+        .map(str::to_string)
+        .or_else(|| flags.positional().get(1).cloned())
+        .ok_or("report --slo requires a MetricsSnapshot path")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let snapshot = MetricsSnapshot::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let health = match flags.get("rules") {
+        Some(rules_text) => {
+            let rules = SloRule::parse_list(rules_text).map_err(|e| format!("--rules: {e}"))?;
+            snapshot.evaluate_health(&rules)
+        }
+        None => snapshot.health.clone(),
+    };
+    println!(
+        "slo gate — {path} (snapshot seq {}, t +{:.1}s)",
+        snapshot.seq,
+        snapshot.t_ms as f64 / 1000.0
+    );
+    if health.rules.is_empty() {
+        println!("no SLO rules in the snapshot (pass --rules to evaluate some)");
+    }
+    for rule in &health.rules {
+        println!(
+            "  {:<44} value {:>12.2}  burn {:>7.2}x  {}",
+            rule.rule,
+            rule.value,
+            rule.burn,
+            rule.state.as_str()
+        );
+    }
+    match health.state {
+        HealthState::Failing => {
+            println!("SLO VIOLATION: health is failing");
+            Ok(EXIT_REGRESSION)
+        }
+        HealthState::Degraded => {
+            println!("warning: health is degraded (within ceilings, burn ≥ 80%)");
+            Ok(0)
+        }
+        HealthState::Ok => {
+            println!("ok: health is ok");
+            Ok(0)
+        }
     }
 }
 
@@ -125,6 +179,14 @@ fn summarize(flags: &Flags) -> Result<i32, String> {
             }
             let indent = "  ".repeat(depth);
             let share = parent_share(&report, name, stats.total_ns);
+            // Histograms under a `_bp` suffix store basis points, not
+            // nanoseconds (e.g. per-session RBRR recorded at close) — render
+            // them as percentages instead of fake time units.
+            let fmt: fn(u64) -> String = if name.ends_with("_bp") {
+                fmt_bp
+            } else {
+                fmt_ns
+            };
             let quantiles = match (
                 report.stage_quantile(name, 0.50),
                 report.stage_quantile(name, 0.90),
@@ -132,10 +194,10 @@ fn summarize(flags: &Flags) -> Result<i32, String> {
             ) {
                 (Some(p50), Some(p90), Some(p99)) => format!(
                     "p50={} p90={} p99={} max={}",
-                    fmt_ns(p50),
-                    fmt_ns(p90),
-                    fmt_ns(p99),
-                    fmt_ns(stats.max_ns)
+                    fmt(p50),
+                    fmt(p90),
+                    fmt(p99),
+                    fmt(stats.max_ns)
                 ),
                 _ => String::new(),
             };
@@ -154,6 +216,16 @@ fn summarize(flags: &Flags) -> Result<i32, String> {
         println!("\ncounters:");
         for (k, v) in &report.counters {
             println!("  {k:<40} {v:>12}");
+        }
+    }
+
+    if let Some(dropped) = report.counters.get("journal/dropped") {
+        println!("\njournal dropped : {dropped}");
+        if *dropped > 0 {
+            println!(
+                "warning: {dropped} journal events were dropped — raise the journal \
+                 capacity or expect gaps in traces"
+            );
         }
     }
     Ok(0)
@@ -177,6 +249,11 @@ fn parent_share(report: &RunReport, name: &str, total_ns: u64) -> String {
     } else {
         "100.0%".to_string()
     }
+}
+
+/// Basis points (1/100 of a percent) as a percentage.
+fn fmt_bp(bp: u64) -> String {
+    format!("{:.2}%", bp as f64 / 100.0)
 }
 
 fn fmt_ns(ns: u64) -> String {

@@ -84,8 +84,12 @@ pub fn serve(flags: &Flags) -> Result<(), String> {
     let mut server = ReconServer::new(prototype, serve_config(flags)?)
         .map_err(|e| e.to_string())?
         .with_telemetry(telemetry.clone());
+    if let Some(exporter) = telemetry_out.metrics_exporter() {
+        server = server.with_metrics_exporter(exporter);
+    }
 
     let completed = server.serve_wire(&bytes).map_err(|e| e.to_string())?;
+    server.export_metrics_now();
     for (id, recon) in &completed {
         println!("session {id} : rbrr {:.4}%", recon.rbrr());
         if let Some(dir) = flags.get("out-dir") {
@@ -135,26 +139,36 @@ pub fn loadgen(flags: &Flags) -> Result<(), String> {
             None => std::env::temp_dir().join(format!("bbuster-loadgen-{}", std::process::id())),
         },
     };
-    let report = loadgen::run(&config, telemetry.clone()).map_err(|e| e.to_string())?;
-    println!("sessions : {}", config.sessions);
-    println!("completed : {}", report.completed);
-    println!("failed : {}", report.failed);
-    println!("denied : {}", report.denied);
-    println!("evicted : {}", report.evicted);
-    println!("resumed : {}", report.resumed);
-    println!("leaked : {}", report.leaked);
-    println!(
-        "peak_live_mb : {:.3}",
-        report.peak_live_bytes as f64 / MIB as f64
+    let started = std::time::Instant::now();
+    let report = loadgen::run(&config, telemetry.clone(), telemetry_out.metrics_exporter())
+        .map_err(|e| e.to_string())?;
+    // Every fact line carries elapsed seconds since the soak started, so the
+    // output can be correlated with the metrics snapshots' `t_ms` timeline.
+    let line = |key: &str, value: String| {
+        println!("{key} : {value} @ {:.3}s", started.elapsed().as_secs_f64());
+    };
+    line("sessions", config.sessions.to_string());
+    line("completed", report.completed.to_string());
+    line("failed", report.failed.to_string());
+    line("denied", report.denied.to_string());
+    line("evicted", report.evicted.to_string());
+    line("resumed", report.resumed.to_string());
+    line("leaked", report.leaked.to_string());
+    line(
+        "peak_live_mb",
+        format!("{:.3}", report.peak_live_bytes as f64 / MIB as f64),
     );
-    println!("frames : {}", report.frames);
-    println!("wall_secs : {:.3}", report.wall_secs);
-    println!("sessions_per_sec : {:.1}", report.sessions_per_sec);
-    println!(
-        "aggregate_mpix_per_sec : {:.3}",
-        report.aggregate_mpix_per_sec
+    line("frames", report.frames.to_string());
+    line("wall_secs", format!("{:.3}", report.wall_secs));
+    line(
+        "sessions_per_sec",
+        format!("{:.1}", report.sessions_per_sec),
     );
-    println!("mean_rbrr : {:.4}%", report.mean_rbrr);
+    line(
+        "aggregate_mpix_per_sec",
+        format!("{:.3}", report.aggregate_mpix_per_sec),
+    );
+    line("mean_rbrr", format!("{:.4}%", report.mean_rbrr));
     flush_telemetry(&telemetry, telemetry_out)
 }
 

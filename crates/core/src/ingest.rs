@@ -30,6 +30,7 @@ pub fn decode_v2_parallel(
     let decoder = StripedDecoder::new(data).map_err(CoreError::Video)?;
     let stripes = decoder.stripes();
     let workers = workers::effective_workers(workers_requested, stripes);
+    let started = std::time::Instant::now();
     let per_stripe = workers::run_stage(
         stripes,
         workers,
@@ -38,6 +39,16 @@ pub fn decode_v2_parallel(
         "ingest/v2_decode",
         |s| decoder.decode_stripe(s).map_err(CoreError::Video),
     )?;
+    let elapsed = started.elapsed();
+    let (w, h) = decoder.index().dims();
+    let pixels = (w * h * decoder.index().frame_count()) as u64;
+    telemetry.add("ingest/pixels", pixels);
+    if elapsed.as_secs_f64() > 0.0 {
+        telemetry.set_gauge(
+            "ingest/mpix_per_sec",
+            pixels as f64 / 1e6 / elapsed.as_secs_f64(),
+        );
+    }
     let mut frames = Vec::with_capacity(decoder.index().frame_count());
     for chunk in per_stripe {
         frames.extend(chunk);

@@ -273,6 +273,8 @@ impl ReconstructionSession {
         self.validate_dims(frame)?;
         if self.telemetry.is_enabled() {
             self.telemetry.add("frames/input", 1);
+            self.telemetry
+                .add("session/pixels", (frame.width() * frame.height()) as u64);
         }
         let buffered = match &mut self.state {
             SessionState::Warmup(w) => {
@@ -331,6 +333,8 @@ impl ReconstructionSession {
             }
             if self.telemetry.is_enabled() {
                 self.telemetry.add("frames/input", block.len() as u64);
+                let pixels: usize = block.iter().map(|f| f.width() * f.height()).sum();
+                self.telemetry.add("session/pixels", pixels as u64);
             }
             self.process_locked_block(block)?;
         }

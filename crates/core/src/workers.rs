@@ -250,6 +250,7 @@ fn collect_outcomes<T>(
     for (worker, outcome) in per_worker.into_iter().enumerate() {
         match outcome {
             Err(panic_msg) => {
+                telemetry.add("workers/panics", 1);
                 return Err(CoreError::WorkerPanic(format!(
                     "worker {worker} panicked: {panic_msg}"
                 )));

@@ -19,7 +19,7 @@ use bb_core::pipeline::{Reconstructor, ReconstructorConfig, VbSource};
 use bb_core::vbmask::VirtualReference;
 use bb_imaging::{Frame, Mask};
 use bb_synth::{Action, Lighting, Room, Scenario};
-use bb_telemetry::Telemetry;
+use bb_telemetry::{MetricsExporter, Telemetry};
 use bb_video::VideoStream;
 use rand::{rngs::StdRng, SeedableRng};
 use std::collections::BTreeMap;
@@ -159,11 +159,20 @@ pub fn loadgen_prototype(vb: Frame) -> Reconstructor {
 /// timings: the same config always completes the same sessions with the
 /// same per-session output.
 ///
+/// When `exporter` is given, the server writes a
+/// [`MetricsSnapshot`](bb_telemetry::MetricsSnapshot) on the exporter's
+/// interval throughout the soak (plus one final export after the fleet
+/// drains), so an external scraper can watch the run live.
+///
 /// # Errors
 ///
 /// Server-level failures only (spill I/O); per-session failures are
 /// counted in [`LoadgenReport::failed`], not propagated.
-pub fn run(config: &LoadgenConfig, telemetry: Telemetry) -> Result<LoadgenReport, ServeError> {
+pub fn run(
+    config: &LoadgenConfig,
+    telemetry: Telemetry,
+    exporter: Option<MetricsExporter>,
+) -> Result<LoadgenReport, ServeError> {
     let (vb, call) = synthetic_call(
         config.width,
         config.height,
@@ -179,6 +188,9 @@ pub fn run(config: &LoadgenConfig, telemetry: Telemetry) -> Result<LoadgenReport
     };
     let mut server =
         ReconServer::new(loadgen_prototype(vb), serve_config)?.with_telemetry(telemetry);
+    if let Some(exporter) = exporter {
+        server = server.with_metrics_exporter(exporter);
+    }
 
     let started = Instant::now();
     let mut next_id: u64 = 0;
@@ -250,6 +262,7 @@ pub fn run(config: &LoadgenConfig, telemetry: Telemetry) -> Result<LoadgenReport
     }
 
     let wall_secs = started.elapsed().as_secs_f64().max(1e-9);
+    server.export_metrics_now();
     let stats = server.stats();
     let leaked = server.session_count();
     let pixels = stats.frames_served as f64 * (config.width * config.height) as f64;
@@ -292,7 +305,7 @@ mod tests {
             spill_dir: std::env::temp_dir().join(format!("bb_loadgen_test_{}", std::process::id())),
             ..LoadgenConfig::default()
         };
-        let report = run(&config, Telemetry::disabled()).unwrap();
+        let report = run(&config, Telemetry::disabled(), None).unwrap();
         assert_eq!(report.completed, 12);
         assert_eq!(report.failed, 0);
         assert_eq!(report.leaked, 0, "sessions leaked in the server");

@@ -36,7 +36,7 @@ use bb_core::session::{FrameOutcome, ReconstructionSession};
 use bb_core::workers::{effective_workers, run_stage, CollectMode};
 use bb_core::CoreError;
 use bb_imaging::Frame;
-use bb_telemetry::Telemetry;
+use bb_telemetry::{MetricsExporter, Telemetry};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -133,6 +133,7 @@ pub struct ReconServer {
     tick: u64,
     stats: ServeStats,
     observer: Option<FrameObserver>,
+    exporter: Option<MetricsExporter>,
 }
 
 fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -164,6 +165,7 @@ impl ReconServer {
             tick: 0,
             stats: ServeStats::default(),
             observer: None,
+            exporter: None,
         })
     }
 
@@ -180,6 +182,34 @@ impl ReconServer {
     /// panicking observer fails only the session it was observing.
     pub fn set_frame_observer(&mut self, observer: FrameObserver) {
         self.observer = Some(observer);
+    }
+
+    /// Attaches a periodic [`MetricsExporter`]: after every scheduler round
+    /// the server exports a fresh [`MetricsSnapshot`](bb_telemetry::MetricsSnapshot)
+    /// when the exporter's interval has elapsed. Export failures never fail
+    /// serving — they are counted under `serve/export_errors`.
+    #[must_use]
+    pub fn with_metrics_exporter(mut self, exporter: MetricsExporter) -> ReconServer {
+        self.exporter = Some(exporter);
+        self
+    }
+
+    /// Exports a snapshot now, regardless of the interval (used for the
+    /// final flush at shutdown). No-op without an attached exporter.
+    pub fn export_metrics_now(&mut self) {
+        if let Some(exporter) = &mut self.exporter {
+            if exporter.export_now(&self.telemetry).is_err() {
+                self.telemetry.add("serve/export_errors", 1);
+            }
+        }
+    }
+
+    fn tick_exporter(&mut self) {
+        if let Some(exporter) = &mut self.exporter {
+            if exporter.maybe_export(&self.telemetry).is_err() {
+                self.telemetry.add("serve/export_errors", 1);
+            }
+        }
     }
 
     /// Open sessions (live + evicted).
@@ -237,6 +267,22 @@ impl ReconServer {
                 .set_meta("sessions/active", self.sessions.len());
             self.telemetry
                 .set_meta("sessions/peak_live_bytes", self.stats.peak_live_bytes);
+        }
+        if self.telemetry.metrics().is_some() {
+            self.telemetry
+                .set_gauge("serve/sessions_active", self.sessions.len() as f64);
+            self.telemetry
+                .set_gauge("serve/sessions_live", self.live_count() as f64);
+            self.telemetry
+                .set_gauge("serve/live_bytes", self.live_total as f64);
+            self.telemetry
+                .set_gauge("serve/budget_bytes", self.config.budget_bytes as f64);
+            if self.config.budget_bytes > 0 {
+                self.telemetry.set_gauge(
+                    "serve/budget_pressure",
+                    self.live_total as f64 / self.config.budget_bytes as f64,
+                );
+            }
         }
     }
 
@@ -582,6 +628,13 @@ impl ReconServer {
                         Ok(outcomes) => outcomes.len() as u64,
                         Err(_) => 0,
                     };
+                    if accepted > 0 && self.telemetry.is_enabled() {
+                        let entry = &self.sessions[&id];
+                        self.telemetry.add(
+                            "serve/pixels",
+                            accepted * (entry.width * entry.height) as u64,
+                        );
+                    }
                     self.settle(id, session, accepted);
                     protect = Some(id);
                     if self.telemetry.has_journal() {
@@ -615,6 +668,8 @@ impl ReconServer {
         }
         self.enforce_budget(protect)?;
         self.record_peak();
+        self.note_active_meta();
+        self.tick_exporter();
         Ok(out)
     }
 

@@ -63,11 +63,15 @@
 pub mod hist;
 pub mod journal;
 pub mod json;
+pub mod metrics;
 pub mod report;
 pub mod trace;
 
 pub use hist::Histogram;
 pub use journal::{Journal, JournalEvent};
+pub use metrics::{
+    HealthReport, HealthState, MetricsExporter, MetricsHub, MetricsSnapshot, SloRule, WindowSpec,
+};
 pub use report::{RunReport, StageStats, FORMAT_VERSION};
 pub use trace::chrome_trace;
 
@@ -112,6 +116,7 @@ struct Sink {
 pub struct Telemetry {
     sink: Option<Arc<Mutex<Sink>>>,
     journal: Option<Journal>,
+    metrics: Option<MetricsHub>,
 }
 
 impl Telemetry {
@@ -121,6 +126,7 @@ impl Telemetry {
         Telemetry {
             sink: None,
             journal: None,
+            metrics: None,
         }
     }
 
@@ -129,6 +135,7 @@ impl Telemetry {
         Telemetry {
             sink: Some(Arc::new(Mutex::new(Sink::default()))),
             journal: None,
+            metrics: None,
         }
     }
 
@@ -138,6 +145,21 @@ impl Telemetry {
     pub fn with_journal(mut self, journal: Journal) -> Telemetry {
         self.journal = Some(journal);
         self
+    }
+
+    /// Attaches a live [`MetricsHub`]: every [`Telemetry::add`] and every
+    /// recorded span is mirrored into the hub's windowed instruments, and
+    /// [`Telemetry::set_gauge`] becomes live. The run-scoped sink and the
+    /// hub are independent — either can be present without the other.
+    #[must_use]
+    pub fn with_metrics(mut self, hub: MetricsHub) -> Telemetry {
+        self.metrics = Some(hub);
+        self
+    }
+
+    /// The attached metrics hub, if any.
+    pub fn metrics(&self) -> Option<&MetricsHub> {
+        self.metrics.as_ref()
     }
 
     /// Whether this handle records aggregates (timers/counters/meta).
@@ -165,7 +187,7 @@ impl Telemetry {
             validate_stage_name(name).is_ok(),
             "invalid stage name {name:?}"
         );
-        let active = self.sink.is_some() || self.journal.is_some();
+        let active = self.sink.is_some() || self.journal.is_some() || self.metrics.is_some();
         StageTimer {
             telemetry: self,
             name: active.then(|| (name.to_string(), Instant::now())),
@@ -181,8 +203,11 @@ impl Telemetry {
             validate_stage_name(name).is_ok(),
             "invalid stage name {name:?}"
         );
-        let Some(sink) = &self.sink else { return };
         let ns = dur.as_nanos().min(u64::MAX as u128) as u64;
+        if let Some(hub) = &self.metrics {
+            hub.record(name, ns);
+        }
+        let Some(sink) = &self.sink else { return };
         let mut sink = sink.lock().expect("telemetry sink poisoned");
         sink.stages.entry(name.to_string()).or_default().record(ns);
         sink.hists.entry(name.to_string()).or_default().record(ns);
@@ -219,9 +244,21 @@ impl Telemetry {
             validate_stage_name(name).is_ok(),
             "invalid counter name {name:?}"
         );
+        if let Some(hub) = &self.metrics {
+            hub.add(name, n);
+        }
         let Some(sink) = &self.sink else { return };
         let mut sink = sink.lock().expect("telemetry sink poisoned");
         *sink.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Sets live gauge `name` on the attached [`MetricsHub`]; a no-op (one
+    /// branch) when no hub is attached. Gauges are instant values and do
+    /// not appear in the run-scoped [`RunReport`].
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        if let Some(hub) = &self.metrics {
+            hub.set_gauge(name, value);
+        }
     }
 
     /// Sets metadata `key` to `value` (last write wins).
@@ -237,10 +274,16 @@ impl Telemetry {
             return RunReport::default();
         };
         let sink = sink.lock().expect("telemetry sink poisoned");
+        let mut counters = sink.counters.clone();
+        if let Some(journal) = &self.journal {
+            // Surface drops even when zero — their absence would read as
+            // "no journal attached" rather than "nothing dropped".
+            counters.insert("journal/dropped".to_string(), journal.dropped());
+        }
         RunReport {
             meta: sink.meta.clone(),
             stages: sink.stages.clone(),
-            counters: sink.counters.clone(),
+            counters,
             histograms: sink.hists.clone(),
         }
     }
@@ -404,6 +447,51 @@ mod tests {
         assert_eq!(r.stages["work"].calls, 1000);
         assert_eq!(r.stages["work"].total_ns, 10_000);
         assert_eq!(r.histograms["work"].count(), 1000);
+    }
+
+    #[test]
+    fn attached_hub_mirrors_counters_and_spans() {
+        let t = Telemetry::enabled().with_metrics(MetricsHub::new());
+        t.add("hits", 3);
+        t.record_duration("work", Duration::from_micros(5));
+        {
+            let _g = t.time("span");
+        }
+        t.set_gauge("pressure", 0.5);
+        let snap = t.metrics().unwrap().snapshot();
+        assert_eq!(snap.counters["hits"].total, 3);
+        assert_eq!(snap.hists["work"].count, 1);
+        assert_eq!(snap.hists["span"].count, 1);
+        assert_eq!(snap.gauges["pressure"], 0.5);
+        // The run-scoped report sees the same data and no gauge leakage.
+        let r = t.report();
+        assert_eq!(r.counters["hits"], 3);
+        assert!(!r.counters.contains_key("pressure"));
+    }
+
+    #[test]
+    fn hub_only_handle_records_windowed_but_no_report() {
+        let t = Telemetry::disabled().with_metrics(MetricsHub::new());
+        {
+            let _g = t.time("solo");
+        }
+        t.add("hits", 1);
+        assert!(!t.is_enabled());
+        assert_eq!(t.report(), RunReport::default());
+        let snap = t.metrics().unwrap().snapshot();
+        assert_eq!(snap.hists["solo"].count, 1);
+        assert_eq!(snap.counters["hits"].total, 1);
+    }
+
+    #[test]
+    fn journal_drops_surface_as_a_counter() {
+        let t = Telemetry::enabled().with_journal(Journal::with_capacity(8));
+        t.event("e", None, &[]);
+        assert_eq!(t.report().counters["journal/dropped"], 0);
+        for _ in 0..64 {
+            t.event("e", None, &[]);
+        }
+        assert!(t.report().counters["journal/dropped"] > 0);
     }
 
     #[test]

@@ -1,0 +1,1470 @@
+//! The live metrics plane: windowed instruments, snapshots, and SLO health.
+//!
+//! The [`RunReport`](crate::RunReport) answers "what did this run do" after
+//! the process exits; a long-running `bbuster serve` needs "what is the
+//! service doing *right now*". This module supplies that second shape:
+//!
+//! * [`MetricsHub`] — a cheaply-clonable registry of windowed instruments:
+//!   monotone [`WindowedCounter`]s, last-write-wins gauges, and
+//!   [`WindowedHistogram`]s (a ring of time buckets, each a log-bucketed
+//!   [`Histogram`], merged across the sliding window on read).
+//! * [`MetricsSnapshot`] — a versioned, serializable point-in-time view:
+//!   lifetime totals plus per-window rates and quantiles, with an embedded
+//!   [`HealthReport`] evaluated from declarative [`SloRule`]s.
+//! * [`MetricsExporter`] — writes the snapshot atomically (tmp + rename) as
+//!   JSON plus a Prometheus-style text exposition, on an interval, so a
+//!   scraper or `bbuster metrics watch` always reads a complete file.
+//!
+//! Instruments are time-bucketed on milliseconds since the hub's epoch
+//! (process-relative, monotonic). The pure `*_at` APIs take explicit
+//! timestamps so rotation and merging are deterministic under test; the hub
+//! supplies wall time from its internal clock.
+//!
+//! # SLO rule grammar
+//!
+//! One rule per string; `NAME` is a `/`-separated instrument name:
+//!
+//! | shape | reads | example |
+//! |---|---|---|
+//! | `pNN:NAME<=VALUE` | windowed histogram quantile (p50/p90/p99/max), falling back to lifetime when the window is empty | `p99:serve/push<=250ms` |
+//! | `rate:NAME<=X/s` | counter rate over the sliding window | `rate:sessions/evicted<=500/s` |
+//! | `ratio:NUM:DEN<=X` | lifetime counter ratio | `ratio:sessions/failed:sessions/opened<=0.01` |
+//! | `total:NAME<=X` | lifetime counter total | `total:workers/panics<=0` |
+//! | `gauge:NAME<=X` | instant gauge value | `gauge:journal/dropped<=0` |
+//!
+//! Latency ceilings accept `ns`/`us`/`ms`/`s` suffixes. Each rule burns at
+//! `value / ceiling`: under [`DEGRADED_AT`] is `ok`, at or under 1.0 is
+//! `degraded`, above the ceiling is `failing`; the report's overall state is
+//! the worst rule.
+
+use crate::hist::Histogram;
+use crate::json::{self, Json, JsonError};
+use crate::validate_stage_name;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The snapshot format version written by [`MetricsSnapshot::to_json`].
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// Schema tag embedded in every serialized snapshot.
+pub const SNAPSHOT_SCHEMA: &str = "bb-metrics/snapshot/v1";
+
+/// Burn fraction at which a rule degrades (below: `ok`, above: `degraded`
+/// until the ceiling itself fails).
+pub const DEGRADED_AT: f64 = 0.8;
+
+/// Cap on reported burn rates, keeping the JSON finite when a zero-ceiling
+/// rule is violated.
+pub const BURN_CAP: f64 = 1.0e6;
+
+// ------------------------------------------------------------- window spec
+
+/// Shape of the sliding window: `buckets` ring slots of `bucket_ms` each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Width of one time bucket in milliseconds.
+    pub bucket_ms: u64,
+    /// Number of ring slots; the window spans `bucket_ms * buckets`.
+    pub buckets: usize,
+}
+
+impl Default for WindowSpec {
+    /// Ten one-second buckets: a 10-second sliding window.
+    fn default() -> WindowSpec {
+        WindowSpec {
+            bucket_ms: 1000,
+            buckets: 10,
+        }
+    }
+}
+
+impl WindowSpec {
+    /// Total window span in milliseconds.
+    pub fn window_ms(&self) -> u64 {
+        self.bucket_ms * self.buckets as u64
+    }
+
+    /// Total window span in seconds.
+    pub fn window_secs(&self) -> f64 {
+        self.window_ms() as f64 / 1000.0
+    }
+
+    /// The window that was actually observable at `t_ms`: a run younger
+    /// than the window has only `t_ms` of history (floored at one bucket,
+    /// so early rates stay finite).
+    pub fn effective_secs(&self, t_ms: u64) -> f64 {
+        self.window_ms().min(t_ms.max(self.bucket_ms)) as f64 / 1000.0
+    }
+
+    fn bucket_of(&self, t_ms: u64) -> u64 {
+        t_ms / self.bucket_ms.max(1)
+    }
+}
+
+/// Ring-slot sentinel: "this slot has never been written".
+const EMPTY_SLOT: u64 = u64::MAX;
+
+// -------------------------------------------------------- windowed counter
+
+/// A monotone counter with a per-bucket ring for sliding-window rates.
+///
+/// `add_at` takes milliseconds since an epoch; stale timestamps (older than
+/// the slot their bucket maps to) still count toward the lifetime total but
+/// are dropped from the window.
+#[derive(Debug, Clone)]
+pub struct WindowedCounter {
+    spec: WindowSpec,
+    total: u64,
+    slots: Vec<u64>,
+    slot_buckets: Vec<u64>,
+}
+
+impl WindowedCounter {
+    /// An empty counter over `spec`.
+    pub fn new(spec: WindowSpec) -> WindowedCounter {
+        WindowedCounter {
+            spec,
+            total: 0,
+            slots: vec![0; spec.buckets.max(1)],
+            slot_buckets: vec![EMPTY_SLOT; spec.buckets.max(1)],
+        }
+    }
+
+    /// Adds `n` at `t_ms` milliseconds since the epoch.
+    pub fn add_at(&mut self, t_ms: u64, n: u64) {
+        self.total += n;
+        let bucket = self.spec.bucket_of(t_ms);
+        let slot = (bucket % self.slots.len() as u64) as usize;
+        if self.slot_buckets[slot] != bucket {
+            if self.slot_buckets[slot] != EMPTY_SLOT && bucket < self.slot_buckets[slot] {
+                return; // stale: lifetime only
+            }
+            self.slot_buckets[slot] = bucket;
+            self.slots[slot] = 0;
+        }
+        self.slots[slot] += n;
+    }
+
+    /// Lifetime total.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum over the window ending at `t_ms` (the `buckets` most recent
+    /// bucket intervals, including the one containing `t_ms`).
+    pub fn window_sum_at(&self, t_ms: u64) -> u64 {
+        let cur = self.spec.bucket_of(t_ms);
+        self.slots
+            .iter()
+            .zip(&self.slot_buckets)
+            .filter(|&(_, &b)| b != EMPTY_SLOT && b <= cur && cur - b < self.slots.len() as u64)
+            .map(|(&n, _)| n)
+            .sum()
+    }
+
+    /// Events per second over the effective window at `t_ms`.
+    pub fn rate_at(&self, t_ms: u64) -> f64 {
+        self.window_sum_at(t_ms) as f64 / self.spec.effective_secs(t_ms)
+    }
+}
+
+// ------------------------------------------------------ windowed histogram
+
+/// A sliding-window histogram: one log-bucketed [`Histogram`] per ring
+/// slot plus a lifetime aggregate. Merging the live slots reproduces the
+/// histogram of every value recorded inside the window (exactly, at bucket
+/// granularity — the property the test net pins).
+#[derive(Debug, Clone)]
+pub struct WindowedHistogram {
+    spec: WindowSpec,
+    lifetime: Histogram,
+    slots: Vec<Histogram>,
+    slot_buckets: Vec<u64>,
+}
+
+impl WindowedHistogram {
+    /// An empty windowed histogram over `spec`.
+    pub fn new(spec: WindowSpec) -> WindowedHistogram {
+        WindowedHistogram {
+            spec,
+            lifetime: Histogram::new(),
+            slots: vec![Histogram::new(); spec.buckets.max(1)],
+            slot_buckets: vec![EMPTY_SLOT; spec.buckets.max(1)],
+        }
+    }
+
+    /// Records `value` at `t_ms` milliseconds since the epoch. Stale
+    /// timestamps land in the lifetime histogram only.
+    pub fn record_at(&mut self, t_ms: u64, value: u64) {
+        self.lifetime.record(value);
+        let bucket = self.spec.bucket_of(t_ms);
+        let slot = (bucket % self.slots.len() as u64) as usize;
+        if self.slot_buckets[slot] != bucket {
+            if self.slot_buckets[slot] != EMPTY_SLOT && bucket < self.slot_buckets[slot] {
+                return;
+            }
+            self.slot_buckets[slot] = bucket;
+            self.slots[slot] = Histogram::new();
+        }
+        self.slots[slot].record(value);
+    }
+
+    /// Every value ever recorded.
+    pub fn lifetime(&self) -> &Histogram {
+        &self.lifetime
+    }
+
+    /// The merged histogram of the window ending at `t_ms`.
+    pub fn window_at(&self, t_ms: u64) -> Histogram {
+        let cur = self.spec.bucket_of(t_ms);
+        let mut merged = Histogram::new();
+        for (slot, &b) in self.slots.iter().zip(&self.slot_buckets) {
+            if b != EMPTY_SLOT && b <= cur && cur - b < self.slots.len() as u64 {
+                merged.merge(slot);
+            }
+        }
+        merged
+    }
+}
+
+// ------------------------------------------------------------------- hub
+
+#[derive(Debug)]
+struct HubInner {
+    epoch: Instant,
+    spec: WindowSpec,
+    counters: Mutex<BTreeMap<String, WindowedCounter>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    hists: Mutex<BTreeMap<String, WindowedHistogram>>,
+    rules: Mutex<Vec<SloRule>>,
+    seq: AtomicU64,
+}
+
+/// The live metrics registry. Clones share one set of instruments; every
+/// update is a map lookup under a per-kind mutex, cheap enough for the
+/// serving hot paths (pinned by the `metrics_plane` perf-baseline section).
+#[derive(Debug, Clone)]
+pub struct MetricsHub {
+    inner: Arc<HubInner>,
+}
+
+impl Default for MetricsHub {
+    fn default() -> MetricsHub {
+        MetricsHub::new()
+    }
+}
+
+impl MetricsHub {
+    /// A hub with the default 10 × 1 s window.
+    pub fn new() -> MetricsHub {
+        MetricsHub::with_spec(WindowSpec::default())
+    }
+
+    /// A hub with an explicit window shape.
+    pub fn with_spec(spec: WindowSpec) -> MetricsHub {
+        MetricsHub {
+            inner: Arc::new(HubInner {
+                epoch: Instant::now(),
+                spec,
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                hists: Mutex::new(BTreeMap::new()),
+                rules: Mutex::new(Vec::new()),
+                seq: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The window shape shared by every instrument.
+    pub fn spec(&self) -> WindowSpec {
+        self.inner.spec
+    }
+
+    /// Milliseconds since the hub was created.
+    pub fn now_ms(&self) -> u64 {
+        self.inner.epoch.elapsed().as_millis().min(u64::MAX as u128) as u64
+    }
+
+    /// Adds `n` to windowed counter `name`.
+    pub fn add(&self, name: &str, n: u64) {
+        debug_assert!(
+            validate_stage_name(name).is_ok(),
+            "invalid counter name {name:?}"
+        );
+        let t = self.now_ms();
+        let mut counters = self.inner.counters.lock().expect("metrics hub poisoned");
+        counters
+            .entry(name.to_string())
+            .or_insert_with(|| WindowedCounter::new(self.inner.spec))
+            .add_at(t, n);
+    }
+
+    /// Sets gauge `name` to `value` (last write wins).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        debug_assert!(
+            validate_stage_name(name).is_ok(),
+            "invalid gauge name {name:?}"
+        );
+        let mut gauges = self.inner.gauges.lock().expect("metrics hub poisoned");
+        gauges.insert(name.to_string(), value);
+    }
+
+    /// Records `value` into windowed histogram `name` (nanoseconds for
+    /// latencies; any `u64` unit works — `serve/session/rbrr_bp` records
+    /// basis points).
+    pub fn record(&self, name: &str, value: u64) {
+        debug_assert!(
+            validate_stage_name(name).is_ok(),
+            "invalid histogram name {name:?}"
+        );
+        let t = self.now_ms();
+        let mut hists = self.inner.hists.lock().expect("metrics hub poisoned");
+        hists
+            .entry(name.to_string())
+            .or_insert_with(|| WindowedHistogram::new(self.inner.spec))
+            .record_at(t, value);
+    }
+
+    /// Replaces the SLO rule set evaluated into every snapshot's health
+    /// block.
+    pub fn set_rules(&self, rules: Vec<SloRule>) {
+        *self.inner.rules.lock().expect("metrics hub poisoned") = rules;
+    }
+
+    /// The current SLO rule set.
+    pub fn rules(&self) -> Vec<SloRule> {
+        self.inner
+            .rules
+            .lock()
+            .expect("metrics hub poisoned")
+            .clone()
+    }
+
+    /// A snapshot at the current hub time.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.snapshot_at(self.now_ms())
+    }
+
+    /// A snapshot evaluated at an explicit `t_ms` (deterministic entry for
+    /// tests; the sequence number still advances).
+    pub fn snapshot_at(&self, t_ms: u64) -> MetricsSnapshot {
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let spec = self.inner.spec;
+        let counters = {
+            let map = self.inner.counters.lock().expect("metrics hub poisoned");
+            map.iter()
+                .map(|(k, c)| {
+                    (
+                        k.clone(),
+                        CounterSnapshot {
+                            total: c.total(),
+                            window: c.window_sum_at(t_ms),
+                            rate_per_sec: c.rate_at(t_ms),
+                        },
+                    )
+                })
+                .collect()
+        };
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .expect("metrics hub poisoned")
+            .clone();
+        let hists = {
+            let map = self.inner.hists.lock().expect("metrics hub poisoned");
+            map.iter()
+                .map(|(k, h)| {
+                    let life = h.lifetime();
+                    let win = h.window_at(t_ms);
+                    (
+                        k.clone(),
+                        HistSnapshot {
+                            count: life.count(),
+                            mean: life.mean(),
+                            p50: life.p50(),
+                            p90: life.p90(),
+                            p99: life.p99(),
+                            max: life.max(),
+                            window: HistWindowSnapshot {
+                                count: win.count(),
+                                rate_per_sec: win.count() as f64 / spec.effective_secs(t_ms),
+                                p50: win.p50(),
+                                p90: win.p90(),
+                                p99: win.p99(),
+                                max: win.max(),
+                            },
+                        },
+                    )
+                })
+                .collect()
+        };
+        let mut snapshot = MetricsSnapshot {
+            seq,
+            t_ms,
+            spec,
+            counters,
+            gauges,
+            hists,
+            health: HealthReport::default(),
+        };
+        snapshot.health = snapshot.evaluate_health(&self.rules());
+        snapshot
+    }
+}
+
+// -------------------------------------------------------------- snapshot
+
+/// One counter's view in a snapshot.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CounterSnapshot {
+    /// Lifetime total (monotone across snapshots).
+    pub total: u64,
+    /// Sum over the sliding window.
+    pub window: u64,
+    /// Events per second over the effective window.
+    pub rate_per_sec: f64,
+}
+
+/// The sliding-window slice of one histogram's snapshot.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistWindowSnapshot {
+    /// Values recorded inside the window.
+    pub count: u64,
+    /// Records per second over the effective window.
+    pub rate_per_sec: f64,
+    /// Windowed median.
+    pub p50: u64,
+    /// Windowed 90th percentile.
+    pub p90: u64,
+    /// Windowed 99th percentile.
+    pub p99: u64,
+    /// Windowed maximum (exact).
+    pub max: u64,
+}
+
+/// One windowed histogram's view in a snapshot: lifetime quantiles plus the
+/// sliding-window slice.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistSnapshot {
+    /// Lifetime record count.
+    pub count: u64,
+    /// Lifetime mean.
+    pub mean: u64,
+    /// Lifetime median.
+    pub p50: u64,
+    /// Lifetime 90th percentile.
+    pub p90: u64,
+    /// Lifetime 99th percentile.
+    pub p99: u64,
+    /// Lifetime maximum (exact).
+    pub max: u64,
+    /// The sliding-window slice.
+    pub window: HistWindowSnapshot,
+}
+
+/// A serializable point-in-time view of a [`MetricsHub`]. See the module
+/// docs for the JSON schema; [`MetricsSnapshot::to_prometheus`] renders the
+/// text exposition.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Snapshot sequence number (monotone per hub).
+    pub seq: u64,
+    /// Milliseconds since the hub epoch at evaluation time.
+    pub t_ms: u64,
+    /// The window shape the instruments used.
+    pub spec: WindowSpec,
+    /// Windowed counters by name.
+    pub counters: BTreeMap<String, CounterSnapshot>,
+    /// Instant gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Windowed histograms by name.
+    pub hists: BTreeMap<String, HistSnapshot>,
+    /// SLO health, evaluated from the hub's rule set at snapshot time.
+    pub health: HealthReport,
+}
+
+impl MetricsSnapshot {
+    /// Re-evaluates `rules` against this snapshot's data (used by the hub
+    /// at snapshot time and by `bbuster report --slo --rules …`).
+    pub fn evaluate_health(&self, rules: &[SloRule]) -> HealthReport {
+        let evals: Vec<RuleEval> = rules.iter().map(|r| r.evaluate(self)).collect();
+        let state = evals
+            .iter()
+            .map(|e| e.state)
+            .max()
+            .unwrap_or(HealthState::Ok);
+        HealthReport {
+            state,
+            rules: evals,
+        }
+    }
+
+    /// Serializes to the stable (sorted-key) JSON document.
+    pub fn to_json(&self) -> String {
+        let mut root = BTreeMap::new();
+        root.insert("version".to_string(), Json::Number(SNAPSHOT_VERSION as f64));
+        root.insert(
+            "schema".to_string(),
+            Json::String(SNAPSHOT_SCHEMA.to_string()),
+        );
+        root.insert("seq".to_string(), Json::Number(self.seq as f64));
+        root.insert("t_ms".to_string(), Json::Number(self.t_ms as f64));
+        let mut window = BTreeMap::new();
+        window.insert(
+            "bucket_ms".to_string(),
+            Json::Number(self.spec.bucket_ms as f64),
+        );
+        window.insert(
+            "buckets".to_string(),
+            Json::Number(self.spec.buckets as f64),
+        );
+        root.insert("window".to_string(), Json::Object(window));
+        root.insert(
+            "counters".to_string(),
+            Json::Object(
+                self.counters
+                    .iter()
+                    .map(|(k, c)| {
+                        let mut obj = BTreeMap::new();
+                        obj.insert("total".to_string(), Json::Number(c.total as f64));
+                        obj.insert("window".to_string(), Json::Number(c.window as f64));
+                        obj.insert("rate_per_sec".to_string(), Json::Number(c.rate_per_sec));
+                        (k.clone(), Json::Object(obj))
+                    })
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "gauges".to_string(),
+            Json::Object(
+                self.gauges
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Number(*v)))
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "histograms".to_string(),
+            Json::Object(
+                self.hists
+                    .iter()
+                    .map(|(k, h)| {
+                        let mut obj = BTreeMap::new();
+                        obj.insert("count".to_string(), Json::Number(h.count as f64));
+                        obj.insert("mean".to_string(), Json::Number(h.mean as f64));
+                        obj.insert("p50".to_string(), Json::Number(h.p50 as f64));
+                        obj.insert("p90".to_string(), Json::Number(h.p90 as f64));
+                        obj.insert("p99".to_string(), Json::Number(h.p99 as f64));
+                        obj.insert("max".to_string(), Json::Number(h.max as f64));
+                        let mut win = BTreeMap::new();
+                        win.insert("count".to_string(), Json::Number(h.window.count as f64));
+                        win.insert(
+                            "rate_per_sec".to_string(),
+                            Json::Number(h.window.rate_per_sec),
+                        );
+                        win.insert("p50".to_string(), Json::Number(h.window.p50 as f64));
+                        win.insert("p90".to_string(), Json::Number(h.window.p90 as f64));
+                        win.insert("p99".to_string(), Json::Number(h.window.p99 as f64));
+                        win.insert("max".to_string(), Json::Number(h.window.max as f64));
+                        obj.insert("window".to_string(), Json::Object(win));
+                        (k.clone(), Json::Object(obj))
+                    })
+                    .collect(),
+            ),
+        );
+        let mut health = BTreeMap::new();
+        health.insert(
+            "state".to_string(),
+            Json::String(self.health.state.as_str().to_string()),
+        );
+        health.insert(
+            "rules".to_string(),
+            Json::Array(
+                self.health
+                    .rules
+                    .iter()
+                    .map(|e| {
+                        let mut obj = BTreeMap::new();
+                        obj.insert("rule".to_string(), Json::String(e.rule.clone()));
+                        obj.insert("value".to_string(), Json::Number(e.value));
+                        obj.insert("ceiling".to_string(), Json::Number(e.ceiling));
+                        obj.insert("burn".to_string(), Json::Number(e.burn));
+                        obj.insert(
+                            "state".to_string(),
+                            Json::String(e.state.as_str().to_string()),
+                        );
+                        Json::Object(obj)
+                    })
+                    .collect(),
+            ),
+        );
+        root.insert("health".to_string(), Json::Object(health));
+        json::to_pretty_string(&Json::Object(root))
+    }
+
+    /// Parses a document written by [`MetricsSnapshot::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] on malformed JSON, a shape mismatch, or a version
+    /// newer than [`SNAPSHOT_VERSION`].
+    pub fn from_json(text: &str) -> Result<MetricsSnapshot, JsonError> {
+        let value = json::parse(text)?;
+        let root = value.as_object("root")?;
+        match root.get("version") {
+            None => return Err(JsonError::shape("snapshot has no version field")),
+            Some(v) => {
+                let version = v.as_u64("version")?;
+                if version == 0 || version > SNAPSHOT_VERSION {
+                    return Err(JsonError::shape(format!(
+                        "unsupported snapshot version {version} (this build reads <= {SNAPSHOT_VERSION})"
+                    )));
+                }
+            }
+        }
+        let mut snap = MetricsSnapshot {
+            seq: root
+                .get("seq")
+                .map(|v| v.as_u64("seq"))
+                .transpose()?
+                .unwrap_or(0),
+            t_ms: root
+                .get("t_ms")
+                .map(|v| v.as_u64("t_ms"))
+                .transpose()?
+                .unwrap_or(0),
+            ..MetricsSnapshot::default()
+        };
+        if let Some(window) = root.get("window") {
+            let obj = window.as_object("window")?;
+            snap.spec = WindowSpec {
+                bucket_ms: obj
+                    .get("bucket_ms")
+                    .ok_or_else(|| JsonError::shape("window: missing bucket_ms"))?
+                    .as_u64("bucket_ms")?,
+                buckets: obj
+                    .get("buckets")
+                    .ok_or_else(|| JsonError::shape("window: missing buckets"))?
+                    .as_u64("buckets")? as usize,
+            };
+        }
+        if let Some(counters) = root.get("counters") {
+            for (k, v) in counters.as_object("counters")? {
+                let obj = v.as_object(k)?;
+                let field = |name: &str| -> Result<&Json, JsonError> {
+                    obj.get(name)
+                        .ok_or_else(|| JsonError::shape(format!("{k}: missing {name}")))
+                };
+                snap.counters.insert(
+                    k.clone(),
+                    CounterSnapshot {
+                        total: field("total")?.as_u64("total")?,
+                        window: field("window")?.as_u64("window")?,
+                        rate_per_sec: field("rate_per_sec")?.as_f64("rate_per_sec")?,
+                    },
+                );
+            }
+        }
+        if let Some(gauges) = root.get("gauges") {
+            for (k, v) in gauges.as_object("gauges")? {
+                snap.gauges.insert(k.clone(), v.as_f64(k)?);
+            }
+        }
+        if let Some(hists) = root.get("histograms") {
+            for (k, v) in hists.as_object("histograms")? {
+                let obj = v.as_object(k)?;
+                let field = |name: &str| -> Result<u64, JsonError> {
+                    obj.get(name)
+                        .ok_or_else(|| JsonError::shape(format!("{k}: missing {name}")))?
+                        .as_u64(name)
+                };
+                let win_obj = obj
+                    .get("window")
+                    .ok_or_else(|| JsonError::shape(format!("{k}: missing window")))?
+                    .as_object("window")?;
+                let wfield = |name: &str| -> Result<u64, JsonError> {
+                    win_obj
+                        .get(name)
+                        .ok_or_else(|| JsonError::shape(format!("{k}.window: missing {name}")))?
+                        .as_u64(name)
+                };
+                snap.hists.insert(
+                    k.clone(),
+                    HistSnapshot {
+                        count: field("count")?,
+                        mean: field("mean")?,
+                        p50: field("p50")?,
+                        p90: field("p90")?,
+                        p99: field("p99")?,
+                        max: field("max")?,
+                        window: HistWindowSnapshot {
+                            count: wfield("count")?,
+                            rate_per_sec: win_obj
+                                .get("rate_per_sec")
+                                .ok_or_else(|| {
+                                    JsonError::shape(format!("{k}.window: missing rate_per_sec"))
+                                })?
+                                .as_f64("rate_per_sec")?,
+                            p50: wfield("p50")?,
+                            p90: wfield("p90")?,
+                            p99: wfield("p99")?,
+                            max: wfield("max")?,
+                        },
+                    },
+                );
+            }
+        }
+        if let Some(health) = root.get("health") {
+            let obj = health.as_object("health")?;
+            let state = obj
+                .get("state")
+                .ok_or_else(|| JsonError::shape("health: missing state"))?
+                .as_string("state")?;
+            snap.health.state = HealthState::from_name(state)
+                .ok_or_else(|| JsonError::shape(format!("health: unknown state {state:?}")))?;
+            if let Some(Json::Array(rules)) = obj.get("rules") {
+                for item in rules {
+                    let r = item.as_object("rule")?;
+                    let field = |name: &str| -> Result<&Json, JsonError> {
+                        r.get(name)
+                            .ok_or_else(|| JsonError::shape(format!("rule: missing {name}")))
+                    };
+                    let state_str = field("state")?.as_string("state")?;
+                    snap.health.rules.push(RuleEval {
+                        rule: field("rule")?.as_string("rule")?.to_string(),
+                        value: field("value")?.as_f64("value")?,
+                        ceiling: field("ceiling")?.as_f64("ceiling")?,
+                        burn: field("burn")?.as_f64("burn")?,
+                        state: HealthState::from_name(state_str).ok_or_else(|| {
+                            JsonError::shape(format!("rule: unknown state {state_str:?}"))
+                        })?,
+                    });
+                }
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Renders the Prometheus-style text exposition: every instrument under
+    /// a `bb_` prefix (`/` becomes `_`), lifetime summaries plus windowed
+    /// gauges, and the health block as numeric states and per-rule burns.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# {SNAPSHOT_SCHEMA} exposition (seq {}, t_ms {})",
+            self.seq, self.t_ms
+        );
+        let _ = writeln!(out, "bb_snapshot_seq {}", self.seq);
+        let _ = writeln!(out, "bb_snapshot_t_ms {}", self.t_ms);
+        for (name, c) in &self.counters {
+            let m = metric_name(name);
+            let _ = writeln!(out, "# TYPE bb_{m}_total counter");
+            let _ = writeln!(out, "bb_{m}_total {}", c.total);
+            let _ = writeln!(out, "bb_{m}_window_rate {}", fmt_f64(c.rate_per_sec));
+        }
+        for (name, v) in &self.gauges {
+            let m = metric_name(name);
+            let _ = writeln!(out, "# TYPE bb_{m} gauge");
+            let _ = writeln!(out, "bb_{m} {}", fmt_f64(*v));
+        }
+        for (name, h) in &self.hists {
+            let m = metric_name(name);
+            let _ = writeln!(out, "# TYPE bb_{m} summary");
+            let _ = writeln!(out, "bb_{m}{{quantile=\"0.5\"}} {}", h.p50);
+            let _ = writeln!(out, "bb_{m}{{quantile=\"0.9\"}} {}", h.p90);
+            let _ = writeln!(out, "bb_{m}{{quantile=\"0.99\"}} {}", h.p99);
+            let _ = writeln!(out, "bb_{m}_count {}", h.count);
+            let _ = writeln!(out, "bb_{m}_max {}", h.max);
+            let _ = writeln!(out, "bb_{m}_window_p99 {}", h.window.p99);
+            let _ = writeln!(out, "bb_{m}_window_rate {}", fmt_f64(h.window.rate_per_sec));
+        }
+        let _ = writeln!(out, "# TYPE bb_health_state gauge");
+        let _ = writeln!(out, "bb_health_state {}", self.health.state as u8);
+        for e in &self.health.rules {
+            let _ = writeln!(
+                out,
+                "bb_slo_burn{{rule=\"{}\"}} {}",
+                e.rule.replace('"', "'"),
+                fmt_f64(e.burn)
+            );
+        }
+        out
+    }
+}
+
+/// `serve/push` → `serve_push`; anything outside `[A-Za-z0-9_]` becomes `_`.
+fn metric_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Exposition float formatting: integers print bare, everything else via
+/// the shortest `f64` display (deterministic for a given value).
+fn fmt_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+// ----------------------------------------------------------------- health
+
+/// One rule's health (ordered: worst state wins in the report).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum HealthState {
+    /// Burn below [`DEGRADED_AT`].
+    #[default]
+    Ok,
+    /// Burn at or above [`DEGRADED_AT`] but within the ceiling.
+    Degraded,
+    /// The ceiling is violated.
+    Failing,
+}
+
+impl HealthState {
+    /// The serialized name (`ok` / `degraded` / `failing`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthState::Ok => "ok",
+            HealthState::Degraded => "degraded",
+            HealthState::Failing => "failing",
+        }
+    }
+
+    /// Parses a serialized name.
+    pub fn from_name(s: &str) -> Option<HealthState> {
+        match s {
+            "ok" => Some(HealthState::Ok),
+            "degraded" => Some(HealthState::Degraded),
+            "failing" => Some(HealthState::Failing),
+            _ => None,
+        }
+    }
+}
+
+/// One evaluated SLO rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleEval {
+    /// The rule's canonical grammar string.
+    pub rule: String,
+    /// Observed value (rule units: ns, events/s, a ratio…).
+    pub value: f64,
+    /// The rule's ceiling in the same units.
+    pub ceiling: f64,
+    /// Burn rate `value / ceiling`, capped at [`BURN_CAP`].
+    pub burn: f64,
+    /// This rule's state.
+    pub state: HealthState,
+}
+
+/// The snapshot's health block: overall state plus per-rule evaluations.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HealthReport {
+    /// Worst rule state (`ok` with an empty rule set).
+    pub state: HealthState,
+    /// Per-rule evaluations, in rule-set order.
+    pub rules: Vec<RuleEval>,
+}
+
+// -------------------------------------------------------------- SLO rules
+
+/// Maps a parsed quantile back to its grammar keyword (the parser only
+/// produces 0.50 / 0.90 / 0.99 / 1.0, so anything else reads as `max`).
+fn quantile_kind(q: f64) -> &'static str {
+    if (q - 0.50).abs() < 1e-9 {
+        "p50"
+    } else if (q - 0.90).abs() < 1e-9 {
+        "p90"
+    } else if (q - 0.99).abs() < 1e-9 {
+        "p99"
+    } else {
+        "max"
+    }
+}
+
+/// A declarative SLO rule; see the module docs for the grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloRule {
+    /// `pNN:NAME<=CEILING` — windowed histogram quantile (lifetime when the
+    /// window is empty). `q` is 0.50 / 0.90 / 0.99 / 1.0 (max).
+    Quantile {
+        /// Histogram instrument name.
+        instrument: String,
+        /// Which quantile (0.5, 0.9, 0.99, or 1.0 for max).
+        q: f64,
+        /// Ceiling in the histogram's units (ns for latencies).
+        ceiling: f64,
+    },
+    /// `rate:NAME<=X/s` — windowed counter rate.
+    Rate {
+        /// Counter name.
+        counter: String,
+        /// Ceiling in events per second.
+        ceiling_per_sec: f64,
+    },
+    /// `ratio:NUM:DEN<=X` — lifetime counter ratio (0 when `DEN` is 0).
+    Ratio {
+        /// Numerator counter.
+        numerator: String,
+        /// Denominator counter.
+        denominator: String,
+        /// Ceiling on the ratio.
+        ceiling: f64,
+    },
+    /// `total:NAME<=X` — lifetime counter total.
+    Total {
+        /// Counter name.
+        counter: String,
+        /// Ceiling on the total.
+        ceiling: f64,
+    },
+    /// `gauge:NAME<=X` — instant gauge value.
+    Gauge {
+        /// Gauge name.
+        gauge: String,
+        /// Ceiling on the value.
+        ceiling: f64,
+    },
+}
+
+impl SloRule {
+    /// Parses one rule from the grammar in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the malformed rule.
+    pub fn parse(text: &str) -> Result<SloRule, String> {
+        let text = text.trim();
+        let (lhs, rhs) = text
+            .split_once("<=")
+            .ok_or_else(|| format!("rule {text:?}: expected KIND:NAME<=CEILING"))?;
+        let (kind, name) = lhs
+            .split_once(':')
+            .ok_or_else(|| format!("rule {text:?}: expected KIND:NAME"))?;
+        let name = name.trim();
+        let check = |n: &str| -> Result<String, String> {
+            validate_stage_name(n).map_err(|e| format!("rule {text:?}: {e}"))?;
+            Ok(n.to_string())
+        };
+        match kind.trim() {
+            q @ ("p50" | "p90" | "p99" | "max") => Ok(SloRule::Quantile {
+                instrument: check(name)?,
+                q: match q {
+                    "p50" => 0.50,
+                    "p90" => 0.90,
+                    "p99" => 0.99,
+                    _ => 1.0,
+                },
+                ceiling: parse_duration_ns(rhs.trim())
+                    .ok_or_else(|| format!("rule {text:?}: bad ceiling {rhs:?}"))?,
+            }),
+            "rate" => {
+                let rhs = rhs.trim().strip_suffix("/s").unwrap_or(rhs.trim());
+                Ok(SloRule::Rate {
+                    counter: check(name)?,
+                    ceiling_per_sec: rhs
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("rule {text:?}: bad rate ceiling {rhs:?}"))?,
+                })
+            }
+            "ratio" => {
+                let (num, den) = name
+                    .split_once(':')
+                    .ok_or_else(|| format!("rule {text:?}: expected ratio:NUM:DEN<=X"))?;
+                Ok(SloRule::Ratio {
+                    numerator: check(num.trim())?,
+                    denominator: check(den.trim())?,
+                    ceiling: rhs
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("rule {text:?}: bad ratio ceiling {rhs:?}"))?,
+                })
+            }
+            "total" => Ok(SloRule::Total {
+                counter: check(name)?,
+                ceiling: rhs
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("rule {text:?}: bad total ceiling {rhs:?}"))?,
+            }),
+            "gauge" => Ok(SloRule::Gauge {
+                gauge: check(name)?,
+                ceiling: rhs
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("rule {text:?}: bad gauge ceiling {rhs:?}"))?,
+            }),
+            other => Err(format!(
+                "rule {text:?}: unknown kind {other:?} (p50|p90|p99|max|rate|ratio|total|gauge)"
+            )),
+        }
+    }
+
+    /// Parses a `;`-separated rule list, skipping empty segments.
+    ///
+    /// # Errors
+    ///
+    /// The first malformed rule's description.
+    pub fn parse_list(text: &str) -> Result<Vec<SloRule>, String> {
+        text.split(';')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(SloRule::parse)
+            .collect()
+    }
+
+    /// The canonical grammar string (parses back to an equal rule).
+    pub fn label(&self) -> String {
+        match self {
+            SloRule::Quantile {
+                instrument,
+                q,
+                ceiling,
+            } => {
+                format!("{}:{instrument}<={}", quantile_kind(*q), fmt_f64(*ceiling))
+            }
+            SloRule::Rate {
+                counter,
+                ceiling_per_sec,
+            } => format!("rate:{counter}<={}/s", fmt_f64(*ceiling_per_sec)),
+            SloRule::Ratio {
+                numerator,
+                denominator,
+                ceiling,
+            } => format!("ratio:{numerator}:{denominator}<={}", fmt_f64(*ceiling)),
+            SloRule::Total { counter, ceiling } => {
+                format!("total:{counter}<={}", fmt_f64(*ceiling))
+            }
+            SloRule::Gauge { gauge, ceiling } => format!("gauge:{gauge}<={}", fmt_f64(*ceiling)),
+        }
+    }
+
+    /// Evaluates this rule against a snapshot's data. Missing instruments
+    /// read as zero (an SLO on an instrument that never fired is met).
+    pub fn evaluate(&self, snap: &MetricsSnapshot) -> RuleEval {
+        let (value, ceiling) = match self {
+            SloRule::Quantile {
+                instrument,
+                q,
+                ceiling,
+            } => {
+                let value = snap
+                    .hists
+                    .get(instrument)
+                    .map(|h| {
+                        let (win, life) = match quantile_kind(*q) {
+                            "p50" => (h.window.p50, h.p50),
+                            "p90" => (h.window.p90, h.p90),
+                            "p99" => (h.window.p99, h.p99),
+                            _ => (h.window.max, h.max),
+                        };
+                        if h.window.count > 0 {
+                            win
+                        } else {
+                            life
+                        }
+                    })
+                    .unwrap_or(0);
+                (value as f64, *ceiling)
+            }
+            SloRule::Rate {
+                counter,
+                ceiling_per_sec,
+            } => (
+                snap.counters
+                    .get(counter)
+                    .map(|c| c.rate_per_sec)
+                    .unwrap_or(0.0),
+                *ceiling_per_sec,
+            ),
+            SloRule::Ratio {
+                numerator,
+                denominator,
+                ceiling,
+            } => {
+                let num = snap.counters.get(numerator).map(|c| c.total).unwrap_or(0);
+                let den = snap.counters.get(denominator).map(|c| c.total).unwrap_or(0);
+                let ratio = if den == 0 {
+                    0.0
+                } else {
+                    num as f64 / den as f64
+                };
+                (ratio, *ceiling)
+            }
+            SloRule::Total { counter, ceiling } => (
+                snap.counters.get(counter).map(|c| c.total).unwrap_or(0) as f64,
+                *ceiling,
+            ),
+            SloRule::Gauge { gauge, ceiling } => {
+                (snap.gauges.get(gauge).copied().unwrap_or(0.0), *ceiling)
+            }
+        };
+        let burn = if ceiling > 0.0 {
+            (value / ceiling).min(BURN_CAP)
+        } else if value <= 0.0 {
+            0.0
+        } else {
+            BURN_CAP
+        };
+        let state = if burn > 1.0 {
+            HealthState::Failing
+        } else if burn >= DEGRADED_AT {
+            HealthState::Degraded
+        } else {
+            HealthState::Ok
+        };
+        RuleEval {
+            rule: self.label(),
+            value,
+            ceiling,
+            burn,
+            state,
+        }
+    }
+}
+
+/// Parses `250ms` / `3us` / `1.5s` / `40000000` into nanoseconds.
+fn parse_duration_ns(s: &str) -> Option<f64> {
+    let (digits, mult) = if let Some(d) = s.strip_suffix("ns") {
+        (d, 1.0)
+    } else if let Some(d) = s.strip_suffix("us") {
+        (d, 1e3)
+    } else if let Some(d) = s.strip_suffix("µs") {
+        (d, 1e3)
+    } else if let Some(d) = s.strip_suffix("ms") {
+        (d, 1e6)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, 1e9)
+    } else {
+        (s, 1.0)
+    };
+    let n: f64 = digits.trim().parse().ok()?;
+    (n >= 0.0).then_some(n * mult)
+}
+
+/// The default SLO rule set for the serving stack: push-latency tail,
+/// failed-session ratio, eviction-storm rate, journal drops, worker panics,
+/// and budget pressure. `bbuster serve` / `bbuster loadgen` install these
+/// when `--metrics-out` is given and no override is supplied.
+pub fn default_serve_rules() -> Vec<SloRule> {
+    [
+        "p99:serve/push<=500ms",
+        "ratio:sessions/failed:sessions/opened<=0.01",
+        "rate:sessions/evicted<=10000/s",
+        "gauge:journal/dropped<=0",
+        "total:workers/panics<=0",
+        "gauge:serve/budget_pressure<=1.0",
+    ]
+    .iter()
+    .map(|r| SloRule::parse(r).expect("default rules parse"))
+    .collect()
+}
+
+// --------------------------------------------------------------- exporter
+
+/// Periodic atomic snapshot writer: JSON to the configured path, the
+/// Prometheus text exposition next to it with a `.prom` extension. Both go
+/// through tmp + rename, so a concurrent reader never sees a torn file.
+#[derive(Debug)]
+pub struct MetricsExporter {
+    json_path: PathBuf,
+    prom_path: PathBuf,
+    interval: Duration,
+    last: Option<Instant>,
+}
+
+impl MetricsExporter {
+    /// An exporter writing to `path` (and `path` with a `.prom` extension)
+    /// at most once per `interval`.
+    pub fn new(path: impl Into<PathBuf>, interval: Duration) -> MetricsExporter {
+        let json_path: PathBuf = path.into();
+        let prom_path = json_path.with_extension("prom");
+        MetricsExporter {
+            json_path,
+            prom_path,
+            interval,
+            last: None,
+        }
+    }
+
+    /// Where the JSON snapshot lands.
+    pub fn json_path(&self) -> &Path {
+        &self.json_path
+    }
+
+    /// Where the text exposition lands.
+    pub fn prom_path(&self) -> &Path {
+        &self.prom_path
+    }
+
+    /// Whether the interval has elapsed since the last export.
+    pub fn due(&self) -> bool {
+        match self.last {
+            None => true,
+            Some(at) => at.elapsed() >= self.interval,
+        }
+    }
+
+    /// Exports if the interval has elapsed; returns whether it did.
+    ///
+    /// # Errors
+    ///
+    /// See [`MetricsExporter::export_now`].
+    pub fn maybe_export(&mut self, telemetry: &crate::Telemetry) -> Result<bool, String> {
+        if !self.due() {
+            return Ok(false);
+        }
+        self.export_now(telemetry).map(|_| true)
+    }
+
+    /// Exports unconditionally: syncs the journal drop gauge, snapshots the
+    /// hub, and writes both files atomically.
+    ///
+    /// # Errors
+    ///
+    /// When the telemetry handle has no [`MetricsHub`] attached, or on I/O
+    /// failure writing either file.
+    pub fn export_now(&mut self, telemetry: &crate::Telemetry) -> Result<MetricsSnapshot, String> {
+        let hub = telemetry
+            .metrics()
+            .ok_or("metrics exporter: no MetricsHub attached to this telemetry handle")?;
+        if let Some(journal) = telemetry.journal() {
+            hub.set_gauge("journal/dropped", journal.dropped() as f64);
+        }
+        let snapshot = hub.snapshot();
+        write_atomic(&self.json_path, snapshot.to_json().as_bytes())?;
+        write_atomic(&self.prom_path, snapshot.to_prometheus().as_bytes())?;
+        self.last = Some(Instant::now());
+        Ok(snapshot)
+    }
+}
+
+/// Writes `bytes` to `path` via a sibling tmp file + rename.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), String> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, bytes).map_err(|e| format!("{}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WindowSpec {
+        WindowSpec {
+            bucket_ms: 1000,
+            buckets: 4,
+        }
+    }
+
+    #[test]
+    fn counter_window_slides_and_total_is_lifetime() {
+        let mut c = WindowedCounter::new(spec());
+        c.add_at(0, 5);
+        c.add_at(1500, 3);
+        assert_eq!(c.total(), 8);
+        assert_eq!(c.window_sum_at(1500), 8);
+        // 4 buckets of 1s: at t=4.5s the bucket holding t=0 has slid out.
+        assert_eq!(c.window_sum_at(4500), 3);
+        assert_eq!(c.window_sum_at(9000), 0);
+        assert_eq!(c.total(), 8);
+    }
+
+    #[test]
+    fn counter_ring_reuses_slots_after_wrap() {
+        let mut c = WindowedCounter::new(spec());
+        c.add_at(500, 1); // bucket 0
+        c.add_at(4500, 2); // bucket 4 → same slot as bucket 0, must reset
+        assert_eq!(c.window_sum_at(4500), 2);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn stale_records_keep_lifetime_but_not_window() {
+        let mut h = WindowedHistogram::new(spec());
+        h.record_at(9000, 100);
+        h.record_at(500, 7); // bucket 0 maps to the slot bucket 8 holds? (8 % 4 = 0) — stale
+        assert_eq!(h.lifetime().count(), 2);
+        assert_eq!(h.window_at(9000).count(), 1);
+    }
+
+    #[test]
+    fn histogram_window_merge_matches_in_window_values() {
+        let mut h = WindowedHistogram::new(spec());
+        let mut expect = Histogram::new();
+        for (t, v) in [(0u64, 10u64), (900, 20), (1100, 30), (3900, 40)] {
+            h.record_at(t, v);
+        }
+        // At t=4.2s the window covers buckets 1..=4: values 30 and 40.
+        for v in [30u64, 40] {
+            expect.record(v);
+        }
+        assert_eq!(h.window_at(4200), expect);
+        assert_eq!(h.lifetime().count(), 4);
+    }
+
+    #[test]
+    fn hub_snapshot_carries_all_instrument_kinds() {
+        let hub = MetricsHub::new();
+        hub.add("sessions/opened", 3);
+        hub.set_gauge("serve/sessions_active", 2.0);
+        hub.record("serve/push", 1_000_000);
+        let snap = hub.snapshot();
+        assert_eq!(snap.seq, 1);
+        assert_eq!(snap.counters["sessions/opened"].total, 3);
+        assert_eq!(snap.gauges["serve/sessions_active"], 2.0);
+        assert_eq!(snap.hists["serve/push"].count, 1);
+        assert!(snap.hists["serve/push"].window.count <= 1);
+        let again = hub.snapshot();
+        assert_eq!(again.seq, 2, "snapshot sequence must advance");
+    }
+
+    #[test]
+    fn snapshot_json_round_trip_is_lossless() {
+        let hub = MetricsHub::with_spec(spec());
+        hub.add("a/b", 7);
+        hub.set_gauge("g/x", 1.5);
+        hub.record("h/y", 123);
+        hub.set_rules(vec![SloRule::parse("total:a/b<=10").unwrap()]);
+        let snap = hub.snapshot_at(2500);
+        let parsed = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn snapshot_version_gate() {
+        assert!(MetricsSnapshot::from_json(r#"{"version": 1}"#).is_ok());
+        assert!(MetricsSnapshot::from_json(r#"{"version": 2}"#).is_err());
+        assert!(MetricsSnapshot::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn slo_grammar_round_trips() {
+        for text in [
+            "p99:serve/push<=250000000",
+            "p50:serve/push<=1000",
+            "max:h/y<=5",
+            "rate:sessions/evicted<=500/s",
+            "ratio:sessions/failed:sessions/opened<=0.01",
+            "total:workers/panics<=0",
+            "gauge:journal/dropped<=0",
+        ] {
+            let rule = SloRule::parse(text).expect(text);
+            assert_eq!(SloRule::parse(&rule.label()).unwrap(), rule, "{text}");
+        }
+        assert_eq!(
+            SloRule::parse("p99:serve/push<=250ms").unwrap(),
+            SloRule::Quantile {
+                instrument: "serve/push".into(),
+                q: 0.99,
+                ceiling: 250e6
+            }
+        );
+        for bad in [
+            "p98:x<=1",
+            "nope:x<=1",
+            "p99:x",
+            "ratio:a<=1",
+            "total:bad//name<=1",
+            "rate:x<=fast",
+        ] {
+            assert!(SloRule::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        assert_eq!(SloRule::parse_list(" ; total:a/b<=1 ;; ").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn health_states_follow_burn() {
+        let hub = MetricsHub::with_spec(spec());
+        hub.add("ok/counter", 10);
+        hub.add("hot/counter", 9);
+        hub.add("bad/counter", 20);
+        hub.set_rules(
+            SloRule::parse_list(
+                "total:ok/counter<=100;total:hot/counter<=10;total:bad/counter<=10",
+            )
+            .unwrap(),
+        );
+        let snap = hub.snapshot();
+        assert_eq!(snap.health.state, HealthState::Failing);
+        assert_eq!(snap.health.rules[0].state, HealthState::Ok);
+        assert_eq!(snap.health.rules[1].state, HealthState::Degraded);
+        assert_eq!(snap.health.rules[2].state, HealthState::Failing);
+        assert!((snap.health.rules[1].burn - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_ceiling_rules_fail_only_on_nonzero_values() {
+        let hub = MetricsHub::with_spec(spec());
+        hub.set_rules(SloRule::parse_list("total:journal/dropped<=0").unwrap());
+        assert_eq!(hub.snapshot().health.state, HealthState::Ok);
+        hub.add("journal/dropped", 1);
+        let snap = hub.snapshot();
+        assert_eq!(snap.health.state, HealthState::Failing);
+        assert_eq!(snap.health.rules[0].burn, BURN_CAP);
+    }
+
+    #[test]
+    fn quantile_rules_fall_back_to_lifetime_when_window_is_empty() {
+        let hub = MetricsHub::with_spec(spec());
+        hub.record("serve/push", 1_000_000);
+        hub.set_rules(SloRule::parse_list("p99:serve/push<=1ns").unwrap());
+        // Far past the window: windowed count is 0, lifetime p99 still fails.
+        let snap = hub.snapshot_at(3_600_000);
+        assert_eq!(snap.health.state, HealthState::Failing);
+    }
+
+    #[test]
+    fn default_serve_rules_parse_and_pass_an_idle_hub() {
+        let hub = MetricsHub::new();
+        hub.set_rules(default_serve_rules());
+        assert_eq!(hub.snapshot().health.state, HealthState::Ok);
+    }
+
+    #[test]
+    fn prometheus_exposition_names_and_values() {
+        let hub = MetricsHub::with_spec(spec());
+        hub.add("sessions/opened", 2);
+        hub.set_gauge("serve/budget_pressure", 0.25);
+        hub.record("serve/push", 64);
+        let text = hub.snapshot_at(100).to_prometheus();
+        assert!(text.contains("bb_sessions_opened_total 2"));
+        assert!(text.contains("bb_serve_budget_pressure 0.25"));
+        assert!(text.contains("bb_serve_push{quantile=\"0.99\"} 64"));
+        assert!(text.contains("bb_health_state 0"));
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn exporter_writes_both_files_atomically() {
+        let dir = std::env::temp_dir().join(format!("bb_metrics_export_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.json");
+        let mut exporter = MetricsExporter::new(&path, Duration::from_secs(3600));
+        let telemetry = crate::Telemetry::enabled().with_metrics(MetricsHub::new());
+        telemetry.add("sessions/opened", 4);
+        assert!(exporter.maybe_export(&telemetry).unwrap());
+        // Within the interval: a second call is a no-op.
+        assert!(!exporter.maybe_export(&telemetry).unwrap());
+        let snap = MetricsSnapshot::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(snap.counters["sessions/opened"].total, 4);
+        let prom = std::fs::read_to_string(dir.join("m.prom")).unwrap();
+        assert!(prom.contains("bb_sessions_opened_total 4"));
+        assert!(!dir.join("m.json.tmp").exists(), "tmp file must be renamed");
+        let no_hub = crate::Telemetry::enabled();
+        assert!(exporter.export_now(&no_hub).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -343,15 +343,18 @@ fn checkpoint_resume_is_byte_identical_to_the_uninterrupted_run() {
 #[test]
 fn golden_hash_is_unchanged_by_observability() {
     // Observation must never perturb the pipeline: the full sink + journal
-    // configuration produces the exact same bytes as telemetry off.
+    // + live metrics configuration produces the exact same bytes as
+    // telemetry off.
     let video = seeded_call();
-    let telemetry =
-        Telemetry::enabled().with_journal(bb_telemetry::Journal::with_capacity(1 << 18));
+    let hub = bb_telemetry::MetricsHub::new();
+    let telemetry = Telemetry::enabled()
+        .with_journal(bb_telemetry::Journal::with_capacity(1 << 18))
+        .with_metrics(hub.clone());
     let recon = reconstruct(&video, 8, CollectMode::WorkerLocal, &telemetry);
     let hash = fnv1a_of(&recon);
     assert_eq!(
         hash, GOLDEN_HASH,
-        "telemetry+journal changed the output: got {hash:#018x}, pinned {GOLDEN_HASH:#018x}"
+        "telemetry+journal+metrics changed the output: got {hash:#018x}, pinned {GOLDEN_HASH:#018x}"
     );
     // And the journal really was live during that run.
     let journal = telemetry.journal().expect("journal attached");
@@ -362,6 +365,16 @@ fn golden_hash_is_unchanged_by_observability() {
         .count();
     assert_eq!(frame_events, FRAMES);
     assert_eq!(journal.dropped(), 0);
+    // The metrics hub mirrored the run: pipeline counters landed windowed.
+    let snapshot = hub.snapshot();
+    assert_eq!(
+        snapshot.counters["frames/input"].total, FRAMES as u64,
+        "metrics hub missed the pipeline counters"
+    );
+    assert!(
+        snapshot.hists.contains_key("reconstruct"),
+        "stage latency never reached the windowed histograms"
+    );
 }
 
 #[test]
