@@ -1,7 +1,9 @@
 //! Criterion benches over the full reconstruction pipeline: how long the
 //! attack takes per call, per §V stage.
 
-use bb_callsim::{background, profile, run_session, Mitigation, VirtualBackground};
+use bb_callsim::{
+    BackgroundId, CallSim, ProfilePreset, SoftwareProfile, VbMode, VirtualBackground,
+};
 use bb_core::pipeline::{Reconstructor, ReconstructorConfig, VbSource};
 use bb_core::vbmask;
 use bb_imaging::Mask;
@@ -19,16 +21,16 @@ fn fixture() -> (bb_callsim::CompositedCall, bb_imaging::Frame) {
         ..Scenario::baseline(room)
     };
     let gt = scenario.render().expect("render");
-    let vb_img = background::beach(96, 72);
-    let call = run_session(
-        &gt,
-        &VirtualBackground::Image(vb_img.clone()),
-        &profile::zoom_like(),
-        Mitigation::None,
-        Lighting::On,
-        7,
-    )
-    .expect("composite");
+    let VirtualBackground::Image(vb_img) = BackgroundId::Beach.realize(96, 72) else {
+        unreachable!("beach is a static image")
+    };
+    let call = CallSim::new(&gt)
+        .vb(VbMode::Image(vb_img.clone()))
+        .profile(SoftwareProfile::preset(ProfilePreset::ZoomLike))
+        .lighting(Lighting::On)
+        .seed(7)
+        .run()
+        .expect("composite");
     (call, vb_img)
 }
 
@@ -70,17 +72,15 @@ fn bench_pipeline(c: &mut Criterion) {
             ..Scenario::baseline(room)
         };
         let gt = scenario.render().expect("render");
-        let vb = VirtualBackground::Image(vb_img.clone());
+        let vb = VbMode::Image(vb_img.clone());
         b.iter(|| {
-            run_session(
-                &gt,
-                &vb,
-                &profile::zoom_like(),
-                Mitigation::None,
-                Lighting::On,
-                7,
-            )
-            .expect("composite")
+            CallSim::new(&gt)
+                .vb(vb.clone())
+                .profile(SoftwareProfile::preset(ProfilePreset::ZoomLike))
+                .lighting(Lighting::On)
+                .seed(7)
+                .run()
+                .expect("composite")
         })
     });
 }

@@ -16,14 +16,17 @@
 //!   v2 compression ratio and the 2x `speedup_vs_v1_reader` floor,
 //! * the multi-session service (`serve`): a loadgen fleet driven through
 //!   `bb-serve` with admission control and checkpoint eviction engaged
-//!   (sessions/sec, aggregate Mpix/sec, eviction counts).
+//!   (sessions/sec, aggregate Mpix/sec, eviction counts),
+//! * the blur compositor (`blur`): the pinned scenario behind `VbMode::Blur`
+//!   reconstructed via deblurred-evidence accumulation, with the recovered
+//!   RBRR held to a pinned floor.
 //!
 //! The workload is fixed (seed, dimensions, frame count), so numbers are
 //! comparable across commits on the same machine. Pass an output path to
 //! override the default `BENCH_pipeline.json`; pass `--quick` for a smaller
 //! workload (CI smoke, numbers not comparable with the default).
 
-use bb_callsim::{background, profile, run_session, Mitigation, VirtualBackground};
+use bb_callsim::{background, BackgroundId, CallSim, ProfilePreset, SoftwareProfile};
 use bb_core::pipeline::{MaskRetention, Reconstructor, ReconstructorConfig, VbSource};
 use bb_core::CollectMode;
 use bb_imaging::Mask;
@@ -57,16 +60,13 @@ fn render_call(w: &Workload) -> (GroundTruth, VideoStream) {
     }
     .render()
     .expect("scenario renders");
-    let vb = VirtualBackground::Image(background::beach(w.width, w.height));
-    let call = run_session(
-        &gt,
-        &vb,
-        &profile::zoom_like(),
-        Mitigation::None,
-        Lighting::On,
-        SEED,
-    )
-    .expect("session composites");
+    let call = CallSim::new(&gt)
+        .vb(BackgroundId::Beach.realize(w.width, w.height))
+        .profile(SoftwareProfile::preset(ProfilePreset::ZoomLike))
+        .lighting(Lighting::On)
+        .seed(SEED)
+        .run()
+        .expect("session composites");
     (gt, call.video)
 }
 
@@ -88,7 +88,7 @@ fn run_mode(video: &VideoStream, mode: CollectMode) -> ModeResult {
     };
     let telemetry = Telemetry::enabled();
     let reconstructor = Reconstructor::new(
-        VbSource::KnownImages(background::builtin_images(w, h)),
+        VbSource::KnownImages(background::catalog_images(w, h)),
         config,
     )
     .with_telemetry(telemetry.clone());
@@ -302,7 +302,7 @@ fn telemetry_overhead_bench(video: &VideoStream) -> Json {
     };
     let run = |telemetry: Telemetry| -> f64 {
         let reconstructor = Reconstructor::new(
-            VbSource::KnownImages(background::builtin_images(w, h)),
+            VbSource::KnownImages(background::catalog_images(w, h)),
             config,
         )
         .with_telemetry(telemetry);
@@ -374,7 +374,7 @@ fn metrics_plane_bench(video: &VideoStream) -> Json {
     };
     let run = |telemetry: Telemetry| -> f64 {
         let reconstructor = Reconstructor::new(
-            VbSource::KnownImages(background::builtin_images(w, h)),
+            VbSource::KnownImages(background::catalog_images(w, h)),
             config,
         )
         .with_telemetry(telemetry);
@@ -425,7 +425,7 @@ fn streaming_bench(video: &VideoStream) -> Json {
         warmup_frames: WARMUP,
         ..Default::default()
     };
-    let source = VbSource::KnownImages(background::builtin_images(w, h));
+    let source = VbSource::KnownImages(background::catalog_images(w, h));
     let reps = 3;
 
     let batch_recon = Reconstructor::new(source.clone(), base);
@@ -718,6 +718,64 @@ fn serve_bench(quick: bool) -> Json {
     Json::Object(section)
 }
 
+/// Benchmarks the blur-VB attack surface on the pinned workload: the same
+/// seeded scenario composited through `VbMode::Blur` (the default privacy
+/// mode on real platforms) and reconstructed with deblurred-evidence
+/// accumulation (`ReconMode::BlurResidue`) — the exact configuration the
+/// sweep runner picks for `blur:R` cells. The recovered RBRR is held to a
+/// pinned floor on the full workload; quick runs record but don't gate.
+fn blur_recon_bench(gt: &GroundTruth, quick: bool) -> Json {
+    use bb_callsim::VbMode;
+    use bb_core::pipeline::ReconMode;
+
+    const RADIUS: usize = 2;
+    const RBRR_FLOOR: f64 = 10.0;
+    let (w, h) = gt.background.dims();
+    let call = CallSim::new(gt)
+        .vb(VbMode::Blur { radius: RADIUS })
+        .profile(SoftwareProfile::preset(ProfilePreset::ZoomLike))
+        .lighting(Lighting::On)
+        .seed(SEED)
+        .run()
+        .expect("blur call composites");
+    let config = ReconstructorConfig {
+        parallelism: PARALLELISM,
+        mode: ReconMode::BlurResidue { radius: RADIUS },
+        ..Default::default()
+    };
+    let started = Instant::now();
+    let recon = Reconstructor::new(VbSource::UnknownImage, config)
+        .reconstruct(&call.video)
+        .expect("blur reconstruction");
+    let wall_secs = started.elapsed().as_secs_f64();
+    let frames = call.video.len() as f64;
+    let rbrr = recon.rbrr();
+    eprintln!(
+        "  blur radius {RADIUS}: {wall_secs:.2}s wall, {:.1} frames/s, \
+         RBRR {rbrr:.2}% (floor {RBRR_FLOOR}%)",
+        frames / wall_secs
+    );
+    if !quick {
+        assert!(
+            rbrr >= RBRR_FLOOR,
+            "blur acceptance: deblurred-evidence reconstruction must recover \
+             >= {RBRR_FLOOR}% RBRR on the pinned workload, got {rbrr:.2}%"
+        );
+    }
+
+    let mut section = BTreeMap::new();
+    section.insert("blur_radius".into(), Json::Number(RADIUS as f64));
+    section.insert("wall_secs".into(), Json::Number(wall_secs));
+    section.insert("frames_per_sec".into(), Json::Number(frames / wall_secs));
+    section.insert(
+        "mpix_per_sec".into(),
+        Json::Number(frames * (w * h) as f64 / 1e6 / wall_secs),
+    );
+    section.insert("rbrr_percent".into(), Json::Number(rbrr));
+    section.insert("floor_rbrr_percent".into(), Json::Number(RBRR_FLOOR));
+    Json::Object(section)
+}
+
 /// Pulls `modes.worker_local.wall_secs` out of a previously written baseline
 /// at `path`, provided its scenario matches the current one (same schema,
 /// same quick flag) — otherwise the comparison would be meaningless.
@@ -770,7 +828,7 @@ fn main() {
         "rendering {}x{} x {} frames (seed {SEED})…",
         workload.width, workload.height, workload.frames
     );
-    let (_gt, video) = render_call(&workload);
+    let (gt, video) = render_call(&workload);
 
     eprintln!("reconstructing with CollectMode::LockedVec (before)…");
     let locked = run_mode(&video, CollectMode::LockedVec);
@@ -823,6 +881,9 @@ fn main() {
     eprintln!("benchmarking the multi-session service (loadgen fleet)…");
     let serve = serve_bench(quick);
 
+    eprintln!("benchmarking blur-VB reconstruction (deblurred evidence)…");
+    let blur = blur_recon_bench(&gt, quick);
+
     let mut root = BTreeMap::new();
     root.insert(
         "schema".into(),
@@ -836,6 +897,7 @@ fn main() {
     root.insert("streaming".into(), streaming);
     root.insert("ingest".into(), ingest);
     root.insert("serve".into(), serve);
+    root.insert("blur".into(), blur);
     root.insert(
         "speedup_worker_local_vs_locked".into(),
         Json::Number(locked.wall_secs / worker_local.wall_secs),

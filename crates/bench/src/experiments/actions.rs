@@ -7,14 +7,14 @@
 use crate::harness::{default_vb, run_clip};
 use crate::report::{mean, pct, section, Table};
 use crate::ExpConfig;
-use bb_callsim::{profile, Mitigation};
+use bb_callsim::{Mitigation, ProfilePreset, SoftwareProfile};
 use bb_synth::Action;
 use std::collections::BTreeMap;
 
 /// Runs the Fig 7 experiment over the 50 base E1 clips.
 pub fn run(cfg: &ExpConfig) -> String {
     let vb = default_vb(cfg);
-    let zoom = profile::zoom_like();
+    let zoom = SoftwareProfile::preset(ProfilePreset::ZoomLike);
     let clips: Vec<_> = bb_datasets::e1_catalog(&cfg.data)
         .into_iter()
         .filter(|c| {

@@ -13,7 +13,7 @@
 
 use crate::report::{pct, section, Table};
 use crate::ExpConfig;
-use bb_callsim::{background, profile, run_session, Mitigation, VirtualBackground};
+use bb_callsim::{BackgroundId, CallSim, ProfilePreset, SoftwareProfile, VirtualBackground};
 use bb_core::pipeline::{Reconstructor, VbSource};
 use bb_core::vbmask::{derive_unknown_image, merge_references_voting};
 use bb_synth::{Action, CallerAppearance, Lighting, Room, Scenario};
@@ -22,9 +22,11 @@ use rand::{rngs::StdRng, SeedableRng};
 /// Runs the cross-call fusion experiment.
 pub fn run(cfg: &ExpConfig) -> String {
     let (w, h) = (cfg.data.width, cfg.data.height);
-    let zoom = profile::zoom_like();
-    let vb_img = background::office(w, h);
-    let vb = VirtualBackground::Image(vb_img.clone());
+    let zoom = SoftwareProfile::preset(ProfilePreset::ZoomLike);
+    let vb = BackgroundId::Office.realize(w, h);
+    let VirtualBackground::Image(vb_img) = vb.clone() else {
+        unreachable!("office is a static image")
+    };
 
     // Three calls sharing one virtual image: different rooms and callers,
     // all fairly stationary (the hard case for derivation), each framed at a
@@ -53,7 +55,13 @@ pub fn run(cfg: &ExpConfig) -> String {
             }
             .render()
             .expect("render");
-            run_session(&gt, &vb, &zoom, Mitigation::None, Lighting::On, 30 + i).expect("session")
+            CallSim::new(&gt)
+                .vb(vb.clone())
+                .profile(zoom.clone())
+                .lighting(Lighting::On)
+                .seed(30 + i)
+                .run()
+                .expect("session")
         })
         .collect();
 

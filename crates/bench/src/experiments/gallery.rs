@@ -6,12 +6,12 @@
 use crate::harness::{default_vb, run_clip};
 use crate::report::{pct, section};
 use crate::ExpConfig;
-use bb_callsim::{profile, Mitigation};
+use bb_callsim::{Mitigation, ProfilePreset, SoftwareProfile};
 
 /// Runs the Fig 6 gallery dump.
 pub fn run(cfg: &ExpConfig) -> String {
     let vb = default_vb(cfg);
-    let zoom = profile::zoom_like();
+    let zoom = SoftwareProfile::preset(ProfilePreset::ZoomLike);
     let clips: Vec<_> = bb_datasets::e1_catalog(&cfg.data)
         .into_iter()
         .filter(|c| c.id.contains("enter-exit") || c.id.contains("arm-waving"))

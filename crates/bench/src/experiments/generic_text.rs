@@ -8,7 +8,7 @@ use crate::harness::{default_vb, run_clip};
 use crate::report::{section, Table};
 use crate::ExpConfig;
 use bb_attacks::{ObjectDetector, TextReader};
-use bb_callsim::{profile, Mitigation};
+use bb_callsim::{Mitigation, ProfilePreset, SoftwareProfile};
 use bb_datasets::{ClipSpec, DatasetConfig};
 use bb_synth::camera::CameraQuality;
 use bb_synth::{Action, CallerAppearance, CameraPose, Lighting, ObjectClass, Room, Speed};
@@ -21,7 +21,7 @@ use std::collections::BTreeMap;
 /// we plant a known inventory so hits are scorable).
 pub fn run(cfg: &ExpConfig) -> String {
     let vb = default_vb(cfg);
-    let zoom = profile::zoom_like();
+    let zoom = SoftwareProfile::preset(ProfilePreset::ZoomLike);
     let detector = ObjectDetector::train(if cfg.quick { 6 } else { 16 }, cfg.data.seed);
     let reader = TextReader::default();
 

@@ -10,11 +10,11 @@
 use crate::harness::{default_vb, gallery, run_clip, run_ground_truth};
 use crate::report::{mean, pct, section, Table};
 use crate::ExpConfig;
-use bb_callsim::{background, profile, Mitigation, VirtualBackground};
+use bb_callsim::{background, Mitigation, ProfilePreset, SoftwareProfile, VirtualBackground};
 
 /// Runs the §IX-B heuristic ablations on a slice of E2-active + E3 clips.
 pub fn run(cfg: &ExpConfig) -> String {
-    let zoom = profile::zoom_like();
+    let zoom = SoftwareProfile::preset(ProfilePreset::ZoomLike);
     let clips: Vec<_> = bb_datasets::e3_catalog(&cfg.data)
         .into_iter()
         .take(if cfg.quick { 2 } else { 5 })

@@ -7,7 +7,7 @@
 use crate::harness::default_vb;
 use crate::report::{pct, section, Table};
 use crate::ExpConfig;
-use bb_callsim::{profile, run_session, Mitigation};
+use bb_callsim::{CallSim, ProfilePreset, SoftwareProfile};
 
 /// Number of initial frames tracked in the decay series.
 pub const WINDOW: usize = 24;
@@ -16,7 +16,7 @@ pub const WINDOW: usize = 24;
 /// sessions.
 pub fn run(cfg: &ExpConfig) -> String {
     let vb = default_vb(cfg);
-    let zoom = profile::zoom_like();
+    let zoom = SoftwareProfile::preset(ProfilePreset::ZoomLike);
     let clips = cfg.subsample(bb_datasets::e1_catalog(&cfg.data), 20);
     let clips = &clips[..clips.len().min(6)];
 
@@ -24,15 +24,13 @@ pub fn run(cfg: &ExpConfig) -> String {
     let mut count = 0usize;
     for clip in clips {
         let gt = clip.render(&cfg.data).expect("clip renders");
-        let call = run_session(
-            &gt,
-            &vb,
-            &zoom,
-            Mitigation::None,
-            clip.lighting,
-            cfg.data.seed,
-        )
-        .expect("session composites");
+        let call = CallSim::new(&gt)
+            .vb(vb.clone())
+            .profile(zoom.clone())
+            .lighting(clip.lighting)
+            .seed(cfg.data.seed)
+            .run()
+            .expect("session composites");
         count += 1;
         for (i, acc) in per_frame.iter_mut().enumerate() {
             if i < call.truth.leaked.len() {

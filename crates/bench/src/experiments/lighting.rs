@@ -8,7 +8,7 @@
 use crate::harness::{default_vb, run_clip};
 use crate::report::{mean, pct, section, Table};
 use crate::ExpConfig;
-use bb_callsim::{profile, Mitigation};
+use bb_callsim::{Mitigation, ProfilePreset, SoftwareProfile};
 use bb_imaging::Mask;
 use bb_synth::Lighting;
 use std::collections::BTreeMap;
@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 /// Runs the Fig 10/11 experiment over the base + lights-off E1 grids.
 pub fn run(cfg: &ExpConfig) -> String {
     let vb = default_vb(cfg);
-    let zoom = profile::zoom_like();
+    let zoom = SoftwareProfile::preset(ProfilePreset::ZoomLike);
     let clips: Vec<_> = bb_datasets::e1_catalog(&cfg.data)
         .into_iter()
         .filter(|c| {

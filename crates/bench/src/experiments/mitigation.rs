@@ -12,7 +12,7 @@ use crate::report::{mean, pct, section, Table};
 use crate::ExpConfig;
 use bb_attacks::{LocationDictionary, LocationInference};
 use bb_callsim::mitigation::DynamicBackgroundParams;
-use bb_callsim::{profile, Mitigation};
+use bb_callsim::{Mitigation, ProfilePreset, SoftwareProfile};
 use bb_datasets::catalog::e2_activity;
 use bb_datasets::Activity;
 use bb_telemetry::Telemetry;
@@ -20,7 +20,7 @@ use bb_telemetry::Telemetry;
 /// Runs the Fig 15a/15b experiment.
 pub fn run(cfg: &ExpConfig) -> String {
     let vb = default_vb(cfg);
-    let zoom = profile::zoom_like();
+    let zoom = SoftwareProfile::preset(ProfilePreset::ZoomLike);
     let mitigation = Mitigation::DynamicBackground(DynamicBackgroundParams::default());
 
     let e2 = cfg.subsample(bb_datasets::e2_catalog(&cfg.data), 4);

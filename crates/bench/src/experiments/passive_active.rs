@@ -9,7 +9,7 @@
 use crate::harness::{default_vb, run_clip, ClipOutcome};
 use crate::report::{mean, pct, section, Table};
 use crate::ExpConfig;
-use bb_callsim::{profile, Mitigation};
+use bb_callsim::{Mitigation, ProfilePreset, SoftwareProfile};
 use bb_datasets::catalog::e2_activity;
 use bb_datasets::Activity;
 
@@ -26,7 +26,7 @@ pub struct GroupedOutcomes {
 /// Processes E2 + E3 and groups outcomes (shared with `location`).
 pub fn grouped_outcomes(cfg: &ExpConfig) -> GroupedOutcomes {
     let vb = default_vb(cfg);
-    let zoom = profile::zoom_like();
+    let zoom = SoftwareProfile::preset(ProfilePreset::ZoomLike);
     let e2 = cfg.subsample(bb_datasets::e2_catalog(&cfg.data), 3);
     let e3 = cfg.subsample(bb_datasets::e3_catalog(&cfg.data), 5);
 

@@ -11,14 +11,16 @@
 use crate::harness::{default_vb, run_clip};
 use crate::report::{pct, section, Table};
 use crate::ExpConfig;
-use bb_callsim::{background, blend, profile, Mitigation};
+use bb_callsim::{
+    blend, BackgroundId, Mitigation, ProfilePreset, SoftwareProfile, VirtualBackground,
+};
 use bb_core::bbmask::calibrate_phi;
 use bb_imaging::Mask;
 
 /// Runs the φ sweep plus the adversarial calibration procedure.
 pub fn run(cfg: &ExpConfig) -> String {
     let vb = default_vb(cfg);
-    let zoom = profile::zoom_like();
+    let zoom = SoftwareProfile::preset(ProfilePreset::ZoomLike);
     let clip = bb_datasets::e1_catalog(&cfg.data)
         .into_iter()
         .find(|c| c.id == "e1-p1-arm-waving")
@@ -47,7 +49,9 @@ pub fn run(cfg: &ExpConfig) -> String {
     // The §VIII-C calibration: composite known static images and measure the
     // blur depth.
     let (w, h) = (cfg.data.width, cfg.data.height);
-    let vi = background::beach(w, h);
+    let VirtualBackground::Image(vi) = BackgroundId::Beach.realize(w, h) else {
+        unreachable!("beach is a static image")
+    };
     let real = clip.room.render(w, h);
     let mask = Mask::from_fn(w, h, |x, y| {
         // A static "person-shaped" blob for the calibration composite.

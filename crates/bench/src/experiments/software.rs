@@ -9,7 +9,7 @@ use crate::harness::{default_vb, run_clip};
 use crate::report::{mean, pct, section, Table};
 use crate::ExpConfig;
 use bb_attacks::{LocationDictionary, LocationInference};
-use bb_callsim::{profile, Mitigation, SoftwareProfile};
+use bb_callsim::{Mitigation, ProfilePreset, SoftwareProfile};
 use bb_telemetry::Telemetry;
 
 /// Runs the §VIII-E comparison on the E3 corpus.
@@ -28,7 +28,10 @@ pub fn run(cfg: &ExpConfig) -> String {
 
     let mut table = Table::new(&["software", "mean RBRR", "top-10 location"]);
     let mut rbrr_by: Vec<(String, f64)> = Vec::new();
-    for prof in [profile::zoom_like(), profile::skype_like()] {
+    for prof in [
+        SoftwareProfile::preset(ProfilePreset::ZoomLike),
+        SoftwareProfile::preset(ProfilePreset::SkypeLike),
+    ] {
         let (rbrr, top10) = evaluate(cfg, &prof, clips, &vb, &dictionary, &attack);
         table.row(&[prof.name.clone(), pct(rbrr), pct(top10)]);
         rbrr_by.push((prof.name.clone(), rbrr));

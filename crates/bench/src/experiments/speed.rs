@@ -10,7 +10,7 @@
 use crate::harness::{default_vb, run_clip};
 use crate::report::{mean, pct, section, Table};
 use crate::ExpConfig;
-use bb_callsim::{profile, Mitigation};
+use bb_callsim::{Mitigation, ProfilePreset, SoftwareProfile};
 use bb_core::metrics::{total_displacement, Event};
 use bb_synth::{Action, Speed};
 use std::collections::BTreeMap;
@@ -18,7 +18,7 @@ use std::collections::BTreeMap;
 /// Runs the Fig 8 experiment over the E1 speed grid.
 pub fn run(cfg: &ExpConfig) -> String {
     let vb = default_vb(cfg);
-    let zoom = profile::zoom_like();
+    let zoom = SoftwareProfile::preset(ProfilePreset::ZoomLike);
     // Speed clips plus the base (average-speed) clapping/arm-waving clips.
     let clips: Vec<_> = bb_datasets::e1_catalog(&cfg.data)
         .into_iter()

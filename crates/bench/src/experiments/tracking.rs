@@ -13,14 +13,14 @@ use crate::harness::{default_vb, run_clip};
 use crate::report::{pct, section, Table};
 use crate::ExpConfig;
 use bb_attacks::ObjectTracker;
-use bb_callsim::{profile, Mitigation};
+use bb_callsim::{Mitigation, ProfilePreset, SoftwareProfile};
 use bb_synth::SceneObject;
 use bb_telemetry::Telemetry;
 
 /// Runs the Fig 13 experiment.
 pub fn run(cfg: &ExpConfig) -> String {
     let vb = default_vb(cfg);
-    let zoom = profile::zoom_like();
+    let zoom = SoftwareProfile::preset(ProfilePreset::ZoomLike);
     // High-leak clips give the tracker material to work with.
     let clips: Vec<_> = bb_datasets::e1_catalog(&cfg.data)
         .into_iter()

@@ -8,7 +8,7 @@
 
 use crate::report::{mean, pct, section, Table};
 use crate::ExpConfig;
-use bb_callsim::{background, profile, run_session, Mitigation, VirtualBackground};
+use bb_callsim::{background, CallSim, ProfilePreset, SoftwareProfile, VirtualBackground};
 use bb_core::bbmask::bb_mask;
 use bb_core::metrics;
 use bb_core::pipeline::{Reconstructor, VbSource};
@@ -18,12 +18,12 @@ use bb_video::VideoStream;
 /// Runs the §VIII-B experiment.
 pub fn run(cfg: &ExpConfig) -> String {
     let (w, h) = (cfg.data.width, cfg.data.height);
-    let zoom = profile::zoom_like();
+    let zoom = SoftwareProfile::preset(ProfilePreset::ZoomLike);
     let clips = cfg.subsample(bb_datasets::e2_catalog(&cfg.data), 6);
     let clips = &clips[..clips.len().min(if cfg.quick { 3 } else { 5 })];
 
-    let images = background::builtin_images(w, h);
-    let videos = background::builtin_videos(w, h);
+    let images = background::catalog_images(w, h);
+    let videos = background::catalog_videos(w, h);
 
     let mut known_rates = Vec::new();
     let mut unknown_rates = Vec::new();
@@ -31,7 +31,12 @@ pub fn run(cfg: &ExpConfig) -> String {
     let mut unknown_precision = Vec::new();
 
     let mut evaluate = |vb: &VirtualBackground, gt: &bb_synth::GroundTruth, lighting| {
-        let call = run_session(gt, vb, &zoom, Mitigation::None, lighting, cfg.data.seed)
+        let call = CallSim::new(gt)
+            .vb(vb.clone())
+            .profile(zoom.clone())
+            .lighting(lighting)
+            .seed(cfg.data.seed)
+            .run()
             .expect("session composites");
 
         // Known: the adversary's candidate set includes the ground truth.

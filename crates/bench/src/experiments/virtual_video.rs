@@ -11,15 +11,15 @@
 use crate::harness::default_vb;
 use crate::report::{mean, pct, section, Table};
 use crate::ExpConfig;
-use bb_callsim::{background, profile, run_session, Mitigation, VirtualBackground};
+use bb_callsim::{background, CallSim, ProfilePreset, SoftwareProfile, VirtualBackground};
 use bb_core::metrics;
 use bb_core::pipeline::{Reconstructor, VbSource};
 
 /// Runs the virtual-video reconstruction experiment.
 pub fn run(cfg: &ExpConfig) -> String {
     let (w, h) = (cfg.data.width, cfg.data.height);
-    let zoom = profile::zoom_like();
-    let videos = background::builtin_videos(w, h);
+    let zoom = SoftwareProfile::preset(ProfilePreset::ZoomLike);
+    let videos = background::catalog_videos(w, h);
     let clips: Vec<_> = bb_datasets::e1_catalog(&cfg.data)
         .into_iter()
         .filter(|c| {
@@ -40,15 +40,13 @@ pub fn run(cfg: &ExpConfig) -> String {
     for (ci, clip) in clips.iter().enumerate() {
         let gt = clip.render(&cfg.data).expect("clip renders");
         let vb = VirtualBackground::Video(videos[ci % videos.len()].clone());
-        let call = run_session(
-            &gt,
-            &vb,
-            &zoom,
-            Mitigation::None,
-            clip.lighting,
-            cfg.data.seed,
-        )
-        .expect("session composites");
+        let call = CallSim::new(&gt)
+            .vb(vb.clone())
+            .profile(zoom.clone())
+            .lighting(clip.lighting)
+            .seed(cfg.data.seed)
+            .run()
+            .expect("session composites");
 
         // Known-video adversary: owns D_vid.
         let rec = Reconstructor::new(VbSource::KnownVideos(videos.clone()), cfg.recon)
@@ -76,17 +74,15 @@ pub fn run(cfg: &ExpConfig) -> String {
         }
 
         // Baseline: the same clip behind a static image.
-        let img_call = run_session(
-            &gt,
-            &default_vb(cfg),
-            &zoom,
-            Mitigation::None,
-            clip.lighting,
-            cfg.data.seed,
-        )
-        .expect("session composites");
+        let img_call = CallSim::new(&gt)
+            .vb(default_vb(cfg))
+            .profile(zoom.clone())
+            .lighting(clip.lighting)
+            .seed(cfg.data.seed)
+            .run()
+            .expect("session composites");
         let rec = Reconstructor::new(
-            VbSource::KnownImages(background::builtin_images(w, h)),
+            VbSource::KnownImages(background::catalog_images(w, h)),
             cfg.recon,
         )
         .reconstruct(&img_call.video)

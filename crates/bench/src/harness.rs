@@ -1,7 +1,9 @@
 //! The per-clip pipeline: render → composite → reconstruct → score.
 
 use crate::ExpConfig;
-use bb_callsim::{background, run_session, Mitigation, SoftwareProfile, VirtualBackground};
+use bb_callsim::{
+    background, BackgroundId, CallSim, Mitigation, SoftwareProfile, VirtualBackground,
+};
 use bb_core::metrics;
 use bb_core::pipeline::{Reconstruction, Reconstructor, VbSource};
 use bb_datasets::ClipSpec;
@@ -32,13 +34,13 @@ pub struct ClipOutcome {
 /// The default virtual image used when an experiment does not vary it: the
 /// first built-in gallery image.
 pub fn default_vb(cfg: &ExpConfig) -> VirtualBackground {
-    VirtualBackground::Image(background::beach(cfg.data.width, cfg.data.height))
+    BackgroundId::Beach.realize(cfg.data.width, cfg.data.height)
 }
 
 /// The known-VB candidate set handed to the adversary (the built-in
 /// gallery, §V-B's `D_img`).
 pub fn gallery(cfg: &ExpConfig) -> Vec<Frame> {
-    background::builtin_images(cfg.data.width, cfg.data.height)
+    background::catalog_images(cfg.data.width, cfg.data.height)
 }
 
 /// Runs one clip end-to-end with the known-images adversary.
@@ -75,7 +77,13 @@ pub fn run_ground_truth(
     mitigation: Mitigation,
     lighting: bb_synth::Lighting,
 ) -> ClipOutcome {
-    let call = run_session(&gt, vb, profile, mitigation, lighting, cfg.data.seed)
+    let call = CallSim::new(&gt)
+        .vb(vb.clone())
+        .profile(profile.clone())
+        .mitigation(mitigation)
+        .lighting(lighting)
+        .seed(cfg.data.seed)
+        .run()
         .expect("session composites");
     let reconstructor = Reconstructor::new(VbSource::KnownImages(gallery(cfg)), cfg.recon);
     let reconstruction = reconstructor
@@ -117,7 +125,7 @@ pub fn run_ground_truth(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bb_callsim::profile;
+    use bb_callsim::ProfilePreset;
 
     #[test]
     fn clip_outcome_end_to_end() {
@@ -129,7 +137,7 @@ mod tests {
             &cfg,
             &clips[3], // arm-waving base clip
             &default_vb(&cfg),
-            &profile::zoom_like(),
+            &SoftwareProfile::preset(ProfilePreset::ZoomLike),
             Mitigation::None,
         );
         assert!(outcome.truth_rbrr > 0.0);

@@ -1,10 +1,16 @@
-//! Virtual backgrounds: static images and looping videos.
+//! Virtual backgrounds: static images, looping videos, and blur.
 //!
 //! §V-B distinguishes known virtual images (the adversary owns `D_img`, a
 //! dataset of "default/popular virtual background images") from unknown ones.
 //! The built-in gallery here plays the role of Zoom's default backgrounds:
 //! experiments draw the target's background from it (known case) or generate
 //! a fresh one outside it (unknown / random-background mitigation).
+//!
+//! The gallery is addressed through [`BackgroundId`] — a stable, `FromStr`
+//! identifier per built-in — so sweep specs and CLI flags can name
+//! backgrounds declaratively, and [`VbMode`] adds the compositor axis real
+//! platforms actually ship: image replacement, animated video, or
+//! background *blur*.
 
 use bb_imaging::{draw, filter, geom, Frame, Rgb};
 use bb_video::VideoStream;
@@ -49,22 +55,232 @@ impl VirtualBackground {
     }
 }
 
+/// The compositor mode for a simulated call: what gets painted where the
+/// matting stage decided "background".
+///
+/// `Image` and `Video` replace the scene (the paper's VB modes); `Blur`
+/// keeps the scene but low-passes it — the default mode on real platforms,
+/// and the mode the blur-residue reconstruction
+/// (`bb_core::pipeline::ReconMode::BlurResidue`) attacks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VbMode {
+    /// Replace the background with a static virtual image.
+    Image(Frame),
+    /// Replace the background with a looping virtual video.
+    Video(VideoStream),
+    /// Blur the real background with a `(2·radius+1)`-box kernel
+    /// ([`bb_imaging::filter::box_blur`]). `radius = 0` degenerates to a
+    /// pass-through (no privacy).
+    Blur {
+        /// Box-blur radius in pixels.
+        radius: usize,
+    },
+}
+
+impl VbMode {
+    /// The background frame the compositor pastes at call-frame `i`, given
+    /// the raw captured frame (`w × h`). Image/video media are resized; blur
+    /// low-passes the raw frame itself.
+    pub fn background_for(&self, raw: &Frame, i: usize, w: usize, h: usize) -> Frame {
+        match self {
+            VbMode::Image(img) => geom::resize(img, w, h),
+            VbMode::Video(vid) => geom::resize(vid.frame(i % vid.len()), w, h),
+            VbMode::Blur { radius } => filter::box_blur(raw, *radius),
+        }
+    }
+
+    /// Index into the underlying media used at call-frame `i` (always 0 for
+    /// images and blur).
+    pub fn media_index(&self, i: usize) -> usize {
+        match self {
+            VbMode::Video(v) => i % v.len(),
+            _ => 0,
+        }
+    }
+
+    /// Loop length: frame count for videos, 1 otherwise.
+    pub fn period(&self) -> usize {
+        match self {
+            VbMode::Video(v) => v.len(),
+            _ => 1,
+        }
+    }
+}
+
+impl From<VirtualBackground> for VbMode {
+    fn from(vb: VirtualBackground) -> Self {
+        match vb {
+            VirtualBackground::Image(img) => VbMode::Image(img),
+            VirtualBackground::Video(vid) => VbMode::Video(vid),
+        }
+    }
+}
+
+/// A named entry in the built-in background catalog.
+///
+/// Identifiers are stable lowercase `snake_case` strings (`FromStr` also
+/// accepts `-` for `_`), so matrix specs and CLI flags reference backgrounds
+/// declaratively: `"beach"`, `"drifting_clouds"`, …
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackgroundId {
+    /// A sunny beach: sky gradient, sea band, sand, sun.
+    Beach,
+    /// A tidy office: wall, desk line, shelf block, window.
+    Office,
+    /// Deep space: dark gradient, deterministic star field, a planet.
+    Space,
+    /// Looping video: clouds drifting across a sky (period 24).
+    DriftingClouds,
+    /// Looping video: two blobs orbiting lava-lamp style (period 36).
+    LavaLamp,
+}
+
+impl BackgroundId {
+    /// Every catalog entry, images first, in gallery order.
+    pub const ALL: [BackgroundId; 5] = [
+        BackgroundId::Beach,
+        BackgroundId::Office,
+        BackgroundId::Space,
+        BackgroundId::DriftingClouds,
+        BackgroundId::LavaLamp,
+    ];
+
+    /// The three built-in virtual *images* (the paper's VBMR experiment uses
+    /// "three different virtual images", §VIII-B).
+    pub const IMAGES: [BackgroundId; 3] = [
+        BackgroundId::Beach,
+        BackgroundId::Office,
+        BackgroundId::Space,
+    ];
+
+    /// The two built-in virtual *videos* (§VIII-B uses "two virtual
+    /// videos").
+    pub const VIDEOS: [BackgroundId; 2] = [BackgroundId::DriftingClouds, BackgroundId::LavaLamp];
+
+    /// Stable lowercase identifier (round-trips through [`FromStr`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackgroundId::Beach => "beach",
+            BackgroundId::Office => "office",
+            BackgroundId::Space => "space",
+            BackgroundId::DriftingClouds => "drifting_clouds",
+            BackgroundId::LavaLamp => "lava_lamp",
+        }
+    }
+
+    /// True for the looping-video entries.
+    pub fn is_video(self) -> bool {
+        matches!(self, BackgroundId::DriftingClouds | BackgroundId::LavaLamp)
+    }
+
+    /// Renders this catalog entry at `w × h`.
+    pub fn realize(self, w: usize, h: usize) -> VirtualBackground {
+        match self {
+            BackgroundId::Beach => VirtualBackground::Image(draw_beach(w, h)),
+            BackgroundId::Office => VirtualBackground::Image(draw_office(w, h)),
+            BackgroundId::Space => VirtualBackground::Image(draw_space(w, h)),
+            BackgroundId::DriftingClouds => {
+                VirtualBackground::Video(draw_drifting_clouds(w, h, 24))
+            }
+            BackgroundId::LavaLamp => VirtualBackground::Video(draw_lava_lamp(w, h, 36)),
+        }
+    }
+}
+
+impl std::str::FromStr for BackgroundId {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let normalized = s.replace('-', "_");
+        BackgroundId::ALL
+            .into_iter()
+            .find(|id| id.name() == normalized)
+            .ok_or_else(|| {
+                let names: Vec<&str> = BackgroundId::ALL.iter().map(|id| id.name()).collect();
+                format!("unknown background {s:?}; one of {}", names.join(", "))
+            })
+    }
+}
+
+impl std::fmt::Display for BackgroundId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The full built-in catalog, images first.
+pub fn catalog() -> &'static [BackgroundId] {
+    &BackgroundId::ALL
+}
+
+/// Renders every catalog *image* at `w × h` (the adversary's `D_img`).
+pub fn catalog_images(w: usize, h: usize) -> Vec<Frame> {
+    BackgroundId::IMAGES
+        .into_iter()
+        .map(|id| match id.realize(w, h) {
+            VirtualBackground::Image(img) => img,
+            VirtualBackground::Video(_) => unreachable!("IMAGES holds no videos"),
+        })
+        .collect()
+}
+
+/// Renders every catalog *video* at `w × h` (the adversary's `D_vid`).
+pub fn catalog_videos(w: usize, h: usize) -> Vec<VideoStream> {
+    BackgroundId::VIDEOS
+        .into_iter()
+        .map(|id| match id.realize(w, h) {
+            VirtualBackground::Video(vid) => vid,
+            VirtualBackground::Image(_) => unreachable!("VIDEOS holds no images"),
+        })
+        .collect()
+}
+
 /// The built-in gallery names, in gallery order.
 pub const GALLERY_NAMES: [&str; 3] = ["beach", "office", "space"];
 
-/// The three built-in virtual *images* (the paper's VBMR experiment uses
-/// "three different virtual images", §VIII-B).
+/// The three built-in virtual images.
+#[deprecated(note = "use `catalog_images` (or `BackgroundId::IMAGES`)")]
 pub fn builtin_images(w: usize, h: usize) -> Vec<Frame> {
-    vec![beach(w, h), office(w, h), space(w, h)]
+    catalog_images(w, h)
 }
 
-/// The two built-in virtual *videos* (§VIII-B uses "two virtual videos").
+/// The two built-in virtual videos.
+#[deprecated(note = "use `catalog_videos` (or `BackgroundId::VIDEOS`)")]
 pub fn builtin_videos(w: usize, h: usize) -> Vec<VideoStream> {
-    vec![drifting_clouds(w, h, 24), lava_lamp(w, h, 36)]
+    catalog_videos(w, h)
 }
 
 /// A sunny beach: sky gradient, sea band, sand, sun.
+#[deprecated(note = "use `BackgroundId::Beach.realize(w, h)`")]
 pub fn beach(w: usize, h: usize) -> Frame {
+    draw_beach(w, h)
+}
+
+/// A tidy office: wall, desk line, shelf block, window.
+#[deprecated(note = "use `BackgroundId::Office.realize(w, h)`")]
+pub fn office(w: usize, h: usize) -> Frame {
+    draw_office(w, h)
+}
+
+/// Deep space: dark gradient plus a deterministic star field and a planet.
+#[deprecated(note = "use `BackgroundId::Space.realize(w, h)`")]
+pub fn space(w: usize, h: usize) -> Frame {
+    draw_space(w, h)
+}
+
+/// A looping virtual video: clouds drifting across a sky, period = `frames`.
+#[deprecated(note = "use `BackgroundId::DriftingClouds.realize(w, h)`")]
+pub fn drifting_clouds(w: usize, h: usize, frames: usize) -> VideoStream {
+    draw_drifting_clouds(w, h, frames)
+}
+
+/// A looping "lava lamp": two blobs orbiting with period = `frames`.
+#[deprecated(note = "use `BackgroundId::LavaLamp.realize(w, h)`")]
+pub fn lava_lamp(w: usize, h: usize, frames: usize) -> VideoStream {
+    draw_lava_lamp(w, h, frames)
+}
+
+fn draw_beach(w: usize, h: usize) -> Frame {
     let mut f = Frame::new(w, h);
     draw::vertical_gradient(&mut f, Rgb::new(118, 183, 236), Rgb::new(188, 224, 245));
     let sea_y = h * 3 / 5;
@@ -87,8 +303,7 @@ pub fn beach(w: usize, h: usize) -> Frame {
     f
 }
 
-/// A tidy office: wall, desk line, shelf block, window.
-pub fn office(w: usize, h: usize) -> Frame {
+fn draw_office(w: usize, h: usize) -> Frame {
     let mut f = Frame::new(w, h);
     draw::vertical_gradient(&mut f, Rgb::new(214, 210, 200), Rgb::new(180, 176, 168));
     // Window.
@@ -129,8 +344,7 @@ pub fn office(w: usize, h: usize) -> Frame {
     f
 }
 
-/// Deep space: dark gradient plus a deterministic star field and a planet.
-pub fn space(w: usize, h: usize) -> Frame {
+fn draw_space(w: usize, h: usize) -> Frame {
     let mut f = Frame::new(w, h);
     draw::vertical_gradient(&mut f, Rgb::new(8, 10, 28), Rgb::new(20, 14, 44));
     let mut rng = SmallRng::seed_from_u64(0xA57E0);
@@ -150,8 +364,7 @@ pub fn space(w: usize, h: usize) -> Frame {
     f
 }
 
-/// A looping virtual video: clouds drifting across a sky, period = `frames`.
-pub fn drifting_clouds(w: usize, h: usize, frames: usize) -> VideoStream {
+fn draw_drifting_clouds(w: usize, h: usize, frames: usize) -> VideoStream {
     assert!(frames >= 2, "a looping video needs at least 2 frames");
     VideoStream::generate(frames, 30.0, |i| {
         let mut f = Frame::new(w, h);
@@ -176,8 +389,7 @@ pub fn drifting_clouds(w: usize, h: usize, frames: usize) -> VideoStream {
     .expect("clouds video construction is infallible for frames >= 2")
 }
 
-/// A looping "lava lamp": two blobs orbiting with period = `frames`.
-pub fn lava_lamp(w: usize, h: usize, frames: usize) -> VideoStream {
+fn draw_lava_lamp(w: usize, h: usize, frames: usize) -> VideoStream {
     assert!(frames >= 2, "a looping video needs at least 2 frames");
     VideoStream::generate(frames, 30.0, |i| {
         let mut f = Frame::new(w, h);
@@ -250,10 +462,11 @@ pub fn random_image(w: usize, h: usize, seed: u64) -> Frame {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::str::FromStr;
 
     #[test]
     fn image_background_is_constant_over_time() {
-        let vb = VirtualBackground::Image(beach(40, 30));
+        let vb = BackgroundId::Beach.realize(40, 30);
         assert_eq!(vb.frame_at(0, 40, 30), vb.frame_at(99, 40, 30));
         assert_eq!(vb.period(), 1);
         assert_eq!(vb.media_index(57), 0);
@@ -261,7 +474,7 @@ mod tests {
 
     #[test]
     fn video_background_loops() {
-        let vb = VirtualBackground::Video(lava_lamp(40, 30, 8));
+        let vb = VirtualBackground::Video(draw_lava_lamp(40, 30, 8));
         assert_eq!(vb.period(), 8);
         assert_eq!(vb.frame_at(3, 40, 30), vb.frame_at(11, 40, 30));
         assert_ne!(vb.frame_at(0, 40, 30), vb.frame_at(4, 40, 30));
@@ -270,13 +483,13 @@ mod tests {
 
     #[test]
     fn frame_at_resizes() {
-        let vb = VirtualBackground::Image(office(80, 60));
+        let vb = BackgroundId::Office.realize(80, 60);
         assert_eq!(vb.frame_at(0, 40, 30).dims(), (40, 30));
     }
 
     #[test]
-    fn builtin_images_are_distinct() {
-        let imgs = builtin_images(64, 48);
+    fn catalog_images_are_distinct() {
+        let imgs = catalog_images(64, 48);
         assert_eq!(imgs.len(), 3);
         assert_ne!(imgs[0], imgs[1]);
         assert_ne!(imgs[1], imgs[2]);
@@ -284,11 +497,44 @@ mod tests {
     }
 
     #[test]
-    fn builtin_videos_have_stated_periods() {
-        let vids = builtin_videos(32, 24);
+    fn catalog_videos_have_stated_periods() {
+        let vids = catalog_videos(32, 24);
         assert_eq!(vids.len(), 2);
         assert_eq!(vids[0].len(), 24);
         assert_eq!(vids[1].len(), 36);
+    }
+
+    #[test]
+    fn catalog_ids_round_trip_through_strings() {
+        for id in catalog() {
+            assert_eq!(BackgroundId::from_str(&id.to_string()).unwrap(), *id);
+        }
+        // Dashes normalize to underscores; unknown names are rejected.
+        assert_eq!(
+            BackgroundId::from_str("drifting-clouds").unwrap(),
+            BackgroundId::DriftingClouds
+        );
+        assert!(BackgroundId::from_str("matrix").is_err());
+    }
+
+    #[test]
+    fn catalog_partitions_into_images_and_videos() {
+        assert_eq!(catalog().len(), 5);
+        for id in BackgroundId::IMAGES {
+            assert!(!id.is_video());
+            assert!(matches!(id.realize(16, 12), VirtualBackground::Image(_)));
+        }
+        for id in BackgroundId::VIDEOS {
+            assert!(id.is_video());
+            assert!(matches!(id.realize(16, 12), VirtualBackground::Video(_)));
+        }
+    }
+
+    #[test]
+    fn deprecated_wrappers_match_the_catalog() {
+        #![allow(deprecated)]
+        assert_eq!(builtin_images(32, 24), catalog_images(32, 24));
+        assert_eq!(beach(32, 24), catalog_images(32, 24)[0]);
     }
 
     #[test]
@@ -296,9 +542,39 @@ mod tests {
         // Frame 0 and frame `frames` (i.e. loop restart) are identical by
         // construction; check near-boundary continuity instead: last frame
         // differs from first (motion) but the loop point matches.
-        let v = drifting_clouds(48, 36, 12);
+        let v = draw_drifting_clouds(48, 36, 12);
         let vb = VirtualBackground::Video(v);
         assert_eq!(vb.frame_at(0, 48, 36), vb.frame_at(12, 48, 36));
+    }
+
+    #[test]
+    fn blur_mode_blurs_the_raw_frame() {
+        let raw = Frame::from_fn(20, 10, |x, _| if x < 10 { Rgb::BLACK } else { Rgb::WHITE });
+        let blur = VbMode::Blur { radius: 2 };
+        assert_eq!(
+            blur.background_for(&raw, 0, 20, 10),
+            filter::box_blur(&raw, 2)
+        );
+        assert_eq!(blur.period(), 1);
+        assert_eq!(blur.media_index(7), 0);
+        // Radius 0 degenerates to a pass-through.
+        let noop = VbMode::Blur { radius: 0 };
+        assert_eq!(noop.background_for(&raw, 0, 20, 10), raw);
+    }
+
+    #[test]
+    fn vb_mode_from_virtual_background_preserves_media() {
+        let img = BackgroundId::Space.realize(24, 18);
+        let mode = VbMode::from(img.clone());
+        let raw = Frame::new(24, 18);
+        assert_eq!(
+            mode.background_for(&raw, 5, 24, 18),
+            img.frame_at(5, 24, 18)
+        );
+        let vid = BackgroundId::LavaLamp.realize(24, 18);
+        let mode = VbMode::from(vid.clone());
+        assert_eq!(mode.period(), vid.period());
+        assert_eq!(mode.media_index(40), vid.media_index(40));
     }
 
     #[test]
@@ -313,6 +589,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least 2 frames")]
     fn one_frame_video_panics() {
-        let _ = drifting_clouds(10, 10, 1);
+        let _ = draw_drifting_clouds(10, 10, 1);
     }
 }

@@ -13,19 +13,22 @@
 //!
 //! Modules:
 //!
-//! * [`background`] — virtual backgrounds: static images (with a gallery of
-//!   built-in defaults, the `D_img` of §V-B) and looping virtual videos
-//!   (`D_vid`).
+//! * [`background`] — virtual backgrounds: a [`BackgroundId`]-addressed
+//!   catalog of static images (the `D_img` of §V-B) and looping virtual
+//!   videos (`D_vid`), plus the [`VbMode`] compositor axis (image / video /
+//!   blur).
 //! * [`matting`] — the imperfect foreground-mask stage with the §V-D error
 //!   model.
 //! * [`blend`] — the blending stage (§III: alpha-band, Gaussian, Laplacian
 //!   pyramid) that creates the BB region.
-//! * [`profile`] — calibrated software profiles ([`profile::zoom_like`],
-//!   [`profile::skype_like`]).
+//! * [`profile`] — calibrated software profiles, addressed by
+//!   [`ProfilePreset`] (`zoom_like`, `skype_like`, `meet_like`,
+//!   `teams_like`, `perfect`).
 //! * [`mitigation`] — the §IX defences: dynamic virtual background, random
 //!   per-call background, frame dropping, deepfake replay.
-//! * [`session`] — the end-to-end compositor producing what the adversary
-//!   records plus the evaluation-only ground truth.
+//! * [`session`] — the end-to-end compositor, driven through the
+//!   [`CallSim`] builder, producing what the adversary records plus the
+//!   evaluation-only ground truth.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,12 +40,14 @@ pub mod mitigation;
 pub mod profile;
 pub mod session;
 
-pub use background::VirtualBackground;
+pub use background::{BackgroundId, VbMode, VirtualBackground};
 pub use blend::BlendMode;
 pub use matting::MattingParams;
 pub use mitigation::Mitigation;
-pub use profile::SoftwareProfile;
-pub use session::{run_session, run_session_traced, CallTruth, CompositedCall};
+pub use profile::{ProfilePreset, SoftwareProfile};
+#[allow(deprecated)]
+pub use session::{run_session, run_session_traced};
+pub use session::{CallSim, CallTruth, CompositedCall, DEFAULT_BLUR_RADIUS};
 
 /// Errors from the call simulator.
 #[derive(Debug, Clone, PartialEq)]

@@ -6,8 +6,15 @@
 //! virtual background rendering, resulting in an average RBRR of 19.4 % for
 //! the E3 dataset, compared to an average RBRR of 23.9 % for Zoom."
 //!
-//! The two profiles here reproduce that ordering: the Skype-like profile has
-//! tighter boundaries, a shorter initial-leak window and less motion lag.
+//! The Skype-like profile reproduces that ordering against the Zoom-like
+//! one: tighter boundaries, a shorter initial-leak window, less motion lag.
+//! The Meet-like and Teams-like presets extrapolate the same error model to
+//! the other two large platforms (no paper calibration exists for them):
+//! Meet-like sits between Skype and Zoom with a tight alpha band, Teams-like
+//! is the sloppiest of the four with heavy Gaussian feathering. Presets are
+//! addressed by [`ProfilePreset`] — a `FromStr`/`Display` identifier — so
+//! sweep specs and CLI flags name profiles by string (`--profile
+//! meet_like`).
 
 use crate::blend::BlendMode;
 use crate::matting::MattingParams;
@@ -24,52 +31,81 @@ pub struct SoftwareProfile {
     pub blend: BlendMode,
 }
 
-/// The Zoom-like profile: the paper's primary target. Moderate boundary
-/// accuracy, pronounced initial leakage, alpha-band blending with the φ≈20
-/// blur depth calibrated in §VIII-C (blur depth ≈ 3·sigma + blob radii).
-pub fn zoom_like() -> SoftwareProfile {
-    SoftwareProfile {
-        name: "zoom-like".to_string(),
-        matting: MattingParams {
-            leak_blob_count: 5,
-            leak_blob_radius: 3,
-            eat_blob_count: 2,
-            eat_blob_radius: 1,
-            initial_leak_frames: 8,
-            initial_leak_radius: 3,
-            motion_lag_frames: 3,
-            motion_noise_gain: 4.0,
-            color_confusion_tau: 28,
-            color_confusion_prob: 0.55,
-            low_light_gain: 1.6,
-        },
-        blend: BlendMode::AlphaBand { sigma: 1.2 },
+/// A named, built-in [`SoftwareProfile`] configuration.
+///
+/// Identifiers are stable lowercase `snake_case` strings (`FromStr` also
+/// accepts `-` for `_`): `"zoom_like"`, `"skype_like"`, `"meet_like"`,
+/// `"teams_like"`, `"perfect"`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProfilePreset {
+    /// The paper's primary target (§VIII-E: mean RBRR 23.9 % on E3).
+    ZoomLike,
+    /// Strictly more accurate than Zoom (§VIII-E: mean RBRR 19.4 % on E3).
+    SkypeLike,
+    /// Between Skype and Zoom, with a tight alpha band (extrapolated).
+    MeetLike,
+    /// The sloppiest of the four: heavy Gaussian feathering (extrapolated).
+    TeamsLike,
+    /// A hypothetical perfect matting engine (no leakage at all) — the
+    /// upper bound used in ablation benches.
+    Perfect,
+}
+
+impl ProfilePreset {
+    /// Every preset, in leakage order (most accurate first, perfect last).
+    pub const ALL: [ProfilePreset; 5] = [
+        ProfilePreset::SkypeLike,
+        ProfilePreset::MeetLike,
+        ProfilePreset::ZoomLike,
+        ProfilePreset::TeamsLike,
+        ProfilePreset::Perfect,
+    ];
+
+    /// Stable lowercase identifier (round-trips through [`FromStr`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProfilePreset::ZoomLike => "zoom_like",
+            ProfilePreset::SkypeLike => "skype_like",
+            ProfilePreset::MeetLike => "meet_like",
+            ProfilePreset::TeamsLike => "teams_like",
+            ProfilePreset::Perfect => "perfect",
+        }
     }
 }
 
-/// The Skype-like profile: strictly more accurate than [`zoom_like`]
-/// (§VIII-E), with Gaussian blending that further smears residue.
-pub fn skype_like() -> SoftwareProfile {
-    SoftwareProfile {
-        name: "skype-like".to_string(),
-        matting: MattingParams {
-            leak_blob_count: 4,
-            leak_blob_radius: 2,
-            eat_blob_count: 2,
-            eat_blob_radius: 1,
-            initial_leak_frames: 5,
-            initial_leak_radius: 2,
-            motion_lag_frames: 1,
-            motion_noise_gain: 1.0,
-            color_confusion_tau: 22,
-            color_confusion_prob: 0.4,
-            low_light_gain: 1.5,
-        },
-        blend: BlendMode::Gaussian { sigma: 1.2 },
+impl std::str::FromStr for ProfilePreset {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let normalized = s.replace('-', "_");
+        ProfilePreset::ALL
+            .into_iter()
+            .find(|p| p.name() == normalized)
+            .ok_or_else(|| {
+                let names: Vec<&str> = ProfilePreset::ALL.iter().map(|p| p.name()).collect();
+                format!("unknown profile {s:?}; one of {}", names.join(", "))
+            })
+    }
+}
+
+impl std::fmt::Display for ProfilePreset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
 impl SoftwareProfile {
+    /// Builds the named built-in profile.
+    pub fn preset(preset: ProfilePreset) -> SoftwareProfile {
+        match preset {
+            ProfilePreset::ZoomLike => preset_zoom_like(),
+            ProfilePreset::SkypeLike => preset_skype_like(),
+            ProfilePreset::MeetLike => preset_meet_like(),
+            ProfilePreset::TeamsLike => preset_teams_like(),
+            ProfilePreset::Perfect => preset_perfect(),
+        }
+    }
+
     /// Returns a copy with the matting error budget scaled by `factor` —
     /// how the §VIII-C observation that "high-quality lighting and cameras"
     /// (E3) help the software separate fore/background is expressed:
@@ -91,9 +127,98 @@ impl SoftwareProfile {
     }
 }
 
-/// A hypothetical perfect matting engine (no leakage at all) — the upper
-/// bound used in ablation benches.
-pub fn perfect() -> SoftwareProfile {
+/// The Zoom-like profile: the paper's primary target. Moderate boundary
+/// accuracy, pronounced initial leakage, alpha-band blending with the φ≈20
+/// blur depth calibrated in §VIII-C (blur depth ≈ 3·sigma + blob radii).
+fn preset_zoom_like() -> SoftwareProfile {
+    SoftwareProfile {
+        name: "zoom-like".to_string(),
+        matting: MattingParams {
+            leak_blob_count: 5,
+            leak_blob_radius: 3,
+            eat_blob_count: 2,
+            eat_blob_radius: 1,
+            initial_leak_frames: 8,
+            initial_leak_radius: 3,
+            motion_lag_frames: 3,
+            motion_noise_gain: 4.0,
+            color_confusion_tau: 28,
+            color_confusion_prob: 0.55,
+            low_light_gain: 1.6,
+        },
+        blend: BlendMode::AlphaBand { sigma: 1.2 },
+    }
+}
+
+/// The Skype-like profile: strictly more accurate than Zoom-like (§VIII-E),
+/// with Gaussian blending that further smears residue.
+fn preset_skype_like() -> SoftwareProfile {
+    SoftwareProfile {
+        name: "skype-like".to_string(),
+        matting: MattingParams {
+            leak_blob_count: 4,
+            leak_blob_radius: 2,
+            eat_blob_count: 2,
+            eat_blob_radius: 1,
+            initial_leak_frames: 5,
+            initial_leak_radius: 2,
+            motion_lag_frames: 1,
+            motion_noise_gain: 1.0,
+            color_confusion_tau: 22,
+            color_confusion_prob: 0.4,
+            low_light_gain: 1.5,
+        },
+        blend: BlendMode::Gaussian { sigma: 1.2 },
+    }
+}
+
+/// The Meet-like profile: between Skype and Zoom on every error axis, with
+/// a tighter alpha band than Zoom (extrapolated — no paper calibration).
+fn preset_meet_like() -> SoftwareProfile {
+    SoftwareProfile {
+        name: "meet-like".to_string(),
+        matting: MattingParams {
+            leak_blob_count: 4,
+            leak_blob_radius: 3,
+            eat_blob_count: 2,
+            eat_blob_radius: 1,
+            initial_leak_frames: 6,
+            initial_leak_radius: 2,
+            motion_lag_frames: 2,
+            motion_noise_gain: 2.0,
+            color_confusion_tau: 25,
+            color_confusion_prob: 0.45,
+            low_light_gain: 1.7,
+        },
+        blend: BlendMode::AlphaBand { sigma: 1.0 },
+    }
+}
+
+/// The Teams-like profile: the sloppiest of the four — the widest initial
+/// leak window, the most motion lag, heavy Gaussian feathering
+/// (extrapolated — no paper calibration).
+fn preset_teams_like() -> SoftwareProfile {
+    SoftwareProfile {
+        name: "teams-like".to_string(),
+        matting: MattingParams {
+            leak_blob_count: 6,
+            leak_blob_radius: 3,
+            eat_blob_count: 3,
+            eat_blob_radius: 1,
+            initial_leak_frames: 10,
+            initial_leak_radius: 3,
+            motion_lag_frames: 4,
+            motion_noise_gain: 5.0,
+            color_confusion_tau: 30,
+            color_confusion_prob: 0.6,
+            low_light_gain: 1.8,
+        },
+        blend: BlendMode::Gaussian { sigma: 1.5 },
+    }
+}
+
+/// A hypothetical perfect matting engine (no leakage at all).
+fn preset_perfect() -> SoftwareProfile {
     SoftwareProfile {
         name: "perfect".to_string(),
         matting: MattingParams {
@@ -113,20 +238,62 @@ pub fn perfect() -> SoftwareProfile {
     }
 }
 
+/// The Zoom-like profile.
+#[deprecated(note = "use `SoftwareProfile::preset(ProfilePreset::ZoomLike)`")]
+pub fn zoom_like() -> SoftwareProfile {
+    preset_zoom_like()
+}
+
+/// The Skype-like profile.
+#[deprecated(note = "use `SoftwareProfile::preset(ProfilePreset::SkypeLike)`")]
+pub fn skype_like() -> SoftwareProfile {
+    preset_skype_like()
+}
+
+/// A hypothetical perfect matting engine.
+#[deprecated(note = "use `SoftwareProfile::preset(ProfilePreset::Perfect)`")]
+pub fn perfect() -> SoftwareProfile {
+    preset_perfect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::str::FromStr;
+
+    fn preset(p: ProfilePreset) -> SoftwareProfile {
+        SoftwareProfile::preset(p)
+    }
 
     #[test]
-    fn profiles_have_distinct_names() {
-        assert_ne!(zoom_like().name, skype_like().name);
-        assert_ne!(zoom_like().name, perfect().name);
+    fn presets_have_distinct_names() {
+        let names: Vec<String> = ProfilePreset::ALL
+            .into_iter()
+            .map(|p| preset(p).name)
+            .collect();
+        let mut unique = names.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len(), "duplicate names: {names:?}");
+    }
+
+    #[test]
+    fn preset_ids_round_trip_through_strings() {
+        for p in ProfilePreset::ALL {
+            assert_eq!(ProfilePreset::from_str(&p.to_string()).unwrap(), p);
+        }
+        // Dashes normalize to underscores; unknown names are rejected.
+        assert_eq!(
+            ProfilePreset::from_str("meet-like").unwrap(),
+            ProfilePreset::MeetLike
+        );
+        assert!(ProfilePreset::from_str("webex_like").is_err());
     }
 
     #[test]
     fn skype_is_strictly_more_accurate_than_zoom() {
-        let z = zoom_like().matting;
-        let s = skype_like().matting;
+        let z = preset(ProfilePreset::ZoomLike).matting;
+        let s = preset(ProfilePreset::SkypeLike).matting;
         assert!(s.leak_blob_count < z.leak_blob_count);
         assert!(s.initial_leak_frames < z.initial_leak_frames);
         assert!(s.initial_leak_radius < z.initial_leak_radius);
@@ -135,8 +302,34 @@ mod tests {
     }
 
     #[test]
+    fn presets_order_skype_meet_zoom_teams_by_leakage() {
+        // ALL is declared most-accurate-first; the headline error axes must
+        // respect that ordering (weakly per axis, strictly somewhere).
+        let chain: Vec<MattingParams> = [
+            ProfilePreset::SkypeLike,
+            ProfilePreset::MeetLike,
+            ProfilePreset::ZoomLike,
+            ProfilePreset::TeamsLike,
+        ]
+        .into_iter()
+        .map(|p| preset(p).matting)
+        .collect();
+        for pair in chain.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            assert!(a.initial_leak_frames <= b.initial_leak_frames);
+            assert!(a.motion_noise_gain <= b.motion_noise_gain);
+            assert!(a.color_confusion_prob <= b.color_confusion_prob);
+            assert!(
+                a.initial_leak_frames < b.initial_leak_frames
+                    || a.motion_noise_gain < b.motion_noise_gain,
+                "adjacent presets must differ somewhere"
+            );
+        }
+    }
+
+    #[test]
     fn perfect_profile_has_zero_error_budget() {
-        let p = perfect().matting;
+        let p = preset(ProfilePreset::Perfect).matting;
         assert_eq!(p.leak_blob_count, 0);
         assert_eq!(p.initial_leak_frames, 0);
         assert_eq!(p.motion_lag_frames, 0);
@@ -144,8 +337,16 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_wrappers_match_the_presets() {
+        #![allow(deprecated)]
+        assert_eq!(zoom_like(), preset(ProfilePreset::ZoomLike));
+        assert_eq!(skype_like(), preset(ProfilePreset::SkypeLike));
+        assert_eq!(perfect(), preset(ProfilePreset::Perfect));
+    }
+
+    #[test]
     fn profile_debug_is_informative() {
-        let debug = format!("{:?}", zoom_like());
+        let debug = format!("{:?}", preset(ProfilePreset::ZoomLike));
         assert!(debug.contains("zoom-like"));
     }
 }

@@ -5,17 +5,38 @@
 //! virtual-background feature of a [`SoftwareProfile`], optionally with a
 //! §IX mitigation, producing the video the adversary records plus the
 //! evaluation-only [`CallTruth`].
+//!
+//! The entry point is the [`CallSim`] builder:
+//!
+//! ```
+//! # use bb_callsim::{CallSim, ProfilePreset, SoftwareProfile, VbMode};
+//! # use bb_synth::{Room, Scenario};
+//! # use rand::{rngs::StdRng, SeedableRng};
+//! # let room = Room::sample(1, 32, 24, 2, &mut StdRng::seed_from_u64(7));
+//! # let gt = Scenario { width: 32, height: 24, frames: 4, ..Scenario::baseline(room) }
+//! #     .render().unwrap();
+//! let call = CallSim::new(&gt)
+//!     .profile(SoftwareProfile::preset(ProfilePreset::MeetLike))
+//!     .vb(VbMode::Blur { radius: 4 })
+//!     .run()
+//!     .unwrap();
+//! # assert_eq!(call.len(), 4);
+//! ```
 
-use crate::background::VirtualBackground;
+use crate::background::{VbMode, VirtualBackground};
 use crate::blend::{blend_band, composite};
 use crate::matting::{estimate_mask, MattingInput};
 use crate::mitigation::{adapt_virtual_background, deepfake_frame, Mitigation};
-use crate::profile::SoftwareProfile;
+use crate::profile::{ProfilePreset, SoftwareProfile};
 use crate::CallSimError;
 use bb_imaging::{Frame, Mask};
 use bb_synth::{GroundTruth, Lighting};
 use bb_telemetry::Telemetry;
 use bb_video::VideoStream;
+
+/// The default blur radius when a [`CallSim`] is not given an explicit VB
+/// mode — blur is what real platforms default to.
+pub const DEFAULT_BLUR_RADIUS: usize = 4;
 
 /// Evaluation-only ground truth retained alongside the composited call.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,15 +83,252 @@ impl CompositedCall {
     }
 }
 
-/// Runs a ground-truth capture through the virtual-background feature.
+/// Builder for one simulated call: a ground-truth capture pushed through a
+/// software profile's virtual-background feature.
 ///
-/// `lighting` informs the matting error model (low light degrades matting,
-/// Fig 10/11); `seed` makes the run deterministic.
+/// Defaults: background blur at [`DEFAULT_BLUR_RADIUS`] (the real-platform
+/// default mode), the Zoom-like profile (the paper's target), no
+/// mitigation, lights on, seed 0, telemetry disabled. `lighting` informs
+/// the matting error model (low light degrades matting, Fig 10/11); `seed`
+/// makes the run deterministic.
+#[derive(Debug, Clone)]
+pub struct CallSim<'a> {
+    gt: &'a GroundTruth,
+    vb: VbMode,
+    profile: SoftwareProfile,
+    mitigation: Mitigation,
+    lighting: Lighting,
+    seed: u64,
+    telemetry: Telemetry,
+}
+
+impl<'a> CallSim<'a> {
+    /// Starts a session over the given ground-truth capture.
+    pub fn new(gt: &'a GroundTruth) -> Self {
+        CallSim {
+            gt,
+            vb: VbMode::Blur {
+                radius: DEFAULT_BLUR_RADIUS,
+            },
+            profile: SoftwareProfile::preset(ProfilePreset::ZoomLike),
+            mitigation: Mitigation::None,
+            lighting: Lighting::On,
+            seed: 0,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Sets the compositor mode (image, video, or blur). Accepts a
+    /// [`VirtualBackground`] directly.
+    #[must_use]
+    pub fn vb(mut self, vb: impl Into<VbMode>) -> Self {
+        self.vb = vb.into();
+        self
+    }
+
+    /// Sets the software profile.
+    #[must_use]
+    pub fn profile(mut self, profile: SoftwareProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Sets the §IX mitigation.
+    #[must_use]
+    pub fn mitigation(mut self, mitigation: Mitigation) -> Self {
+        self.mitigation = mitigation;
+        self
+    }
+
+    /// Sets the lighting condition seen by the matting error model.
+    #[must_use]
+    pub fn lighting(mut self, lighting: Lighting) -> Self {
+        self.lighting = lighting;
+        self
+    }
+
+    /// Sets the determinism seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Attaches instrumentation: wall time lands in the `callsim/session`
+    /// stage (matting and compositing split out underneath it) and
+    /// frame/leak volumes in `callsim/*` counters.
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = telemetry.clone();
+        self
+    }
+
+    /// Runs the session to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CallSimError::Inconsistent`] when the ground truth is
+    /// malformed (mask/frame count mismatch) and propagates compositing
+    /// failures.
+    pub fn run(self) -> Result<CompositedCall, CallSimError> {
+        self.run_streamed(|_, _| Ok(()))
+    }
+
+    /// [`CallSim::run`] with a live feed: `sink` observes each composited
+    /// frame, in output order, the moment it leaves the compositor — before
+    /// the full call has been assembled. This models an adversary (or a
+    /// streaming reconstruction session in `bb-core`) tapping the call as
+    /// it happens rather than working from a finished recording.
+    ///
+    /// The sink receives the output frame index and the composited frame;
+    /// an error from the sink aborts the session and is propagated
+    /// verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CallSim::run`], plus any error the sink returns.
+    pub fn run_streamed(
+        self,
+        mut sink: impl FnMut(usize, &Frame) -> Result<(), CallSimError>,
+    ) -> Result<CompositedCall, CallSimError> {
+        let CallSim {
+            gt,
+            vb,
+            profile,
+            mitigation,
+            lighting,
+            seed,
+            telemetry,
+        } = self;
+        let _span = telemetry.time("callsim/session");
+        if gt.fg_masks.len() != gt.video.len() {
+            return Err(CallSimError::Inconsistent(format!(
+                "{} masks for {} frames",
+                gt.fg_masks.len(),
+                gt.video.len()
+            )));
+        }
+        let (w, h) = gt.video.dims();
+        let low_light = lighting == Lighting::Off;
+
+        // Frame dropping happens on the input side: the software simply
+        // sends fewer frames.
+        let kept_indices: Vec<usize> = match mitigation {
+            Mitigation::FrameDrop { keep_every } => {
+                if keep_every == 0 {
+                    return Err(CallSimError::Inconsistent(
+                        "FrameDrop keep_every must be >= 1".into(),
+                    ));
+                }
+                (0..gt.video.len()).step_by(keep_every).collect()
+            }
+            _ => (0..gt.video.len()).collect(),
+        };
+
+        let mut out_frames = Vec::with_capacity(kept_indices.len());
+        let mut est_masks = Vec::with_capacity(kept_indices.len());
+        let mut true_fg = Vec::with_capacity(kept_indices.len());
+        let mut leaked = Vec::with_capacity(kept_indices.len());
+        let mut blend_bands = Vec::with_capacity(kept_indices.len());
+        let mut vb_indices = Vec::with_capacity(kept_indices.len());
+        let mut vb_frames = Vec::with_capacity(kept_indices.len());
+        let mut raw_frames = Vec::with_capacity(kept_indices.len());
+
+        let mut first_composited: Option<Frame> = None;
+
+        for (out_i, &i) in kept_indices.iter().enumerate() {
+            let frame = gt.video.frame(i);
+            let est = {
+                let _matting = telemetry.time("callsim/session/matting");
+                estimate_mask(
+                    &profile.matting,
+                    &MattingInput {
+                        frame,
+                        true_fg: &gt.fg_masks,
+                        index: i,
+                        low_light,
+                    },
+                    seed,
+                )
+            };
+
+            // Virtual background for this frame, possibly adapted.
+            let mut vb_frame = vb.background_for(frame, i, w, h);
+            if let Mitigation::DynamicBackground(params) = mitigation {
+                vb_frame = adapt_virtual_background(&vb_frame, frame, &params, seed, i);
+            }
+
+            let composited = {
+                let _compose = telemetry.time("callsim/session/composite");
+                match (mitigation, &first_composited) {
+                    (Mitigation::DeepfakeReplay, Some(first)) => deepfake_frame(first, out_i),
+                    _ => composite(frame, &vb_frame, &est, profile.blend)?,
+                }
+            };
+            if first_composited.is_none() {
+                first_composited = Some(composited.clone());
+            }
+
+            let leak = est.subtract(&gt.fg_masks[i])?;
+            let band = blend_band(&est, profile.blend);
+            if telemetry.has_journal() {
+                telemetry.event(
+                    "callsim/frame",
+                    Some(out_i as u64),
+                    &[
+                        ("source_frame", i as f64),
+                        ("leak_px", leak.count_set() as f64),
+                        ("est_fg_px", est.count_set() as f64),
+                    ],
+                );
+            }
+
+            sink(out_i, &composited)?;
+
+            out_frames.push(composited);
+            est_masks.push(est);
+            true_fg.push(gt.fg_masks[i].clone());
+            leaked.push(leak);
+            blend_bands.push(band);
+            vb_indices.push(vb.media_index(i));
+            vb_frames.push(vb_frame);
+            raw_frames.push(frame.clone());
+        }
+
+        let fps = match mitigation {
+            Mitigation::FrameDrop { keep_every } => gt.video.fps() / keep_every as f64,
+            _ => gt.video.fps(),
+        };
+
+        telemetry.add("callsim/frames_in", gt.video.len() as u64);
+        telemetry.add("callsim/frames_out", out_frames.len() as u64);
+        telemetry.add(
+            "callsim/pixels_leaked",
+            leaked.iter().map(|m| m.count_set() as u64).sum(),
+        );
+
+        Ok(CompositedCall {
+            video: VideoStream::from_frames(out_frames, fps)?,
+            truth: CallTruth {
+                est_masks,
+                true_fg,
+                leaked,
+                blend_bands,
+                background: gt.background.clone(),
+                raw: VideoStream::from_frames(raw_frames, fps)?,
+                vb_indices,
+                vb_frames,
+            },
+        })
+    }
+}
+
+/// Runs a ground-truth capture through the virtual-background feature.
 ///
 /// # Errors
 ///
-/// Returns [`CallSimError::Inconsistent`] when the ground truth is malformed
-/// (mask/frame count mismatch) and propagates compositing failures.
+/// Same contract as [`CallSim::run`].
+#[deprecated(note = "use `CallSim::new(gt).vb(…).profile(…).run()`")]
 pub fn run_session(
     gt: &GroundTruth,
     virtual_bg: &VirtualBackground,
@@ -79,25 +337,22 @@ pub fn run_session(
     lighting: Lighting,
     seed: u64,
 ) -> Result<CompositedCall, CallSimError> {
-    run_session_traced(
-        gt,
-        virtual_bg,
-        profile,
-        mitigation,
-        lighting,
-        seed,
-        &Telemetry::disabled(),
-    )
+    CallSim::new(gt)
+        .vb(VbMode::from(virtual_bg.clone()))
+        .profile(profile.clone())
+        .mitigation(mitigation)
+        .lighting(lighting)
+        .seed(seed)
+        .run()
 }
 
-/// [`run_session`] with instrumentation: wall time lands in the
-/// `callsim/session` stage (matting and compositing split out underneath it)
-/// and frame/leak volumes in `callsim/*` counters.
+/// [`run_session`] with instrumentation.
 ///
 /// # Errors
 ///
-/// Same contract as [`run_session`].
+/// Same contract as [`CallSim::run`].
 #[allow(clippy::too_many_arguments)]
+#[deprecated(note = "use `CallSim::new(gt).telemetry(t).…run()`")]
 pub fn run_session_traced(
     gt: &GroundTruth,
     virtual_bg: &VirtualBackground,
@@ -107,31 +362,23 @@ pub fn run_session_traced(
     seed: u64,
     telemetry: &Telemetry,
 ) -> Result<CompositedCall, CallSimError> {
-    run_session_streamed(
-        gt,
-        virtual_bg,
-        profile,
-        mitigation,
-        lighting,
-        seed,
-        telemetry,
-        |_, _| Ok(()),
-    )
+    CallSim::new(gt)
+        .vb(VbMode::from(virtual_bg.clone()))
+        .profile(profile.clone())
+        .mitigation(mitigation)
+        .lighting(lighting)
+        .seed(seed)
+        .telemetry(telemetry)
+        .run()
 }
 
-/// [`run_session_traced`] with a live feed: `sink` observes each composited
-/// frame, in output order, the moment it leaves the compositor — before the
-/// full call has been assembled. This models an adversary (or a streaming
-/// reconstruction session in `bb-core`) tapping the call as it happens
-/// rather than working from a finished recording.
-///
-/// The sink receives the output frame index and the composited frame; an
-/// error from the sink aborts the session and is propagated verbatim.
+/// [`run_session_traced`] with a live frame feed.
 ///
 /// # Errors
 ///
-/// Same contract as [`run_session`], plus any error the sink returns.
+/// Same contract as [`CallSim::run_streamed`].
 #[allow(clippy::too_many_arguments)]
+#[deprecated(note = "use `CallSim::new(gt).…run_streamed(sink)`")]
 pub fn run_session_streamed(
     gt: &GroundTruth,
     virtual_bg: &VirtualBackground,
@@ -140,135 +387,23 @@ pub fn run_session_streamed(
     lighting: Lighting,
     seed: u64,
     telemetry: &Telemetry,
-    mut sink: impl FnMut(usize, &Frame) -> Result<(), CallSimError>,
+    sink: impl FnMut(usize, &Frame) -> Result<(), CallSimError>,
 ) -> Result<CompositedCall, CallSimError> {
-    let _span = telemetry.time("callsim/session");
-    if gt.fg_masks.len() != gt.video.len() {
-        return Err(CallSimError::Inconsistent(format!(
-            "{} masks for {} frames",
-            gt.fg_masks.len(),
-            gt.video.len()
-        )));
-    }
-    let (w, h) = gt.video.dims();
-    let low_light = lighting == Lighting::Off;
-
-    // Frame dropping happens on the input side: the software simply sends
-    // fewer frames.
-    let kept_indices: Vec<usize> = match mitigation {
-        Mitigation::FrameDrop { keep_every } => {
-            if keep_every == 0 {
-                return Err(CallSimError::Inconsistent(
-                    "FrameDrop keep_every must be >= 1".into(),
-                ));
-            }
-            (0..gt.video.len()).step_by(keep_every).collect()
-        }
-        _ => (0..gt.video.len()).collect(),
-    };
-
-    let mut out_frames = Vec::with_capacity(kept_indices.len());
-    let mut est_masks = Vec::with_capacity(kept_indices.len());
-    let mut true_fg = Vec::with_capacity(kept_indices.len());
-    let mut leaked = Vec::with_capacity(kept_indices.len());
-    let mut blend_bands = Vec::with_capacity(kept_indices.len());
-    let mut vb_indices = Vec::with_capacity(kept_indices.len());
-    let mut vb_frames = Vec::with_capacity(kept_indices.len());
-    let mut raw_frames = Vec::with_capacity(kept_indices.len());
-
-    let mut first_composited: Option<Frame> = None;
-
-    for (out_i, &i) in kept_indices.iter().enumerate() {
-        let frame = gt.video.frame(i);
-        let est = {
-            let _matting = telemetry.time("callsim/session/matting");
-            estimate_mask(
-                &profile.matting,
-                &MattingInput {
-                    frame,
-                    true_fg: &gt.fg_masks,
-                    index: i,
-                    low_light,
-                },
-                seed,
-            )
-        };
-
-        // Virtual background for this frame, possibly adapted.
-        let mut vb_frame = virtual_bg.frame_at(i, w, h);
-        if let Mitigation::DynamicBackground(params) = mitigation {
-            vb_frame = adapt_virtual_background(&vb_frame, frame, &params, seed, i);
-        }
-
-        let composited = {
-            let _compose = telemetry.time("callsim/session/composite");
-            match (mitigation, &first_composited) {
-                (Mitigation::DeepfakeReplay, Some(first)) => deepfake_frame(first, out_i),
-                _ => composite(frame, &vb_frame, &est, profile.blend)?,
-            }
-        };
-        if first_composited.is_none() {
-            first_composited = Some(composited.clone());
-        }
-
-        let leak = est.subtract(&gt.fg_masks[i])?;
-        let band = blend_band(&est, profile.blend);
-        if telemetry.has_journal() {
-            telemetry.event(
-                "callsim/frame",
-                Some(out_i as u64),
-                &[
-                    ("source_frame", i as f64),
-                    ("leak_px", leak.count_set() as f64),
-                    ("est_fg_px", est.count_set() as f64),
-                ],
-            );
-        }
-
-        sink(out_i, &composited)?;
-
-        out_frames.push(composited);
-        est_masks.push(est);
-        true_fg.push(gt.fg_masks[i].clone());
-        leaked.push(leak);
-        blend_bands.push(band);
-        vb_indices.push(virtual_bg.media_index(i));
-        vb_frames.push(vb_frame);
-        raw_frames.push(frame.clone());
-    }
-
-    let fps = match mitigation {
-        Mitigation::FrameDrop { keep_every } => gt.video.fps() / keep_every as f64,
-        _ => gt.video.fps(),
-    };
-
-    telemetry.add("callsim/frames_in", gt.video.len() as u64);
-    telemetry.add("callsim/frames_out", out_frames.len() as u64);
-    telemetry.add(
-        "callsim/pixels_leaked",
-        leaked.iter().map(|m| m.count_set() as u64).sum(),
-    );
-
-    Ok(CompositedCall {
-        video: VideoStream::from_frames(out_frames, fps)?,
-        truth: CallTruth {
-            est_masks,
-            true_fg,
-            leaked,
-            blend_bands,
-            background: gt.background.clone(),
-            raw: VideoStream::from_frames(raw_frames, fps)?,
-            vb_indices,
-            vb_frames,
-        },
-    })
+    CallSim::new(gt)
+        .vb(VbMode::from(virtual_bg.clone()))
+        .profile(profile.clone())
+        .mitigation(mitigation)
+        .lighting(lighting)
+        .seed(seed)
+        .telemetry(telemetry)
+        .run_streamed(sink)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::background;
-    use crate::profile;
+    use crate::background::BackgroundId;
+    use bb_imaging::filter;
     use bb_synth::{Action, Room, Scenario};
     use rand::{rngs::StdRng, SeedableRng};
 
@@ -285,46 +420,41 @@ mod tests {
         .unwrap()
     }
 
-    fn image_bg() -> VirtualBackground {
-        VirtualBackground::Image(background::beach(80, 60))
+    fn image_bg() -> VbMode {
+        BackgroundId::Beach.realize(80, 60).into()
+    }
+
+    fn zoom() -> SoftwareProfile {
+        SoftwareProfile::preset(ProfilePreset::ZoomLike)
     }
 
     #[test]
     fn session_is_deterministic() {
         let gt = ground_truth(Action::ArmWaving, 15);
-        let a = run_session(
-            &gt,
-            &image_bg(),
-            &profile::zoom_like(),
-            Mitigation::None,
-            Lighting::On,
-            5,
-        )
-        .unwrap();
-        let b = run_session(
-            &gt,
-            &image_bg(),
-            &profile::zoom_like(),
-            Mitigation::None,
-            Lighting::On,
-            5,
-        )
-        .unwrap();
+        let a = CallSim::new(&gt).vb(image_bg()).seed(5).run().unwrap();
+        let b = CallSim::new(&gt).vb(image_bg()).seed(5).run().unwrap();
         assert_eq!(a.video, b.video);
+    }
+
+    #[test]
+    fn deprecated_wrappers_match_the_builder() {
+        #![allow(deprecated)]
+        let gt = ground_truth(Action::ArmWaving, 10);
+        let vb = BackgroundId::Beach.realize(80, 60);
+        let old = run_session(&gt, &vb, &zoom(), Mitigation::None, Lighting::On, 5).unwrap();
+        let new = CallSim::new(&gt)
+            .vb(vb)
+            .profile(zoom())
+            .seed(5)
+            .run()
+            .unwrap();
+        assert_eq!(old, new);
     }
 
     #[test]
     fn composited_hides_most_background() {
         let gt = ground_truth(Action::Still, 20);
-        let call = run_session(
-            &gt,
-            &image_bg(),
-            &profile::zoom_like(),
-            Mitigation::None,
-            Lighting::On,
-            1,
-        )
-        .unwrap();
+        let call = CallSim::new(&gt).vb(image_bg()).seed(1).run().unwrap();
         // A late frame should be mostly virtual background + caller: away
         // from the caller the output pixels must differ from the real
         // background.
@@ -345,17 +475,37 @@ mod tests {
     }
 
     #[test]
+    fn blur_mode_smooths_background_but_keeps_caller() {
+        let gt = ground_truth(Action::Still, 16);
+        let radius = 3;
+        let call = CallSim::new(&gt)
+            .vb(VbMode::Blur { radius })
+            .profile(SoftwareProfile::preset(ProfilePreset::Perfect))
+            .seed(2)
+            .run()
+            .unwrap();
+        // With perfect matting, every non-caller pixel is exactly the
+        // box-blurred raw frame (AlphaBand blending is identity off-band).
+        let i = 10;
+        let raw = call.truth.raw.frame(i);
+        let blurred = filter::box_blur(raw, radius);
+        let out = call.video.frame(i);
+        let off_band = call.truth.true_fg[i]
+            .complement()
+            .subtract(&call.truth.blend_bands[i])
+            .unwrap();
+        for (x, y) in off_band.iter_set() {
+            assert_eq!(out.get(x, y), blurred.get(x, y), "pixel ({x},{y})");
+        }
+        // The blurred background still correlates with the real one far
+        // more than an image replacement would.
+        assert!(out.mean_abs_diff(&blurred).unwrap() < 10.0);
+    }
+
+    #[test]
     fn leaked_masks_are_background_only() {
         let gt = ground_truth(Action::ArmWaving, 20);
-        let call = run_session(
-            &gt,
-            &image_bg(),
-            &profile::zoom_like(),
-            Mitigation::None,
-            Lighting::On,
-            2,
-        )
-        .unwrap();
+        let call = CallSim::new(&gt).vb(image_bg()).seed(2).run().unwrap();
         for (i, leak) in call.truth.leaked.iter().enumerate() {
             assert!(leak.intersect(&call.truth.true_fg[i]).unwrap().is_empty());
         }
@@ -367,15 +517,12 @@ mod tests {
     #[test]
     fn perfect_profile_never_leaks() {
         let gt = ground_truth(Action::ArmWaving, 15);
-        let call = run_session(
-            &gt,
-            &image_bg(),
-            &profile::perfect(),
-            Mitigation::None,
-            Lighting::On,
-            3,
-        )
-        .unwrap();
+        let call = CallSim::new(&gt)
+            .vb(image_bg())
+            .profile(SoftwareProfile::preset(ProfilePreset::Perfect))
+            .seed(3)
+            .run()
+            .unwrap();
         let total: usize = call.truth.leaked.iter().map(|m| m.count_set()).sum();
         assert_eq!(total, 0);
     }
@@ -383,15 +530,7 @@ mod tests {
     #[test]
     fn initial_frames_leak_more_than_late_frames() {
         let gt = ground_truth(Action::Still, 30);
-        let call = run_session(
-            &gt,
-            &image_bg(),
-            &profile::zoom_like(),
-            Mitigation::None,
-            Lighting::On,
-            4,
-        )
-        .unwrap();
+        let call = CallSim::new(&gt).vb(image_bg()).seed(4).run().unwrap();
         let early: usize = call.truth.leaked[..5].iter().map(|m| m.count_set()).sum();
         let late: usize = call.truth.leaked[20..25]
             .iter()
@@ -406,40 +545,31 @@ mod tests {
     #[test]
     fn frame_drop_reduces_output() {
         let gt = ground_truth(Action::Still, 30);
-        let call = run_session(
-            &gt,
-            &image_bg(),
-            &profile::zoom_like(),
-            Mitigation::FrameDrop { keep_every: 3 },
-            Lighting::On,
-            1,
-        )
-        .unwrap();
+        let call = CallSim::new(&gt)
+            .vb(image_bg())
+            .mitigation(Mitigation::FrameDrop { keep_every: 3 })
+            .seed(1)
+            .run()
+            .unwrap();
         assert_eq!(call.len(), 10);
         assert!((call.video.fps() - 10.0).abs() < 1e-9);
-        assert!(run_session(
-            &gt,
-            &image_bg(),
-            &profile::zoom_like(),
-            Mitigation::FrameDrop { keep_every: 0 },
-            Lighting::On,
-            1
-        )
-        .is_err());
+        assert!(CallSim::new(&gt)
+            .vb(image_bg())
+            .mitigation(Mitigation::FrameDrop { keep_every: 0 })
+            .seed(1)
+            .run()
+            .is_err());
     }
 
     #[test]
     fn deepfake_replay_transmits_no_real_frame_after_first() {
         let gt = ground_truth(Action::ArmWaving, 12);
-        let call = run_session(
-            &gt,
-            &image_bg(),
-            &profile::zoom_like(),
-            Mitigation::DeepfakeReplay,
-            Lighting::On,
-            6,
-        )
-        .unwrap();
+        let call = CallSim::new(&gt)
+            .vb(image_bg())
+            .mitigation(Mitigation::DeepfakeReplay)
+            .seed(6)
+            .run()
+            .unwrap();
         let first = call.video.frame(0);
         for i in 1..call.len() {
             // Every later frame is a warp of frame 0: it must be closer to
@@ -452,26 +582,15 @@ mod tests {
     #[test]
     fn dynamic_background_changes_vb_every_frame() {
         let gt = ground_truth(Action::Still, 10);
-        let call = run_session(
-            &gt,
-            &image_bg(),
-            &profile::zoom_like(),
-            Mitigation::DynamicBackground(Default::default()),
-            Lighting::On,
-            9,
-        )
-        .unwrap();
+        let call = CallSim::new(&gt)
+            .vb(image_bg())
+            .mitigation(Mitigation::DynamicBackground(Default::default()))
+            .seed(9)
+            .run()
+            .unwrap();
         assert_ne!(call.truth.vb_frames[0], call.truth.vb_frames[1]);
         // Without mitigation the VB frames are constant (image background).
-        let plain = run_session(
-            &gt,
-            &image_bg(),
-            &profile::zoom_like(),
-            Mitigation::None,
-            Lighting::On,
-            9,
-        )
-        .unwrap();
+        let plain = CallSim::new(&gt).vb(image_bg()).seed(9).run().unwrap();
         assert_eq!(plain.truth.vb_frames[0], plain.truth.vb_frames[1]);
     }
 
@@ -479,20 +598,14 @@ mod tests {
     fn streamed_sink_sees_every_output_frame_in_order() {
         let gt = ground_truth(Action::ArmWaving, 12);
         let mut seen: Vec<(usize, Frame)> = Vec::new();
-        let call = run_session_streamed(
-            &gt,
-            &image_bg(),
-            &profile::zoom_like(),
-            Mitigation::None,
-            Lighting::On,
-            5,
-            &Telemetry::disabled(),
-            |i, frame| {
+        let call = CallSim::new(&gt)
+            .vb(image_bg())
+            .seed(5)
+            .run_streamed(|i, frame| {
                 seen.push((i, frame.clone()));
                 Ok(())
-            },
-        )
-        .unwrap();
+            })
+            .unwrap();
         assert_eq!(seen.len(), call.len());
         for (i, (idx, frame)) in seen.iter().enumerate() {
             assert_eq!(*idx, i);
@@ -503,39 +616,34 @@ mod tests {
     #[test]
     fn streamed_sink_error_aborts_the_session() {
         let gt = ground_truth(Action::Still, 10);
-        let err = run_session_streamed(
-            &gt,
-            &image_bg(),
-            &profile::zoom_like(),
-            Mitigation::None,
-            Lighting::On,
-            5,
-            &Telemetry::disabled(),
-            |i, _| {
+        let err = CallSim::new(&gt)
+            .vb(image_bg())
+            .seed(5)
+            .run_streamed(|i, _| {
                 if i == 3 {
                     Err(CallSimError::Inconsistent("sink refused".into()))
                 } else {
                     Ok(())
                 }
-            },
-        )
-        .unwrap_err();
+            })
+            .unwrap_err();
         assert!(matches!(err, CallSimError::Inconsistent(_)));
     }
 
     #[test]
     fn virtual_video_indices_loop() {
         let gt = ground_truth(Action::Still, 10);
-        let vb = VirtualBackground::Video(background::lava_lamp(80, 60, 4));
-        let call = run_session(
-            &gt,
-            &vb,
-            &profile::zoom_like(),
-            Mitigation::None,
-            Lighting::On,
-            0,
-        )
-        .unwrap();
+        let vid = match BackgroundId::LavaLamp.realize(80, 60) {
+            VirtualBackground::Video(v) => {
+                VideoStream::from_frames(v.frames()[..4].to_vec(), 30.0).unwrap()
+            }
+            VirtualBackground::Image(_) => unreachable!(),
+        };
+        let call = CallSim::new(&gt)
+            .vb(VbMode::Video(vid))
+            .seed(0)
+            .run()
+            .unwrap();
         assert_eq!(call.truth.vb_indices[0], 0);
         assert_eq!(call.truth.vb_indices[5], 1);
         assert_eq!(call.truth.vb_indices[4], 0);

@@ -1,6 +1,6 @@
 //! Property-based tests for the call simulator's invariants.
 
-use bb_callsim::{background, profile, run_session, Mitigation, VirtualBackground};
+use bb_callsim::{background, BackgroundId, CallSim, Mitigation};
 use bb_imaging::Rgb;
 use bb_synth::{Action, Lighting, Room, Scenario};
 use proptest::prelude::*;
@@ -25,8 +25,13 @@ fn composite(
     }
     .render()
     .expect("render");
-    let vb = VirtualBackground::Image(background::beach(48, 36));
-    run_session(&gt, &vb, &profile::zoom_like(), mitigation, lighting, seed).expect("session")
+    CallSim::new(&gt)
+        .vb(BackgroundId::Beach.realize(48, 36))
+        .mitigation(mitigation)
+        .lighting(lighting)
+        .seed(seed)
+        .run()
+        .expect("session")
 }
 
 fn arb_action() -> impl Strategy<Value = Action> {
@@ -94,7 +99,10 @@ proptest! {
     #[test]
     fn dynamic_background_stays_in_gamut(seed in any::<u64>(), frame_index in 0usize..16) {
         use bb_callsim::mitigation::{adapt_virtual_background, DynamicBackgroundParams};
-        let vb = background::office(32, 24);
+        let vb = match BackgroundId::Office.realize(32, 24) {
+            bb_callsim::VirtualBackground::Image(img) => img,
+            _ => unreachable!("office is an image"),
+        };
         let real = Room::sample(seed, 32, 24, 2, &mut StdRng::seed_from_u64(seed)).render(32, 24);
         let adapted = adapt_virtual_background(&vb, &real, &DynamicBackgroundParams::default(), seed, frame_index);
         prop_assert_eq!(adapted.dims(), (32, 24));

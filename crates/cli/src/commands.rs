@@ -1,7 +1,7 @@
 //! Subcommand implementations.
 
 use crate::args::Flags;
-use bb_callsim::{background, profile, run_session_traced, Mitigation, VirtualBackground};
+use bb_callsim::{background, BackgroundId, CallSim, ProfilePreset, SoftwareProfile, VbMode};
 use bb_core::pipeline::{MaskRetention, Reconstructor, ReconstructorConfig, VbSource};
 use bb_core::session::ReconstructionSession;
 use bb_synth::{Action, Lighting, Room, Scenario};
@@ -20,8 +20,11 @@ COMMANDS:
     synth     render a synthetic call; writes <out>.raw.bbv (ground truth)
               and <out>.call.bbv (virtual background applied)
               flags: --out PREFIX  --action NAME  --frames N  --seed N
-                     --width N --height N  --software zoom|skype
-                     --vb beach|office|space  --lights-off
+                     --width N --height N
+                     --profile zoom_like|skype_like|meet_like|teams_like|perfect
+                       (--software zoom|skype still accepted)
+                     --vb beach|office|space|drifting_clouds|lava_lamp|blur:R
+                     --lights-off
                      --format v1|v2 (container; v2 = span-delta compressed)
     encode    convert a .bbv container between format versions
               (input version is auto-detected)
@@ -56,6 +59,16 @@ COMMANDS:
               flags: --sessions N --concurrency N --arrivals N --frames N
                      --chunk N --width N --height N --budget-kb N
                      --workers N --seed N --spill-dir DIR
+    sweep     run a scenario x profile x background x attack matrix and
+              aggregate RBRR / attack accuracy into one report
+              init:  bbuster sweep init --out spec.json [--tiny]
+              run:   bbuster sweep run --spec spec.json --out report.json
+                       --shard K/N (run slice K of N; emits a shard report)
+                       --workers N (cell worker threads, default 1)
+              merge: bbuster sweep merge S0.json S1.json... --out report.json
+              shard reports merge to a report byte-identical to an unsharded
+              run; gate the result with `bbuster report --slo` on the
+              --metrics-out snapshot (sweep default rules apply)
     report    summarize a RunReport, or gate on a regression
               summary: bbuster report run.json
               diff:    bbuster report --diff NEW.json [BASELINE.json]
@@ -77,7 +90,7 @@ COMMANDS:
                          the snapshots a serve/loadgen run exports
     help      this message
 
-    synth/attack/locate/serve/loadgen also accept:
+    synth/attack/locate/serve/loadgen/sweep-run also accept:
       --telemetry-out FILE.json   per-stage timings, counters, and latency
                                   histograms, written as a RunReport
       --journal-out FILE.jsonl    per-frame structured event journal
@@ -104,6 +117,10 @@ EXAMPLES:
     bbuster serve demo.bbws --out-dir recovered/
     bbuster loadgen --sessions 1000 --concurrency 64 --budget-kb 4096 \\
         --metrics-out metrics.json
+    bbuster sweep init --out sweep.json
+    bbuster sweep run --spec sweep.json --out report.json --workers 4
+    bbuster sweep run --spec sweep.json --out shard0.json --shard 0/2
+    bbuster sweep merge shard0.json shard1.json --out report.json
     bbuster metrics watch metrics.json
     bbuster report run.json
     bbuster report --diff run.json BENCH_pipeline.json --fail-over-pct 25
@@ -126,6 +143,7 @@ pub fn dispatch(argv: &[String]) -> Result<i32, String> {
         Some("inspect") => inspect(&flags).map(|()| 0),
         Some("serve") => crate::serve_cmd::serve(&flags).map(|()| 0),
         Some("loadgen") => crate::serve_cmd::loadgen(&flags).map(|()| 0),
+        Some("sweep") => crate::sweep_cmd::sweep(&flags),
         Some("report") => crate::report_cmd::report(&flags),
         Some("metrics") => crate::metrics_cmd::metrics(&flags),
         Some("help") | None => {
@@ -171,6 +189,15 @@ impl ObservabilityOut {
 /// Rejects valueless output flags instead of silently writing nothing, and
 /// malformed `--slo-rules`.
 pub(crate) fn telemetry_from(flags: &Flags) -> Result<(Telemetry, ObservabilityOut), String> {
+    telemetry_with_default_rules(flags, bb_telemetry::metrics::default_serve_rules)
+}
+
+/// [`telemetry_from`] with an explicit default SLO rule set — `sweep run`
+/// installs `default_sweep_rules` instead of the serve rules.
+pub(crate) fn telemetry_with_default_rules(
+    flags: &Flags,
+    default_rules: fn() -> Vec<SloRule>,
+) -> Result<(Telemetry, ObservabilityOut), String> {
     for key in ["telemetry-out", "journal-out", "trace-out", "metrics-out"] {
         if flags.has(key) && flags.get(key).is_none() {
             return Err(format!("--{key} requires a file path"));
@@ -195,7 +222,7 @@ pub(crate) fn telemetry_from(flags: &Flags) -> Result<(Telemetry, ObservabilityO
         let hub = MetricsHub::new();
         let rules = match flags.get("slo-rules") {
             Some(text) => SloRule::parse_list(text).map_err(|e| format!("--slo-rules: {e}"))?,
-            None => bb_telemetry::metrics::default_serve_rules(),
+            None => default_rules(),
         };
         hub.set_rules(rules);
         telemetry = telemetry.with_metrics(hub);
@@ -256,13 +283,31 @@ fn action_by_name(name: &str) -> Result<Action, String> {
         })
 }
 
-fn vb_by_name(name: &str, w: usize, h: usize) -> Result<VirtualBackground, String> {
-    match name {
-        "beach" => Ok(VirtualBackground::Image(background::beach(w, h))),
-        "office" => Ok(VirtualBackground::Image(background::office(w, h))),
-        "space" => Ok(VirtualBackground::Image(background::space(w, h))),
-        other => Err(format!("unknown virtual background {other:?}")),
+/// Resolves a `--vb` value: a catalog identifier (`beach`,
+/// `drifting_clouds`, …) or `blur:R` for the blur compositor.
+fn vb_by_name(name: &str, w: usize, h: usize) -> Result<VbMode, String> {
+    if let Some(radius) = name.strip_prefix("blur:") {
+        let radius: usize = radius
+            .parse()
+            .map_err(|_| format!("bad blur radius in {name:?}"))?;
+        if radius == 0 {
+            return Err("blur radius must be at least 1".to_string());
+        }
+        return Ok(VbMode::Blur { radius });
     }
+    name.parse::<BackgroundId>()
+        .map(|id| VbMode::from(id.realize(w, h)))
+}
+
+/// Resolves a `--profile`/`--software` value into a [`SoftwareProfile`].
+/// The pre-catalog shorthands `zoom`/`skype` stay accepted.
+fn profile_by_name(name: &str) -> Result<SoftwareProfile, String> {
+    let preset = match name {
+        "zoom" => ProfilePreset::ZoomLike,
+        "skype" => ProfilePreset::SkypeLike,
+        other => other.parse::<ProfilePreset>()?,
+    };
+    Ok(SoftwareProfile::preset(preset))
 }
 
 /// Parses a `--format` flag into a container version (default `v1` for
@@ -328,11 +373,12 @@ fn synth(flags: &Flags) -> Result<(), String> {
     } else {
         Lighting::On
     };
-    let software = match flags.get_or("software", "zoom") {
-        "zoom" => profile::zoom_like(),
-        "skype" => profile::skype_like(),
-        other => return Err(format!("unknown software {other:?} (zoom|skype)")),
-    };
+    let software = profile_by_name(
+        flags
+            .get("profile")
+            .or_else(|| flags.get("software"))
+            .unwrap_or("zoom_like"),
+    )?;
     let vb = vb_by_name(flags.get_or("vb", "beach"), width, height)?;
     let format = format_by_name(flags.get_or("format", "v1"))?;
 
@@ -351,16 +397,14 @@ fn synth(flags: &Flags) -> Result<(), String> {
         let _span = telemetry.time("synth/render");
         scenario.render().map_err(|e| e.to_string())?
     };
-    let call = run_session_traced(
-        &gt,
-        &vb,
-        &software,
-        Mitigation::None,
-        lighting,
-        seed,
-        &telemetry,
-    )
-    .map_err(|e| e.to_string())?;
+    let call = CallSim::new(&gt)
+        .vb(vb)
+        .profile(software)
+        .lighting(lighting)
+        .seed(seed)
+        .telemetry(&telemetry)
+        .run()
+        .map_err(|e| e.to_string())?;
 
     let raw_path = format!("{out}.raw.bbv");
     let call_path = format!("{out}.call.bbv");
@@ -398,7 +442,7 @@ fn reconstruct(
     let source = if flags.has("unknown-vb") {
         VbSource::UnknownImage
     } else {
-        VbSource::KnownImages(background::builtin_images(w, h))
+        VbSource::KnownImages(background::catalog_images(w, h))
     };
     Reconstructor::new(source, config)
         .with_telemetry(telemetry.clone())
@@ -455,7 +499,7 @@ fn reconstruct_cmd(flags: &Flags) -> Result<(), String> {
     let source = if flags.has("unknown-vb") {
         VbSource::UnknownImage
     } else {
-        VbSource::KnownImages(background::builtin_images(w, h))
+        VbSource::KnownImages(background::catalog_images(w, h))
     };
     let recon = Reconstructor::new(source, config).with_telemetry(telemetry.clone());
 
@@ -605,7 +649,21 @@ mod tests {
     #[test]
     fn vb_lookup() {
         assert!(vb_by_name("beach", 8, 6).is_ok());
+        assert!(vb_by_name("drifting_clouds", 8, 6).is_ok());
+        assert!(matches!(
+            vb_by_name("blur:3", 8, 6),
+            Ok(VbMode::Blur { radius: 3 })
+        ));
+        assert!(vb_by_name("blur:0", 8, 6).is_err());
         assert!(vb_by_name("matrix", 8, 6).is_err());
+    }
+
+    #[test]
+    fn profile_lookup() {
+        for name in ["zoom", "skype", "zoom_like", "meet_like", "teams-like"] {
+            assert!(profile_by_name(name).is_ok(), "{name} must resolve");
+        }
+        assert!(profile_by_name("webex").is_err());
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   reconstruction service (or `--encode` a `.bbv` into that format).
 //! * `loadgen` — replay a synthetic fleet through the service and print a
 //!   soak report.
+//! * `sweep` — run a scenario × profile × background × attack matrix
+//!   (whole or as `--shard K/N` slices) and merge shard reports into one
+//!   aggregated RBRR / attack-accuracy report.
 //! * `report` — summarize a telemetry RunReport, or diff two runs and exit
 //!   non-zero (code 3) on a latency regression.
 //!
@@ -25,6 +28,7 @@ mod commands;
 mod metrics_cmd;
 mod report_cmd;
 mod serve_cmd;
+mod sweep_cmd;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();

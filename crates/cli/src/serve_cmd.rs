@@ -78,7 +78,7 @@ pub fn serve(flags: &Flags) -> Result<(), String> {
     let source = if flags.has("unknown-vb") {
         VbSource::UnknownImage
     } else {
-        VbSource::KnownImages(background::builtin_images(w, h))
+        VbSource::KnownImages(background::catalog_images(w, h))
     };
     let prototype = Reconstructor::new(source, config);
     let mut server = ReconServer::new(prototype, serve_config(flags)?)

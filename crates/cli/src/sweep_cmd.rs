@@ -1,0 +1,226 @@
+//! `bbuster sweep` — the sharded scenario-matrix runner.
+//!
+//! Three subcommands compose into the fleet workflow:
+//!
+//! * `sweep init` writes a starter [`SweepSpec`] (or the CI-sized `--tiny`
+//!   matrix) so runs are always driven from a reviewable file.
+//! * `sweep run` executes the matrix (or one `--shard K/N` slice of it)
+//!   and writes a [`SweepReport`]; progress streams through the usual
+//!   `--metrics-out` surface with sweep-specific default SLO rules.
+//! * `sweep merge` reassembles shard reports into the complete aggregated
+//!   report — byte-identical to what a 1-shard run would have written,
+//!   which CI pins with `cmp`.
+
+use crate::args::Flags;
+use crate::commands::{flush_telemetry, telemetry_with_default_rules};
+use bb_sweep::{run_sweep, RunOptions, SweepReport, SweepSpec};
+
+/// Dispatches `bbuster sweep <init|run|merge>`.
+///
+/// # Errors
+///
+/// Returns a human-readable message on any failure (exit code 2).
+pub(crate) fn sweep(flags: &Flags) -> Result<i32, String> {
+    match flags.positional().get(1).map(String::as_str) {
+        Some("init") => init(flags).map(|()| 0),
+        Some("run") => run(flags).map(|()| 0),
+        Some("merge") => merge(flags).map(|()| 0),
+        Some(other) => Err(format!(
+            "unknown sweep subcommand {other:?} (init|run|merge); try `bbuster help`"
+        )),
+        None => Err("usage: bbuster sweep <init|run|merge>; try `bbuster help`".to_string()),
+    }
+}
+
+/// `bbuster sweep init`: write a starter spec file.
+fn init(flags: &Flags) -> Result<(), String> {
+    let spec = if flags.has("tiny") {
+        SweepSpec::tiny()
+    } else {
+        SweepSpec::example()
+    };
+    let out = flags.get_or("out", "sweep.json");
+    std::fs::write(out, spec.to_json_string()).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "wrote {out} ({} cells: {} scenarios x {} profiles x {} backgrounds x {} attacks)",
+        spec.cell_count(),
+        spec.scenarios.len(),
+        spec.profiles.len(),
+        spec.backgrounds.len(),
+        spec.attacks.len()
+    );
+    Ok(())
+}
+
+/// Parses `--shard K/N` ("0/4" → shard 0 of 4).
+fn parse_shard(text: &str) -> Result<(usize, usize), String> {
+    let err = || format!("--shard: expected K/N (e.g. 0/4), got {text:?}");
+    let (k, n) = text.split_once('/').ok_or_else(err)?;
+    let k: usize = k.trim().parse().map_err(|_| err())?;
+    let n: usize = n.trim().parse().map_err(|_| err())?;
+    if n == 0 || k >= n {
+        return Err(format!("--shard: index must be < count in {text:?}"));
+    }
+    Ok((k, n))
+}
+
+/// `bbuster sweep run`: execute the matrix (or one shard of it).
+fn run(flags: &Flags) -> Result<(), String> {
+    let spec_path = flags
+        .get("spec")
+        .ok_or("--spec FILE.json is required (generate one with `bbuster sweep init`)")?;
+    let text = std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+    let spec = SweepSpec::from_json_str(&text).map_err(|e| format!("{spec_path}: {e}"))?;
+    let shard = flags.get("shard").map(parse_shard).transpose()?;
+    let workers: usize = flags.get_num("workers", 1usize)?;
+    let (telemetry, telemetry_out) =
+        telemetry_with_default_rules(flags, bb_telemetry::metrics::default_sweep_rules)?;
+    let report = run_sweep(
+        &spec,
+        RunOptions {
+            shard,
+            workers,
+            telemetry: telemetry.clone(),
+            exporter: telemetry_out.metrics_exporter(),
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    let out = flags.get_or("out", "sweep-report.json");
+    std::fs::write(out, report.to_json_string()).map_err(|e| format!("{out}: {e}"))?;
+    match report.shard {
+        Some((k, n)) => println!(
+            "wrote {out} (shard {k}/{n}: {} of {} cells; merge shards with `bbuster sweep merge`)",
+            report.cells.len(),
+            report.cells_total
+        ),
+        None => {
+            println!("wrote {out} ({} cells)", report.cells.len());
+            print_summary(&report);
+        }
+    }
+    flush_telemetry(&telemetry, telemetry_out)
+}
+
+/// `bbuster sweep merge`: reassemble shard reports into the complete one.
+fn merge(flags: &Flags) -> Result<(), String> {
+    let paths = flags
+        .positional()
+        .get(2..)
+        .filter(|p| !p.is_empty())
+        .ok_or("usage: bbuster sweep merge SHARD.json... --out FILE.json")?;
+    let shards = paths
+        .iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
+            SweepReport::from_json_str(&text).map_err(|e| format!("{p}: {e}"))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let merged = SweepReport::merge(&shards).map_err(|e| e.to_string())?;
+    let out = flags.get_or("out", "sweep-report.json");
+    std::fs::write(out, merged.to_json_string()).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "wrote {out} ({} shards, {} cells)",
+        shards.len(),
+        merged.cells.len()
+    );
+    print_summary(&merged);
+    Ok(())
+}
+
+/// Prints the stable `key : value` summary lines for a complete report.
+fn print_summary(report: &SweepReport) {
+    let agg = report.aggregates();
+    println!("cells : {} ok, {} failed", agg.cells_ok, agg.cells_failed);
+    if agg.cells_ok > 0 {
+        println!(
+            "rbrr : mean {:.4}% (min {:.4}%, max {:.4}%)",
+            agg.mean_rbrr, agg.min_rbrr, agg.max_rbrr
+        );
+        println!("precision : mean {:.4}%", agg.mean_precision);
+    }
+    if let Some(accuracy) = agg.attack_accuracy {
+        println!("attack top-1 : {:.4}", accuracy);
+    }
+    println!("health : {}", agg.health);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cli(args: &[&str]) -> Result<i32, String> {
+        crate::commands::dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn shard_selector_parses_and_rejects() {
+        assert_eq!(parse_shard("0/4").unwrap(), (0, 4));
+        assert_eq!(parse_shard("3/4").unwrap(), (3, 4));
+        assert!(parse_shard("4/4").is_err());
+        assert!(parse_shard("0/0").is_err());
+        assert!(parse_shard("1").is_err());
+        assert!(parse_shard("a/b").is_err());
+    }
+
+    #[test]
+    fn subcommand_and_flag_errors_are_hard_errors() {
+        assert!(run_cli(&["sweep"]).is_err());
+        assert!(run_cli(&["sweep", "frobnicate"]).is_err());
+        assert!(run_cli(&["sweep", "run"]).is_err()); // --spec missing
+        assert!(run_cli(&["sweep", "run", "--spec", "/nonexistent.json"]).is_err());
+        assert!(run_cli(&["sweep", "merge"]).is_err());
+    }
+
+    #[test]
+    fn init_run_merge_round_trip_matches_the_unsharded_report() {
+        // The CI smoke drill, in-process: a tiny matrix run whole and as
+        // two shards must produce byte-identical aggregated reports.
+        let dir = std::env::temp_dir().join("bbuster_cli_sweep_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = |name: &str| dir.join(name).to_string_lossy().to_string();
+        let spec = path("spec.json");
+        run_cli(&["sweep", "init", "--tiny", "--out", &spec]).expect("init");
+        let parsed = SweepSpec::from_json_str(&std::fs::read_to_string(&spec).unwrap())
+            .expect("init writes a parseable spec");
+        assert_eq!(parsed, SweepSpec::tiny());
+
+        let whole = path("whole.json");
+        run_cli(&["sweep", "run", "--spec", &spec, "--out", &whole]).expect("unsharded run");
+        let s0 = path("s0.json");
+        let s1 = path("s1.json");
+        run_cli(&[
+            "sweep",
+            "run",
+            "--spec",
+            &spec,
+            "--out",
+            &s0,
+            "--shard",
+            "0/2",
+            "--workers",
+            "2",
+        ])
+        .expect("shard 0");
+        run_cli(&[
+            "sweep", "run", "--spec", &spec, "--out", &s1, "--shard", "1/2",
+        ])
+        .expect("shard 1");
+        let merged = path("merged.json");
+        run_cli(&["sweep", "merge", &s0, &s1, "--out", &merged]).expect("merge");
+        assert_eq!(
+            std::fs::read(&whole).unwrap(),
+            std::fs::read(&merged).unwrap(),
+            "sharded merge diverged from the unsharded report"
+        );
+        // The merged report parses back and gates healthy.
+        let report =
+            SweepReport::from_json_str(&std::fs::read_to_string(&merged).unwrap()).unwrap();
+        assert_eq!(report.cells.len(), parsed.cell_count());
+        assert_eq!(report.aggregates().health, "ok");
+        // A lone shard does not merge (half the matrix is missing).
+        assert!(run_cli(&["sweep", "merge", &s0, "--out", &path("bad.json")]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -55,8 +55,8 @@ pub mod vcmask;
 pub mod workers;
 
 pub use pipeline::{
-    MaskRetention, Reconstruction, Reconstructor, ReconstructorConfig, ReconstructorConfigBuilder,
-    VbSource,
+    MaskRetention, ReconMode, Reconstruction, Reconstructor, ReconstructorConfig,
+    ReconstructorConfigBuilder, VbSource, DEBLUR_ITERATIONS,
 };
 pub use recon::ReconstructionCanvas;
 pub use session::{FrameOutcome, ReconstructionSession, SessionSnapshot};

@@ -89,6 +89,36 @@ pub enum MaskRetention {
     None,
 }
 
+/// Van Cittert iteration count used by the blur-residue deconvolution
+/// stage ([`ReconMode::BlurResidue`]). Three iterations recover most of the
+/// edge energy a box blur removes; more mainly amplifies clamp noise.
+pub const DEBLUR_ITERATIONS: usize = 3;
+
+/// What kind of residue the pipeline accumulates as evidence.
+///
+/// The paper's attack ([`ReconMode::ColorResidue`]) assumes an
+/// image/video-replacement VB: leaked pixels show the *real* background
+/// color, so residue accumulates raw frame colors. Against a *blur* VB
+/// (`bb_callsim::VbMode::Blur`) there is no reference image to subtract —
+/// every background pixel is a low-passed version of the truth — so
+/// [`ReconMode::BlurResidue`] skips reference identification (the whole
+/// frame is candidate evidence) and accumulates *deblurred* frames instead:
+/// each frame is sharpened by [`bb_imaging::filter::deblur_box`] (Van
+/// Cittert against the platform's blur radius) before its residue lands on
+/// the canvas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReconMode {
+    /// Accumulate raw leaked colors (the paper's §V-E attack; the golden
+    /// determinism hash pins this path).
+    #[default]
+    ColorResidue,
+    /// Accumulate Van Cittert-deblurred evidence against a blur VB.
+    BlurResidue {
+        /// The platform's box-blur radius (the deconvolution kernel).
+        radius: usize,
+    },
+}
+
 /// Pipeline tunables.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReconstructorConfig {
@@ -122,6 +152,10 @@ pub struct ReconstructorConfig {
     /// Whether per-frame masks are retained in the output (see
     /// [`MaskRetention`]).
     pub mask_retention: MaskRetention,
+    /// What kind of residue is accumulated (see [`ReconMode`]). The default
+    /// color-residue mode is the paper's attack; blur-residue adapts the
+    /// pipeline to blurred (not replaced) backgrounds.
+    pub mode: ReconMode,
 }
 
 impl Default for ReconstructorConfig {
@@ -136,6 +170,7 @@ impl Default for ReconstructorConfig {
             collect_mode: CollectMode::default(),
             warmup_frames: DEFAULT_WARMUP_FRAMES,
             mask_retention: MaskRetention::Full,
+            mode: ReconMode::ColorResidue,
         }
     }
 }
@@ -223,6 +258,13 @@ impl ReconstructorConfigBuilder {
         self
     }
 
+    /// Residue-accumulation mode (color vs deblurred evidence).
+    #[must_use]
+    pub fn mode(mut self, mode: ReconMode) -> Self {
+        self.config.mode = mode;
+        self
+    }
+
     /// Validates and produces the config.
     ///
     /// # Errors
@@ -256,6 +298,11 @@ impl ReconstructorConfigBuilder {
         if c.warmup_frames == 0 {
             return Err(CoreError::InvalidConfig(
                 "warmup_frames must be at least 1".into(),
+            ));
+        }
+        if c.mode == (ReconMode::BlurResidue { radius: 0 }) {
+            return Err(CoreError::InvalidConfig(
+                "BlurResidue radius must be at least 1 (radius 0 is ColorResidue)".into(),
             ));
         }
         if c.vc.refine_bits == 0 || c.vc.refine_bits > 8 {
@@ -736,6 +783,7 @@ mod tests {
             .min_observations(2)
             .warmup_frames(64)
             .mask_retention(MaskRetention::None)
+            .mode(ReconMode::BlurResidue { radius: 3 })
             .build()
             .unwrap();
         assert_eq!(built.tau, 9);
@@ -744,6 +792,7 @@ mod tests {
         assert_eq!(built.min_observations, 2);
         assert_eq!(built.warmup_frames, 64);
         assert_eq!(built.mask_retention, MaskRetention::None);
+        assert_eq!(built.mode, ReconMode::BlurResidue { radius: 3 });
     }
 
     #[test]
@@ -765,6 +814,10 @@ mod tests {
             (
                 ReconstructorConfig::builder().warmup_frames(0),
                 "warmup_frames 0",
+            ),
+            (
+                ReconstructorConfig::builder().mode(ReconMode::BlurResidue { radius: 0 }),
+                "blur radius 0",
             ),
             (
                 ReconstructorConfig::builder().vc(crate::vcmask::VcMaskParams {

@@ -32,14 +32,15 @@
 //! hash.
 //!
 //! [`ReconstructionSession::checkpoint`] serializes the full session state
-//! into a versioned binary format (magic `BBSC`, version 1 — see
+//! into a versioned binary format (magic `BBSC`, version 2 — see
 //! DESIGN.md §7) so a long-running capture survives process restart;
 //! [`Reconstructor::resume_session`](crate::pipeline::Reconstructor::resume_session)
 //! restores it.
 
 use crate::bbmask::bb_mask;
 use crate::pipeline::{
-    resolve_reference_impl, MaskRetention, Reconstruction, ReconstructorConfig, VbSource,
+    resolve_reference_impl, MaskRetention, ReconMode, Reconstruction, ReconstructorConfig,
+    VbSource, DEBLUR_ITERATIONS,
 };
 use crate::recon::ReconstructionCanvas;
 use crate::vbmask::{vb_mask, VirtualReference};
@@ -58,7 +59,7 @@ use bb_video::VideoStream;
 /// Checkpoint container magic ("Background buster Streaming Checkpoint").
 const MAGIC: &[u8; 4] = b"BBSC";
 /// Checkpoint format version (bump on any layout change).
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 /// Dimension sanity bound for decoded frames/masks (matches the `.bbv`
 /// decoder's bound).
 const MAX_DIM: u64 = 1 << 14;
@@ -561,8 +562,20 @@ impl ReconstructionSession {
 
     fn lock_over(&self, stream: &VideoStream) -> Result<LockedState, CoreError> {
         let telemetry = &self.telemetry;
-        let reference = resolve_reference_impl(&self.source, &self.config, telemetry, stream)?;
         let (w, h) = stream.dims();
+        // Blur residue has no identifiable background media to match
+        // against: an empty-valid reference makes the VBM (and hence the
+        // BBM) empty, so every non-caller pixel becomes residue and the
+        // deblurred frames carry the evidence into the canvas.
+        let reference = match self.config.mode {
+            ReconMode::ColorResidue => {
+                resolve_reference_impl(&self.source, &self.config, telemetry, stream)?
+            }
+            ReconMode::BlurResidue { .. } => VirtualReference::Image {
+                image: Frame::new(w, h),
+                valid: Mask::new(w, h),
+            },
+        };
         let n = stream.len();
         let workers = self.config.parallelism.max(1).min(n.max(1));
         if telemetry.is_enabled() {
@@ -928,13 +941,37 @@ fn process_block(
             Ok(leak)
         })?
     };
+    // Blur residue: invert the compositor's box blur per frame (on the
+    // worker pool) so the canvas accumulates deblurred evidence instead of
+    // smoothed colors.
+    let deblurred: Option<Vec<Frame>> = match config.mode {
+        ReconMode::ColorResidue => None,
+        ReconMode::BlurResidue { radius } => {
+            let _span = telemetry.time("reconstruct/deblur");
+            Some(run_stage(
+                n,
+                workers,
+                config.collect_mode,
+                telemetry,
+                "deblur",
+                |i| {
+                    Ok(bb_imaging::filter::deblur_box(
+                        &frames[i],
+                        radius,
+                        DEBLUR_ITERATIONS,
+                    ))
+                },
+            )?)
+        }
+    };
     let mut last_residue = 0usize;
     {
         let _span = telemetry.time("reconstruct/accumulate");
         let journal_frames = telemetry.has_journal();
         let pixels = (locked.width * locked.height).max(1) as f64;
         for (i, leak) in leaks.iter().enumerate() {
-            locked.canvas.accumulate(&frames[i], leak)?;
+            let evidence = deblurred.as_ref().map_or(&frames[i], |d| &d[i]);
+            locked.canvas.accumulate(evidence, leak)?;
             last_residue = leak.count_set();
             if journal_frames {
                 // One structured event per frame: how much the masks
@@ -1033,6 +1070,13 @@ fn put_config(buf: &mut Vec<u8>, c: &ReconstructorConfig) {
     buf.push(c.vc.refine_bits);
     put_u64(buf, c.vc.min_flip_cluster as u64);
     put_f64(buf, c.vc.model_min_freq);
+    match c.mode {
+        ReconMode::ColorResidue => buf.push(0),
+        ReconMode::BlurResidue { radius } => {
+            buf.push(1);
+            put_u64(buf, radius as u64);
+        }
+    }
 }
 
 struct Reader<'a> {
@@ -1116,6 +1160,17 @@ fn read_config(r: &mut Reader) -> Result<ReconstructorConfig, CoreError> {
             refine_bits: r.u8()?,
             min_flip_cluster: r.count()?,
             model_min_freq: r.f64()?,
+        },
+        mode: match r.u8()? {
+            0 => ReconMode::ColorResidue,
+            1 => {
+                let radius = r.count()?;
+                if radius == 0 {
+                    return Err(corrupt("blur-residue radius 0"));
+                }
+                ReconMode::BlurResidue { radius }
+            }
+            t => return Err(corrupt(format!("unknown reconstruction mode {t}"))),
         },
     })
 }
@@ -1338,6 +1393,49 @@ mod tests {
             let rec = resumed.finalize().unwrap();
             assert_same(&full, &rec);
         }
+    }
+
+    #[test]
+    fn blur_residue_checkpoints_round_trip_and_match_batch() {
+        let video = toy_call(30);
+        let cfg = ReconstructorConfig {
+            warmup_frames: 12,
+            mode: ReconMode::BlurResidue { radius: 2 },
+            ..config()
+        };
+        let reconstructor = Reconstructor::new(VbSource::UnknownImage, cfg);
+        let full = reconstructor.reconstruct(&video).unwrap();
+        // Cut during warmup (6 < 12) and after the lock (20 > 12): the mode
+        // field must survive the checkpoint codec in both phases.
+        for cut in [6usize, 20] {
+            let mut first = reconstructor.session();
+            for frame in video.frames().iter().take(cut) {
+                first.push_frame(frame).unwrap();
+            }
+            let bytes = first.checkpoint();
+            drop(first);
+            let mut resumed = reconstructor.resume_session(&bytes).unwrap();
+            assert_eq!(resumed.frames_seen(), cut);
+            for frame in video.frames().iter().skip(cut) {
+                resumed.push_frame(frame).unwrap();
+            }
+            let rec = resumed.finalize().unwrap();
+            assert_same(&full, &rec);
+        }
+        // A color-residue reconstructor refuses a blur-residue checkpoint.
+        let session = reconstructor.session();
+        let bytes = session.checkpoint();
+        let other = Reconstructor::new(
+            VbSource::UnknownImage,
+            ReconstructorConfig {
+                warmup_frames: 12,
+                ..config()
+            },
+        );
+        assert!(matches!(
+            other.resume_session(&bytes),
+            Err(CoreError::CheckpointCorrupt(_))
+        ));
     }
 
     #[test]

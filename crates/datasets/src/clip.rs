@@ -153,6 +153,7 @@ impl ClipSpec {
                 caller: self.caller.clone(),
                 action,
                 speed,
+                companions: Vec::new(),
                 lighting: self.lighting,
                 camera: self.camera,
                 quality: self.quality,

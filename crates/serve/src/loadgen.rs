@@ -14,7 +14,9 @@
 
 use crate::server::{ReconServer, ServeConfig};
 use crate::ServeError;
-use bb_callsim::{background, profile, run_session, Mitigation, VirtualBackground};
+use bb_callsim::{
+    BackgroundId, CallSim, ProfilePreset, SoftwareProfile, VbMode, VirtualBackground,
+};
 use bb_core::pipeline::{Reconstructor, ReconstructorConfig, VbSource};
 use bb_core::vbmask::VirtualReference;
 use bb_imaging::{Frame, Mask};
@@ -123,16 +125,17 @@ pub fn synthetic_call(
     }
     .render()
     .expect("synthetic scenario renders");
-    let vb = background::beach(width, height);
-    let call = run_session(
-        &gt,
-        &VirtualBackground::Image(vb.clone()),
-        &profile::zoom_like(),
-        Mitigation::None,
-        Lighting::On,
-        seed,
-    )
-    .expect("synthetic call composites");
+    let vb = match BackgroundId::Beach.realize(width, height) {
+        VirtualBackground::Image(img) => img,
+        VirtualBackground::Video(_) => unreachable!("beach is a static image"),
+    };
+    let call = CallSim::new(&gt)
+        .vb(VbMode::Image(vb.clone()))
+        .profile(SoftwareProfile::preset(ProfilePreset::ZoomLike))
+        .lighting(Lighting::On)
+        .seed(seed)
+        .run()
+        .expect("synthetic call composites");
     (vb, call.video)
 }
 

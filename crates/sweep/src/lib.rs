@@ -1,0 +1,77 @@
+//! # bb-sweep
+//!
+//! The fleet-scale scenario matrix behind `bbuster sweep`: a declarative
+//! [`SweepSpec`] enumerates scenario × profile × background × attack cells,
+//! [`run_sweep`] fans them across `bb_core::workers` (and across processes
+//! via shard filters), and [`SweepReport`] merges shard outputs into one
+//! aggregated RBRR / attack-accuracy report with a deterministic health
+//! rollup.
+//!
+//! Section VIII of the paper evaluates the reconstruction over a grid of
+//! conditions — actions × speeds × software × backgrounds (Figs 9–11) — one
+//! condition at a time. This crate is that grid as a first-class artifact:
+//! every cell runs the full render → composite → reconstruct → attack
+//! pipeline, and the report aggregates per axis so the §VIII-E software
+//! ordering or the Fig 12b attack accuracy can be read off one file.
+//!
+//! Determinism contract: a report carries no wall-clock or host state, cell
+//! seeds derive from the spec alone, and aggregation folds cells in index
+//! order — so a 1-shard run and an N-shard merge produce **byte-identical**
+//! aggregated reports (CI pins this).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod runner;
+pub mod spec;
+
+pub use report::{Aggregates, CellResult, SweepReport, REPORT_SCHEMA};
+pub use runner::{run_sweep, RunOptions};
+pub use spec::{AttackSpec, CellSpec, ScenarioSpec, SweepSpec, VbSpec, SPEC_SCHEMA};
+
+/// Errors from the sweep layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SweepError {
+    /// The spec is malformed (empty axis, bad identifier, zero geometry).
+    Spec(String),
+    /// A spec or report file failed to parse.
+    Parse(String),
+    /// Shard reports cannot be merged (digest mismatch, overlap, gaps).
+    Merge(String),
+    /// A worker-pool failure outside any single cell.
+    Core(bb_core::CoreError),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Spec(m) => write!(f, "invalid sweep spec: {m}"),
+            SweepError::Parse(m) => write!(f, "sweep parse error: {m}"),
+            SweepError::Merge(m) => write!(f, "sweep merge error: {m}"),
+            SweepError::Core(e) => write!(f, "sweep worker error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<bb_core::CoreError> for SweepError {
+    fn from(e: bb_core::CoreError) -> Self {
+        SweepError::Core(e)
+    }
+}
+
+impl From<bb_telemetry::json::JsonError> for SweepError {
+    fn from(e: bb_telemetry::json::JsonError) -> Self {
+        SweepError::Parse(e.to_string())
+    }
+}

@@ -1,0 +1,525 @@
+//! Sweep reports: per-cell results, shard merging, deterministic
+//! aggregation.
+//!
+//! A report is either a **shard** (`shard: Some((k, n))` — the cells whose
+//! `index % n == k`, no aggregates) or **complete** (`shard: None` — every
+//! cell, with the aggregate block and health rollup). [`SweepReport::merge`]
+//! turns a full set of shards into a complete report through the *same*
+//! aggregation path a 1-shard run uses, and reports carry no wall-clock or
+//! host state, so the two are byte-identical (CI pins this with `cmp`).
+
+use bb_telemetry::json::{self, Json};
+use std::collections::BTreeMap;
+
+use crate::SweepError;
+
+/// Schema identifier embedded in every report file.
+pub const REPORT_SCHEMA: &str = "bb-sweep/report/v1";
+
+/// The outcome of one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// The cell's index in the spec's enumeration.
+    pub index: usize,
+    /// Scenario name.
+    pub scenario: String,
+    /// Profile name.
+    pub profile: String,
+    /// Background name (`beach`, `blur:4`, …).
+    pub background: String,
+    /// Attack name.
+    pub attack: String,
+    /// Ground-truth achievable RBRR (union of true leaks), percent.
+    pub truth_rbrr: f64,
+    /// Recovered RBRR, percent.
+    pub rbrr: f64,
+    /// Recovery precision vs the true background, percent.
+    pub precision: f64,
+    /// Location-attack top-1 hit (`None` when the cell ran no attack).
+    pub attack_top1: Option<bool>,
+    /// Failure description when the cell's pipeline errored (metric fields
+    /// are zero and excluded from aggregation).
+    pub error: Option<String>,
+}
+
+/// The aggregate block of a complete report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregates {
+    /// Cells that completed.
+    pub cells_ok: usize,
+    /// Cells that failed.
+    pub cells_failed: usize,
+    /// Mean recovered RBRR over completed cells, percent.
+    pub mean_rbrr: f64,
+    /// Minimum recovered RBRR over completed cells, percent.
+    pub min_rbrr: f64,
+    /// Maximum recovered RBRR over completed cells, percent.
+    pub max_rbrr: f64,
+    /// Mean recovery precision over completed cells, percent.
+    pub mean_precision: f64,
+    /// Top-1 location-attack accuracy over attacked cells (`None` when no
+    /// cell ran an attack).
+    pub attack_accuracy: Option<f64>,
+    /// Mean RBRR per scenario name.
+    pub by_scenario: BTreeMap<String, f64>,
+    /// Mean RBRR per profile name.
+    pub by_profile: BTreeMap<String, f64>,
+    /// Mean RBRR per background name.
+    pub by_background: BTreeMap<String, f64>,
+    /// Deterministic health rollup: `ok` (no failures), `degraded` (≤ 5 %
+    /// failed), `failing` (more).
+    pub health: String,
+}
+
+/// A sweep run's output: shard or complete.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Digest of the generating spec (merge refuses mismatches).
+    pub spec_digest: String,
+    /// Total cells in the full matrix (merge checks coverage against it).
+    pub cells_total: usize,
+    /// `Some((k, n))` for shard `k` of `n`; `None` for a complete report.
+    pub shard: Option<(usize, usize)>,
+    /// Per-cell results, ascending by index.
+    pub cells: Vec<CellResult>,
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+impl SweepReport {
+    /// Computes the aggregate block over this report's cells. Only
+    /// meaningful for complete reports, but defined for any cell set;
+    /// folds in index order so the result is worker- and shard-agnostic.
+    pub fn aggregates(&self) -> Aggregates {
+        let ok: Vec<&CellResult> = self.cells.iter().filter(|c| c.error.is_none()).collect();
+        let failed = self.cells.len() - ok.len();
+        let axis = |key: fn(&CellResult) -> &str| -> BTreeMap<String, f64> {
+            let mut sums: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+            for c in &ok {
+                let slot = sums.entry(key(c).to_string()).or_insert((0.0, 0));
+                slot.0 += c.rbrr;
+                slot.1 += 1;
+            }
+            sums.into_iter()
+                .map(|(k, (sum, n))| (k, sum / n as f64))
+                .collect()
+        };
+        let attacked: Vec<bool> = ok.iter().filter_map(|c| c.attack_top1).collect();
+        let health = if failed == 0 {
+            "ok"
+        } else if failed * 20 <= self.cells.len() {
+            "degraded"
+        } else {
+            "failing"
+        };
+        Aggregates {
+            cells_ok: ok.len(),
+            cells_failed: failed,
+            mean_rbrr: mean(ok.iter().map(|c| c.rbrr)),
+            min_rbrr: ok.iter().map(|c| c.rbrr).fold(f64::INFINITY, f64::min),
+            max_rbrr: ok.iter().map(|c| c.rbrr).fold(0.0, f64::max),
+            mean_precision: mean(ok.iter().map(|c| c.precision)),
+            attack_accuracy: if attacked.is_empty() {
+                None
+            } else {
+                Some(attacked.iter().filter(|&&hit| hit).count() as f64 / attacked.len() as f64)
+            },
+            by_scenario: axis(|c| &c.scenario),
+            by_profile: axis(|c| &c.profile),
+            by_background: axis(|c| &c.background),
+            health: health.to_string(),
+        }
+    }
+
+    /// Merges a complete set of shard reports into one complete report.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Merge`] on digest mismatches, duplicate or missing
+    /// cell indices, or when a complete (unsharded) report is mixed in.
+    pub fn merge(shards: &[SweepReport]) -> Result<SweepReport, SweepError> {
+        let first = shards
+            .first()
+            .ok_or_else(|| SweepError::Merge("no shard reports given".to_string()))?;
+        let mut cells: Vec<CellResult> = Vec::with_capacity(first.cells_total);
+        for (i, shard) in shards.iter().enumerate() {
+            if shard.spec_digest != first.spec_digest {
+                return Err(SweepError::Merge(format!(
+                    "shard {i} was generated from a different spec \
+                     ({} vs {})",
+                    shard.spec_digest, first.spec_digest
+                )));
+            }
+            if shard.cells_total != first.cells_total {
+                return Err(SweepError::Merge(format!(
+                    "shard {i} disagrees on the matrix size ({} vs {})",
+                    shard.cells_total, first.cells_total
+                )));
+            }
+            cells.extend(shard.cells.iter().cloned());
+        }
+        cells.sort_by_key(|c| c.index);
+        let indices: Vec<usize> = cells.iter().map(|c| c.index).collect();
+        let expected: Vec<usize> = (0..first.cells_total).collect();
+        if indices != expected {
+            return Err(SweepError::Merge(format!(
+                "shards do not cover the matrix exactly once \
+                 ({} cells for a {}-cell matrix)",
+                indices.len(),
+                first.cells_total
+            )));
+        }
+        Ok(SweepReport {
+            spec_digest: first.spec_digest.clone(),
+            cells_total: first.cells_total,
+            shard: None,
+            cells,
+        })
+    }
+
+    /// Serializes to the canonical pretty-printed JSON form. Complete
+    /// reports include the aggregate block; shards do not (their cells are
+    /// not the full matrix, so per-axis means would mislead).
+    pub fn to_json_string(&self) -> String {
+        let mut root = BTreeMap::new();
+        root.insert(
+            "schema".to_string(),
+            Json::String(REPORT_SCHEMA.to_string()),
+        );
+        root.insert(
+            "spec_digest".to_string(),
+            Json::String(self.spec_digest.clone()),
+        );
+        root.insert(
+            "cells_total".to_string(),
+            Json::Number(self.cells_total as f64),
+        );
+        if let Some((k, n)) = self.shard {
+            let mut o = BTreeMap::new();
+            o.insert("index".to_string(), Json::Number(k as f64));
+            o.insert("count".to_string(), Json::Number(n as f64));
+            root.insert("shard".to_string(), Json::Object(o));
+        }
+        root.insert(
+            "cells".to_string(),
+            Json::Array(self.cells.iter().map(cell_to_json).collect()),
+        );
+        if self.shard.is_none() {
+            root.insert(
+                "aggregates".to_string(),
+                aggregates_to_json(&self.aggregates()),
+            );
+        }
+        json::to_pretty_string(&Json::Object(root))
+    }
+
+    /// Parses a report from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Parse`] on malformed JSON or a wrong schema.
+    pub fn from_json_str(text: &str) -> Result<SweepReport, SweepError> {
+        let value = json::parse(text)?;
+        let root = value.as_object("report")?;
+        let schema = root
+            .get("schema")
+            .ok_or_else(|| SweepError::Parse("report missing schema".to_string()))?
+            .as_string("schema")?;
+        if schema != REPORT_SCHEMA {
+            return Err(SweepError::Parse(format!(
+                "unsupported report schema {schema:?} (expected {REPORT_SCHEMA})"
+            )));
+        }
+        let spec_digest = root
+            .get("spec_digest")
+            .ok_or_else(|| SweepError::Parse("report missing spec_digest".to_string()))?
+            .as_string("spec_digest")?
+            .to_string();
+        let cells_total = root
+            .get("cells_total")
+            .ok_or_else(|| SweepError::Parse("report missing cells_total".to_string()))?
+            .as_u64("cells_total")? as usize;
+        let shard = match root.get("shard") {
+            None => None,
+            Some(v) => {
+                let o = v.as_object("shard")?;
+                let get = |name: &str| -> Result<usize, SweepError> {
+                    Ok(o.get(name)
+                        .ok_or_else(|| SweepError::Parse(format!("shard missing {name}")))?
+                        .as_u64(name)? as usize)
+                };
+                Some((get("index")?, get("count")?))
+            }
+        };
+        let cells = match root
+            .get("cells")
+            .ok_or_else(|| SweepError::Parse("report missing cells".to_string()))?
+        {
+            Json::Array(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, v)| cell_from_json(v, i))
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(SweepError::Parse("cells must be an array".to_string())),
+        };
+        Ok(SweepReport {
+            spec_digest,
+            cells_total,
+            shard,
+            cells,
+        })
+    }
+}
+
+fn cell_to_json(c: &CellResult) -> Json {
+    let mut o = BTreeMap::new();
+    o.insert("index".to_string(), Json::Number(c.index as f64));
+    o.insert("scenario".to_string(), Json::String(c.scenario.clone()));
+    o.insert("profile".to_string(), Json::String(c.profile.clone()));
+    o.insert("background".to_string(), Json::String(c.background.clone()));
+    o.insert("attack".to_string(), Json::String(c.attack.clone()));
+    o.insert("truth_rbrr".to_string(), Json::Number(c.truth_rbrr));
+    o.insert("rbrr".to_string(), Json::Number(c.rbrr));
+    o.insert("precision".to_string(), Json::Number(c.precision));
+    o.insert(
+        "attack_top1".to_string(),
+        match c.attack_top1 {
+            Some(hit) => Json::Bool(hit),
+            None => Json::Null,
+        },
+    );
+    o.insert(
+        "error".to_string(),
+        match &c.error {
+            Some(msg) => Json::String(msg.clone()),
+            None => Json::Null,
+        },
+    );
+    Json::Object(o)
+}
+
+fn cell_from_json(v: &Json, i: usize) -> Result<CellResult, SweepError> {
+    let o = v.as_object(&format!("cells[{i}]"))?;
+    let get = |name: &str| -> Result<&Json, SweepError> {
+        o.get(name)
+            .ok_or_else(|| SweepError::Parse(format!("cells[{i}] missing {name}")))
+    };
+    Ok(CellResult {
+        index: get("index")?.as_u64("index")? as usize,
+        scenario: get("scenario")?.as_string("scenario")?.to_string(),
+        profile: get("profile")?.as_string("profile")?.to_string(),
+        background: get("background")?.as_string("background")?.to_string(),
+        attack: get("attack")?.as_string("attack")?.to_string(),
+        truth_rbrr: get("truth_rbrr")?.as_f64("truth_rbrr")?,
+        rbrr: get("rbrr")?.as_f64("rbrr")?,
+        precision: get("precision")?.as_f64("precision")?,
+        attack_top1: match get("attack_top1")? {
+            Json::Null => None,
+            Json::Bool(b) => Some(*b),
+            _ => {
+                return Err(SweepError::Parse(format!(
+                    "cells[{i}] attack_top1 must be bool or null"
+                )))
+            }
+        },
+        error: match get("error")? {
+            Json::Null => None,
+            Json::String(s) => Some(s.clone()),
+            _ => {
+                return Err(SweepError::Parse(format!(
+                    "cells[{i}] error must be string or null"
+                )))
+            }
+        },
+    })
+}
+
+fn aggregates_to_json(a: &Aggregates) -> Json {
+    let axis = |m: &BTreeMap<String, f64>| {
+        Json::Object(
+            m.iter()
+                .map(|(k, v)| (k.clone(), Json::Number(*v)))
+                .collect(),
+        )
+    };
+    let mut o = BTreeMap::new();
+    o.insert("cells_ok".to_string(), Json::Number(a.cells_ok as f64));
+    o.insert(
+        "cells_failed".to_string(),
+        Json::Number(a.cells_failed as f64),
+    );
+    o.insert("mean_rbrr".to_string(), Json::Number(a.mean_rbrr));
+    o.insert(
+        "min_rbrr".to_string(),
+        if a.min_rbrr.is_finite() {
+            Json::Number(a.min_rbrr)
+        } else {
+            Json::Null
+        },
+    );
+    o.insert("max_rbrr".to_string(), Json::Number(a.max_rbrr));
+    o.insert("mean_precision".to_string(), Json::Number(a.mean_precision));
+    o.insert(
+        "attack_accuracy".to_string(),
+        match a.attack_accuracy {
+            Some(acc) => Json::Number(acc),
+            None => Json::Null,
+        },
+    );
+    o.insert("by_scenario".to_string(), axis(&a.by_scenario));
+    o.insert("by_profile".to_string(), axis(&a.by_profile));
+    o.insert("by_background".to_string(), axis(&a.by_background));
+    o.insert("health".to_string(), Json::String(a.health.clone()));
+    Json::Object(o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(index: usize, scenario: &str, rbrr: f64, error: Option<&str>) -> CellResult {
+        CellResult {
+            index,
+            scenario: scenario.to_string(),
+            profile: "zoom_like".to_string(),
+            background: "beach".to_string(),
+            attack: "none".to_string(),
+            truth_rbrr: rbrr + 5.0,
+            rbrr,
+            precision: 90.0,
+            attack_top1: None,
+            error: error.map(str::to_string),
+        }
+    }
+
+    fn complete(cells: Vec<CellResult>) -> SweepReport {
+        SweepReport {
+            spec_digest: "abc123".to_string(),
+            cells_total: cells.len(),
+            shard: None,
+            cells,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut report = complete(vec![
+            cell(0, "a", 20.0, None),
+            cell(1, "b", 40.0, Some("boom")),
+        ]);
+        report.cells[0].attack_top1 = Some(true);
+        let text = report.to_json_string();
+        let back = SweepReport::from_json_str(&text).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn aggregates_skip_failed_cells_and_fold_axes() {
+        let report = complete(vec![
+            cell(0, "a", 20.0, None),
+            cell(1, "a", 40.0, None),
+            cell(2, "b", 60.0, Some("boom")),
+        ]);
+        let agg = report.aggregates();
+        assert_eq!(agg.cells_ok, 2);
+        assert_eq!(agg.cells_failed, 1);
+        assert!((agg.mean_rbrr - 30.0).abs() < 1e-12);
+        assert_eq!(agg.min_rbrr, 20.0);
+        assert_eq!(agg.max_rbrr, 40.0);
+        assert_eq!(agg.by_scenario.len(), 1, "failed cell must not aggregate");
+        assert!((agg.by_scenario["a"] - 30.0).abs() < 1e-12);
+        assert_eq!(agg.attack_accuracy, None);
+        // 1 of 3 failed > 5%: degraded is too kind, this is failing.
+        assert_eq!(agg.health, "failing");
+    }
+
+    #[test]
+    fn health_thresholds() {
+        let ok = complete(vec![cell(0, "a", 1.0, None)]);
+        assert_eq!(ok.aggregates().health, "ok");
+        let mut cells: Vec<CellResult> = (0..20).map(|i| cell(i, "a", 1.0, None)).collect();
+        cells[0].error = Some("x".to_string());
+        assert_eq!(complete(cells).aggregates().health, "degraded");
+    }
+
+    #[test]
+    fn merge_reassembles_shards_in_index_order() {
+        let full = complete(vec![
+            cell(0, "a", 10.0, None),
+            cell(1, "a", 20.0, None),
+            cell(2, "b", 30.0, None),
+            cell(3, "b", 40.0, None),
+        ]);
+        let shard = |k: usize| SweepReport {
+            spec_digest: full.spec_digest.clone(),
+            cells_total: 4,
+            shard: Some((k, 2)),
+            cells: full
+                .cells
+                .iter()
+                .filter(|c| c.index % 2 == k)
+                .cloned()
+                .collect(),
+        };
+        // Shards given out of order still merge to the canonical report.
+        let merged = SweepReport::merge(&[shard(1), shard(0)]).unwrap();
+        assert_eq!(merged, full);
+        assert_eq!(merged.to_json_string(), full.to_json_string());
+    }
+
+    #[test]
+    fn merge_rejects_mismatch_overlap_and_gaps() {
+        let a = SweepReport {
+            spec_digest: "aaa".to_string(),
+            cells_total: 2,
+            shard: Some((0, 2)),
+            cells: vec![cell(0, "a", 1.0, None)],
+        };
+        let mut wrong_digest = a.clone();
+        wrong_digest.spec_digest = "bbb".to_string();
+        wrong_digest.shard = Some((1, 2));
+        assert!(matches!(
+            SweepReport::merge(&[a.clone(), wrong_digest]),
+            Err(SweepError::Merge(_))
+        ));
+        // Same shard twice: cell 0 duplicated, cell 1 missing.
+        assert!(matches!(
+            SweepReport::merge(&[a.clone(), a.clone()]),
+            Err(SweepError::Merge(_))
+        ));
+        // A lone shard leaves a gap.
+        assert!(matches!(
+            SweepReport::merge(&[a]),
+            Err(SweepError::Merge(_))
+        ));
+        assert!(matches!(SweepReport::merge(&[]), Err(SweepError::Merge(_))));
+    }
+
+    #[test]
+    fn shard_reports_omit_aggregates() {
+        let shard = SweepReport {
+            spec_digest: "abc".to_string(),
+            cells_total: 2,
+            shard: Some((0, 2)),
+            cells: vec![cell(0, "a", 1.0, None)],
+        };
+        let text = shard.to_json_string();
+        assert!(!text.contains("aggregates"));
+        assert!(text.contains("\"shard\""));
+        let back = SweepReport::from_json_str(&text).unwrap();
+        assert_eq!(back, shard);
+    }
+}

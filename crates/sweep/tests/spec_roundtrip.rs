@@ -1,0 +1,107 @@
+//! Property test: any well-formed [`SweepSpec`] survives the hand-rolled
+//! JSON writer/parser exactly, and the canonical serialization — hence the
+//! digest that guards shard merges — is a fixed point of parse ∘ serialize.
+
+use bb_callsim::{BackgroundId, ProfilePreset};
+use bb_sweep::{AttackSpec, ScenarioSpec, SweepSpec, VbSpec};
+use bb_synth::{Action, Lighting, Speed};
+use proptest::prelude::*;
+
+/// Seeds travel as JSON numbers (f64), so the format is exact only up to
+/// 2^53 — the strategies stay inside that envelope on purpose.
+const MAX_SEED: u64 = 1 << 53;
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    sample::select(Action::ALL.to_vec())
+}
+
+fn arb_speed() -> impl Strategy<Value = Speed> {
+    sample::select(Speed::ALL.to_vec())
+}
+
+fn arb_lighting() -> impl Strategy<Value = Lighting> {
+    sample::select(vec![Lighting::On, Lighting::Off])
+}
+
+/// Either a catalog background (images and videos alike) or the blur
+/// compositor at radius 1..=9.
+fn arb_vb() -> impl Strategy<Value = VbSpec> {
+    let n = BackgroundId::ALL.len();
+    (0usize..n + 9).prop_map(move |i| {
+        if i < n {
+            VbSpec::Catalog(BackgroundId::ALL[i])
+        } else {
+            VbSpec::Blur(i - n + 1)
+        }
+    })
+}
+
+/// A non-empty subset of `all`, chosen by bitmask so no extra strategy
+/// machinery is needed.
+fn arb_subset<T: Clone + 'static>(all: Vec<T>) -> impl Strategy<Value = Vec<T>> {
+    let n = all.len() as u32;
+    (1u32..(1 << n)).prop_map(move |mask| {
+        all.iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, v)| v.clone())
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn spec_round_trips_through_json(
+        width in 8usize..320,
+        height in 8usize..240,
+        frames in 1usize..96,
+        fps_tenths in 1u32..1200,
+        base_seed in 0u64..MAX_SEED,
+        cell_parallelism in 1usize..8,
+        bodies in collection::vec(
+            (arb_action(), arb_speed(), arb_lighting(), 0u64..MAX_SEED, 0usize..3),
+            1..4,
+        ),
+        profiles in arb_subset(ProfilePreset::ALL.to_vec()),
+        backgrounds in collection::vec(arb_vb(), 1..5),
+        attacks in arb_subset(vec![AttackSpec::None, AttackSpec::Location]),
+    ) {
+        let scenarios = bodies
+            .into_iter()
+            .enumerate()
+            .map(|(i, (action, speed, lighting, room_seed, companions))| ScenarioSpec {
+                name: format!("scen{i}"),
+                action,
+                speed,
+                lighting,
+                room_seed,
+                companions,
+            })
+            .collect();
+        let spec = SweepSpec {
+            width,
+            height,
+            frames,
+            fps: f64::from(fps_tenths) / 10.0,
+            base_seed,
+            cell_parallelism,
+            scenarios,
+            profiles,
+            backgrounds,
+            attacks,
+        };
+        spec.validate().expect("generated spec is well-formed");
+
+        let text = spec.to_json_string();
+        let parsed = SweepSpec::from_json_str(&text).expect("canonical form parses");
+        prop_assert_eq!(&parsed, &spec);
+
+        // The canonical form is a serialization fixed point, so two
+        // processes that parse the same spec file always agree on the
+        // digest — the property shard merging relies on.
+        prop_assert_eq!(parsed.to_json_string(), text);
+        prop_assert_eq!(parsed.digest(), spec.digest());
+    }
+}

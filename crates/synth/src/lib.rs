@@ -40,4 +40,4 @@ pub use caller::{Accessory, CallerAppearance, CallerPose};
 pub use camera::{CameraPose, Lighting};
 pub use objects::{ObjectClass, SceneObject};
 pub use room::Room;
-pub use scenario::{GroundTruth, Scenario};
+pub use scenario::{Companion, GroundTruth, Scenario};

@@ -14,6 +14,35 @@ use bb_imaging::{Frame, Mask};
 use bb_video::{VideoError, VideoStream};
 use serde::{Deserialize, Serialize};
 
+/// An additional on-camera participant sharing the frame with the main
+/// caller — multi-person calls (§VII-A ran several participants through the
+/// same room). Companions render *behind* the main caller and contribute to
+/// the true foreground mask like any other body pixel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Companion {
+    /// Companion appearance.
+    pub caller: CallerAppearance,
+    /// What the companion does.
+    pub action: Action,
+    /// How fast they do it.
+    pub speed: Speed,
+    /// Horizontal shift from the frame centre, as a fraction of frame width
+    /// (negative = left of the main caller).
+    pub offset_x: f32,
+}
+
+impl Companion {
+    /// Participant `index` standing `offset_x` from the centre, idling.
+    pub fn participant(index: usize, offset_x: f32) -> Self {
+        Companion {
+            caller: CallerAppearance::participant(index),
+            action: Action::Still,
+            speed: Speed::Average,
+            offset_x,
+        }
+    }
+}
+
 /// A deterministic recording recipe.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
@@ -25,6 +54,8 @@ pub struct Scenario {
     pub action: Action,
     /// How fast they do it.
     pub speed: Speed,
+    /// Additional on-camera participants (empty for a one-person call).
+    pub companions: Vec<Companion>,
     /// Background lighting state.
     pub lighting: Lighting,
     /// Camera pose relative to the canonical dictionary pose.
@@ -52,6 +83,7 @@ impl Scenario {
             caller: CallerAppearance::participant(0),
             action: Action::Still,
             speed: Speed::Average,
+            companions: Vec::new(),
             lighting: Lighting::On,
             camera: CameraPose::canonical(),
             quality: CameraQuality::consumer(),
@@ -84,7 +116,17 @@ impl Scenario {
             let t = i as f32 / self.fps as f32;
             let pose = self.action.pose_at(t, self.speed);
             let mut scene = background.clone();
-            let fg = render_caller(&mut scene, &self.caller, &pose);
+            // Companions first: the main caller paints over them, so the
+            // depth order is companions behind, caller in front.
+            let mut fg = Mask::new(self.width, self.height);
+            for companion in &self.companions {
+                let mut cpose = companion.action.pose_at(t, companion.speed);
+                cpose.center_x += companion.offset_x;
+                let cmask = render_caller(&mut scene, &companion.caller, &cpose);
+                fg = fg.union(&cmask).expect("companion mask dims match");
+            }
+            let caller_fg = render_caller(&mut scene, &self.caller, &pose);
+            let fg = fg.union(&caller_fg).expect("caller mask dims match");
             let captured = capture(
                 &scene,
                 &self.camera,
@@ -205,6 +247,32 @@ mod tests {
         assert_eq!(union.count_set(), 80 * 60);
         let inter = gt.fg_masks[0].intersect(&gt.bg_mask(0)).unwrap();
         assert!(inter.is_empty());
+    }
+
+    #[test]
+    fn companions_add_foreground_and_stay_deterministic() {
+        let mut s = small_scenario(Action::Still);
+        let solo = s.render().unwrap();
+        s.companions = vec![
+            Companion::participant(1, -0.28),
+            Companion {
+                action: Action::ArmWaving,
+                ..Companion::participant(2, 0.3)
+            },
+        ];
+        let duo = s.render().unwrap();
+        assert_eq!(duo.video, s.render().unwrap().video);
+        for (m_solo, m_duo) in solo.fg_masks.iter().zip(duo.fg_masks.iter()) {
+            assert!(
+                m_duo.count_set() > m_solo.count_set(),
+                "companions added no foreground ({} vs {})",
+                m_duo.count_set(),
+                m_solo.count_set()
+            );
+            // The main caller is always fully covered by the multi-person
+            // mask (companions never erase the caller).
+            assert!(m_solo.subtract(m_duo).unwrap().is_empty());
+        }
     }
 
     #[test]

@@ -1169,6 +1169,20 @@ pub fn default_serve_rules() -> Vec<SloRule> {
     .collect()
 }
 
+/// The default SLO rule set for the sweep runner: failed-cell ratio, worker
+/// panics, and journal drops. `bbuster sweep run` installs these when
+/// `--metrics-out` is given and no override is supplied.
+pub fn default_sweep_rules() -> Vec<SloRule> {
+    [
+        "ratio:sweep/cells_failed:sweep/cells_done<=0.05",
+        "total:workers/panics<=0",
+        "gauge:journal/dropped<=0",
+    ]
+    .iter()
+    .map(|r| SloRule::parse(r).expect("default rules parse"))
+    .collect()
+}
+
 // --------------------------------------------------------------- exporter
 
 /// Periodic atomic snapshot writer: JSON to the configured path, the
@@ -1431,6 +1445,16 @@ mod tests {
         let hub = MetricsHub::new();
         hub.set_rules(default_serve_rules());
         assert_eq!(hub.snapshot().health.state, HealthState::Ok);
+    }
+
+    #[test]
+    fn default_sweep_rules_parse_and_flag_failed_cells() {
+        let hub = MetricsHub::new();
+        hub.set_rules(default_sweep_rules());
+        assert_eq!(hub.snapshot().health.state, HealthState::Ok);
+        hub.add("sweep/cells_done", 10);
+        hub.add("sweep/cells_failed", 10);
+        assert_ne!(hub.snapshot().health.state, HealthState::Ok);
     }
 
     #[test]

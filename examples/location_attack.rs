@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release --example location_attack`
 
 use bb_attacks::{LocationDictionary, LocationInference};
-use bb_callsim::{background, profile, run_session, Mitigation, VirtualBackground};
+use bb_callsim::{background, BackgroundId, CallSim, ProfilePreset, SoftwareProfile};
 use bb_core::pipeline::{Reconstructor, ReconstructorConfig, VbSource};
 use bb_datasets::{dictionary, e2_catalog, DatasetConfig};
 use bb_telemetry::Telemetry;
@@ -29,18 +29,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("target call: {} (true location: {truth_label})", clip.id);
 
     let gt = clip.render(&data)?;
-    let vb = VirtualBackground::Image(background::office(data.width, data.height));
-    let call = run_session(
-        &gt,
-        &vb,
-        &profile::zoom_like(),
-        Mitigation::None,
-        clip.lighting,
-        3,
-    )?;
+    let call = CallSim::new(&gt)
+        .vb(BackgroundId::Office.realize(data.width, data.height))
+        .profile(SoftwareProfile::preset(ProfilePreset::ZoomLike))
+        .lighting(clip.lighting)
+        .seed(3)
+        .run()?;
 
     let reconstructor = Reconstructor::new(
-        VbSource::KnownImages(background::builtin_images(data.width, data.height)),
+        VbSource::KnownImages(background::catalog_images(data.width, data.height)),
         ReconstructorConfig {
             tau: 14,
             phi: 5,

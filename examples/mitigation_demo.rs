@@ -7,7 +7,7 @@
 //! Run with: `cargo run --release --example mitigation_demo`
 
 use bb_callsim::mitigation::DynamicBackgroundParams;
-use bb_callsim::{background, profile, run_session, Mitigation, VirtualBackground};
+use bb_callsim::{background, BackgroundId, CallSim, Mitigation, ProfilePreset, SoftwareProfile};
 use bb_core::metrics;
 use bb_core::pipeline::{Reconstructor, ReconstructorConfig, VbSource};
 use bb_synth::{Action, Lighting, Room, Scenario};
@@ -21,9 +21,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..Scenario::baseline(room)
     };
     let gt = scenario.render()?;
-    let vb = VirtualBackground::Image(background::beach(160, 120));
+    let vb = BackgroundId::Beach.realize(160, 120);
     let reconstructor = Reconstructor::new(
-        VbSource::KnownImages(background::builtin_images(160, 120)),
+        VbSource::KnownImages(background::catalog_images(160, 120)),
         ReconstructorConfig {
             tau: 14,
             phi: 5,
@@ -43,14 +43,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
         ("deepfake replay (§IX-B)", Mitigation::DeepfakeReplay),
     ] {
-        let call = run_session(
-            &gt,
-            &vb,
-            &profile::zoom_like(),
-            mitigation,
-            Lighting::On,
-            11,
-        )?;
+        let call = CallSim::new(&gt)
+            .vb(vb.clone())
+            .profile(SoftwareProfile::preset(ProfilePreset::ZoomLike))
+            .mitigation(mitigation)
+            .lighting(Lighting::On)
+            .seed(11)
+            .run()?;
         let result = reconstructor.reconstruct(&call.video)?;
         let precision =
             metrics::recovery_precision(&result.background, &result.recovered, &gt.background, 40)?;

@@ -7,7 +7,7 @@
 //! Run with: `cargo run --release --example object_tracking`
 
 use bb_attacks::ObjectTracker;
-use bb_callsim::{background, profile, run_session, Mitigation, VirtualBackground};
+use bb_callsim::{background, BackgroundId, CallSim, ProfilePreset, SoftwareProfile};
 use bb_core::pipeline::{Reconstructor, ReconstructorConfig, VbSource};
 use bb_synth::{Action, Lighting, ObjectClass, Room, Scenario, SceneObject};
 use bb_telemetry::Telemetry;
@@ -36,18 +36,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..Scenario::baseline(room.clone())
     };
     let gt = scenario.render()?;
-    let vb = VirtualBackground::Image(background::space(160, 120));
-    let call = run_session(
-        &gt,
-        &vb,
-        &profile::zoom_like(),
-        Mitigation::None,
-        Lighting::On,
-        5,
-    )?;
+    let call = CallSim::new(&gt)
+        .vb(BackgroundId::Space.realize(160, 120))
+        .profile(SoftwareProfile::preset(ProfilePreset::ZoomLike))
+        .lighting(Lighting::On)
+        .seed(5)
+        .run()?;
 
     let reconstructor = Reconstructor::new(
-        VbSource::KnownImages(background::builtin_images(160, 120)),
+        VbSource::KnownImages(background::catalog_images(160, 120)),
         ReconstructorConfig {
             tau: 14,
             phi: 5,

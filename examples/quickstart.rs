@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use bb_callsim::{background, profile, run_session, Mitigation, VirtualBackground};
+use bb_callsim::{background, BackgroundId, CallSim, ProfilePreset, SoftwareProfile};
 use bb_core::metrics;
 use bb_core::pipeline::{Reconstructor, ReconstructorConfig, VbSource};
 use bb_synth::{Action, Lighting, Room, Scenario};
@@ -24,20 +24,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ground_truth = scenario.render()?;
 
     // 2. The video-call software applies a beach virtual background.
-    let virtual_bg = VirtualBackground::Image(background::beach(160, 120));
-    let call = run_session(
-        &ground_truth,
-        &virtual_bg,
-        &profile::zoom_like(),
-        Mitigation::None,
-        Lighting::On,
-        7,
-    )?;
+    let call = CallSim::new(&ground_truth)
+        .vb(BackgroundId::Beach.realize(160, 120))
+        .profile(SoftwareProfile::preset(ProfilePreset::ZoomLike))
+        .lighting(Lighting::On)
+        .seed(7)
+        .run()?;
 
     // 3. The adversary reconstructs the real background. Here they own the
     //    default gallery (the "known virtual image" scenario of §V-B).
     let reconstructor = Reconstructor::new(
-        VbSource::KnownImages(background::builtin_images(160, 120)),
+        VbSource::KnownImages(background::catalog_images(160, 120)),
         ReconstructorConfig {
             tau: 14,
             phi: 5,

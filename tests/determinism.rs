@@ -12,7 +12,7 @@
 //!   actually did, round-trips through JSON, and stays completely empty when
 //!   disabled.
 
-use bb_callsim::{background, profile, run_session, Mitigation, VirtualBackground};
+use bb_callsim::{background, BackgroundId, CallSim, ProfilePreset, SoftwareProfile};
 use bb_core::pipeline::{Reconstruction, Reconstructor, ReconstructorConfig, VbSource};
 use bb_core::CollectMode;
 use bb_imaging::{Frame, Mask};
@@ -39,17 +39,14 @@ fn seeded_call() -> VideoStream {
     }
     .render()
     .expect("scenario renders");
-    let vb = VirtualBackground::Image(background::beach(W, H));
-    run_session(
-        &gt,
-        &vb,
-        &profile::zoom_like(),
-        Mitigation::None,
-        Lighting::On,
-        SEED,
-    )
-    .expect("session composites")
-    .video
+    CallSim::new(&gt)
+        .vb(BackgroundId::Beach.realize(W, H))
+        .profile(SoftwareProfile::preset(ProfilePreset::ZoomLike))
+        .lighting(Lighting::On)
+        .seed(SEED)
+        .run()
+        .expect("session composites")
+        .video
 }
 
 fn reconstruct(
@@ -65,7 +62,7 @@ fn reconstruct(
         ..Default::default()
     };
     Reconstructor::new(
-        VbSource::KnownImages(background::builtin_images(W, H)),
+        VbSource::KnownImages(background::catalog_images(W, H)),
         config,
     )
     .with_telemetry(telemetry.clone())
@@ -171,7 +168,7 @@ fn golden_hash_holds_for_streaming_push_and_finalize() {
         ..Default::default()
     };
     let reconstructor = Reconstructor::new(
-        VbSource::KnownImages(background::builtin_images(W, H)),
+        VbSource::KnownImages(background::catalog_images(W, H)),
         config,
     );
     let mut session = reconstructor.session();
@@ -202,7 +199,7 @@ fn wire_served_session_lands_on_the_golden_hash() {
         ..Default::default()
     };
     let prototype = Reconstructor::new(
-        VbSource::KnownImages(background::builtin_images(W, H)),
+        VbSource::KnownImages(background::catalog_images(W, H)),
         config,
     );
     let dir = std::env::temp_dir().join(format!("bb_determinism_wire_{}", std::process::id()));
@@ -289,7 +286,7 @@ fn golden_hash_holds_through_v2_containers_and_mmap_ingest() {
         ..Default::default()
     };
     let reconstructor = Reconstructor::new(
-        VbSource::KnownImages(background::builtin_images(W, H)),
+        VbSource::KnownImages(background::catalog_images(W, H)),
         config,
     );
     let mut session = reconstructor.session();
@@ -318,7 +315,7 @@ fn checkpoint_resume_is_byte_identical_to_the_uninterrupted_run() {
         ..Default::default()
     };
     let reconstructor = Reconstructor::new(
-        VbSource::KnownImages(background::builtin_images(W, H)),
+        VbSource::KnownImages(background::catalog_images(W, H)),
         config,
     );
     let uncut = {

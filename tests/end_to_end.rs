@@ -3,7 +3,10 @@
 
 use bb_attacks::{LocationDictionary, LocationInference};
 use bb_callsim::mitigation::DynamicBackgroundParams;
-use bb_callsim::{background, profile, run_session, Mitigation, VirtualBackground};
+use bb_callsim::{
+    background, BackgroundId, CallSim, Mitigation, ProfilePreset, SoftwareProfile,
+    VirtualBackground,
+};
 use bb_core::metrics;
 use bb_core::pipeline::{Reconstructor, ReconstructorConfig, VbSource};
 use bb_synth::{Action, Lighting, Room, Scenario};
@@ -34,16 +37,22 @@ fn recon_config() -> ReconstructorConfig {
 
 fn reconstruct(
     gt: &bb_synth::GroundTruth,
-    prof: &bb_callsim::SoftwareProfile,
+    preset: ProfilePreset,
     mitigation: Mitigation,
 ) -> (
     bb_core::pipeline::Reconstruction,
     bb_callsim::CompositedCall,
 ) {
-    let vb = VirtualBackground::Image(background::beach(W, H));
-    let call = run_session(gt, &vb, prof, mitigation, Lighting::On, 11).expect("session");
+    let call = CallSim::new(gt)
+        .vb(BackgroundId::Beach.realize(W, H))
+        .profile(SoftwareProfile::preset(preset))
+        .mitigation(mitigation)
+        .lighting(Lighting::On)
+        .seed(11)
+        .run()
+        .expect("session");
     let rec = Reconstructor::new(
-        VbSource::KnownImages(background::builtin_images(W, H)),
+        VbSource::KnownImages(background::catalog_images(W, H)),
         recon_config(),
     )
     .reconstruct(&call.video)
@@ -54,7 +63,7 @@ fn reconstruct(
 #[test]
 fn known_vb_reconstruction_recovers_true_background_pixels() {
     let gt = scenario(Action::ArmWaving, 1, 90).render().expect("render");
-    let (rec, call) = reconstruct(&gt, &profile::zoom_like(), Mitigation::None);
+    let (rec, call) = reconstruct(&gt, ProfilePreset::ZoomLike, Mitigation::None);
     assert!(rec.rbrr() > 2.0, "RBRR too low: {}", rec.rbrr());
     let precision =
         metrics::recovery_precision(&rec.background, &rec.recovered, &gt.background, 40).unwrap();
@@ -68,16 +77,13 @@ fn known_vb_reconstruction_recovers_true_background_pixels() {
 #[test]
 fn unknown_vb_derivation_supports_reconstruction() {
     let gt = scenario(Action::Clapping, 2, 90).render().expect("render");
-    let vb = VirtualBackground::Image(background::space(W, H));
-    let call = run_session(
-        &gt,
-        &vb,
-        &profile::zoom_like(),
-        Mitigation::None,
-        Lighting::On,
-        3,
-    )
-    .expect("session");
+    let call = CallSim::new(&gt)
+        .vb(BackgroundId::Space.realize(W, H))
+        .profile(SoftwareProfile::preset(ProfilePreset::ZoomLike))
+        .lighting(Lighting::On)
+        .seed(3)
+        .run()
+        .expect("session");
     let rec = Reconstructor::new(VbSource::UnknownImage, recon_config())
         .reconstruct(&call.video)
         .expect("reconstruct");
@@ -91,7 +97,9 @@ fn unknown_vb_derivation_supports_reconstruction() {
     let bb_core::vbmask::VirtualReference::Image { image, valid } = &rec.vb_reference else {
         panic!("expected image reference");
     };
-    let vb_img = background::space(W, H);
+    let VirtualBackground::Image(vb_img) = BackgroundId::Space.realize(W, H) else {
+        unreachable!("space is a static image")
+    };
     let mut agree = 0usize;
     let mut total = 0usize;
     for (x, y) in valid.iter_set() {
@@ -111,8 +119,8 @@ fn unknown_vb_derivation_supports_reconstruction() {
 fn moving_actions_leak_more_than_static_ones() {
     let still = scenario(Action::Still, 3, 80).render().expect("render");
     let entering = scenario(Action::EnterExit, 3, 80).render().expect("render");
-    let (rec_still, _) = reconstruct(&still, &profile::zoom_like(), Mitigation::None);
-    let (rec_enter, _) = reconstruct(&entering, &profile::zoom_like(), Mitigation::None);
+    let (rec_still, _) = reconstruct(&still, ProfilePreset::ZoomLike, Mitigation::None);
+    let (rec_enter, _) = reconstruct(&entering, ProfilePreset::ZoomLike, Mitigation::None);
     assert!(
         rec_enter.rbrr() > rec_still.rbrr(),
         "enter-exit {} <= still {}",
@@ -124,8 +132,8 @@ fn moving_actions_leak_more_than_static_ones() {
 #[test]
 fn skype_like_leaks_less_than_zoom_like() {
     let gt = scenario(Action::ArmWaving, 4, 90).render().expect("render");
-    let (rec_zoom, call_zoom) = reconstruct(&gt, &profile::zoom_like(), Mitigation::None);
-    let (rec_skype, call_skype) = reconstruct(&gt, &profile::skype_like(), Mitigation::None);
+    let (rec_zoom, call_zoom) = reconstruct(&gt, ProfilePreset::ZoomLike, Mitigation::None);
+    let (rec_skype, call_skype) = reconstruct(&gt, ProfilePreset::SkypeLike, Mitigation::None);
     let truth_zoom = metrics::rbrr_from_leaks(&call_zoom.truth.leaked).unwrap();
     let truth_skype = metrics::rbrr_from_leaks(&call_skype.truth.leaked).unwrap();
     assert!(
@@ -143,7 +151,7 @@ fn skype_like_leaks_less_than_zoom_like() {
 #[test]
 fn perfect_matting_defeats_the_attack() {
     let gt = scenario(Action::ArmWaving, 5, 60).render().expect("render");
-    let (_, call) = reconstruct(&gt, &profile::perfect(), Mitigation::None);
+    let (_, call) = reconstruct(&gt, ProfilePreset::Perfect, Mitigation::None);
     let truth = metrics::rbrr_from_leaks(&call.truth.leaked).unwrap();
     assert_eq!(truth, 0.0, "perfect matting must not leak");
 }
@@ -153,10 +161,10 @@ fn dynamic_background_poisons_the_reconstruction() {
     let gt = scenario(Action::Stretching, 6, 80)
         .render()
         .expect("render");
-    let (rec_plain, _) = reconstruct(&gt, &profile::zoom_like(), Mitigation::None);
+    let (rec_plain, _) = reconstruct(&gt, ProfilePreset::ZoomLike, Mitigation::None);
     let (rec_defended, _) = reconstruct(
         &gt,
-        &profile::zoom_like(),
+        ProfilePreset::ZoomLike,
         Mitigation::DynamicBackground(DynamicBackgroundParams::default()),
     );
     let precision_plain = metrics::recovery_precision(
@@ -207,7 +215,7 @@ fn location_inference_finds_the_true_room() {
         ..Scenario::baseline(target_room)
     };
     let gt = sc.render().expect("render");
-    let (rec, _) = reconstruct(&gt, &profile::zoom_like(), Mitigation::None);
+    let (rec, _) = reconstruct(&gt, ProfilePreset::ZoomLike, Mitigation::None);
     let attack = LocationInference {
         rotations: vec![0.0],
         shifts: vec![0],
@@ -231,8 +239,8 @@ fn location_inference_finds_the_true_room() {
 #[test]
 fn deepfake_replay_caps_leakage_at_first_frame() {
     let gt = scenario(Action::EnterExit, 7, 90).render().expect("render");
-    let (rec_plain, _) = reconstruct(&gt, &profile::zoom_like(), Mitigation::None);
-    let (rec_fake, _) = reconstruct(&gt, &profile::zoom_like(), Mitigation::DeepfakeReplay);
+    let (rec_plain, _) = reconstruct(&gt, ProfilePreset::ZoomLike, Mitigation::None);
+    let (rec_fake, _) = reconstruct(&gt, ProfilePreset::ZoomLike, Mitigation::DeepfakeReplay);
     assert!(
         rec_fake.rbrr() < rec_plain.rbrr(),
         "deepfake {} >= plain {}",

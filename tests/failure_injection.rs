@@ -1,6 +1,6 @@
 //! Failure injection: malformed inputs must error, never panic.
 
-use bb_callsim::{background, profile, run_session, Mitigation, VirtualBackground};
+use bb_callsim::{BackgroundId, CallSim, Mitigation, ProfilePreset, SoftwareProfile};
 use bb_core::pipeline::{Reconstructor, ReconstructorConfig, VbSource};
 use bb_core::CoreError;
 use bb_imaging::{Frame, Rgb};
@@ -45,15 +45,12 @@ fn mismatched_ground_truth_is_rejected_by_session() {
     .render()
     .unwrap();
     gt.fg_masks.pop(); // break the frame/mask pairing
-    let vb = VirtualBackground::Image(background::beach(32, 24));
-    let result = run_session(
-        &gt,
-        &vb,
-        &profile::zoom_like(),
-        Mitigation::None,
-        Lighting::On,
-        1,
-    );
+    let result = CallSim::new(&gt)
+        .vb(BackgroundId::Beach.realize(32, 24))
+        .profile(SoftwareProfile::preset(ProfilePreset::ZoomLike))
+        .lighting(Lighting::On)
+        .seed(1)
+        .run();
     assert!(result.is_err(), "mask/frame mismatch must error");
 }
 
@@ -112,15 +109,13 @@ fn degenerate_mitigation_parameters_error() {
     }
     .render()
     .unwrap();
-    let vb = VirtualBackground::Image(background::beach(32, 24));
-    let r = run_session(
-        &gt,
-        &vb,
-        &profile::zoom_like(),
-        Mitigation::FrameDrop { keep_every: 0 },
-        Lighting::On,
-        1,
-    );
+    let r = CallSim::new(&gt)
+        .vb(BackgroundId::Beach.realize(32, 24))
+        .profile(SoftwareProfile::preset(ProfilePreset::ZoomLike))
+        .mitigation(Mitigation::FrameDrop { keep_every: 0 })
+        .lighting(Lighting::On)
+        .seed(1)
+        .run();
     assert!(r.is_err(), "FrameDrop(0) must error");
 }
 

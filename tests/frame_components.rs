@@ -2,7 +2,7 @@
 //! every pixel of a composited frame belongs to exactly one of VB, BB, VC,
 //! LB — and the pipeline's per-frame masks respect the partition.
 
-use bb_callsim::{background, blend, profile, run_session, Mitigation, VirtualBackground};
+use bb_callsim::{blend, BackgroundId, CallSim, ProfilePreset, SoftwareProfile, VirtualBackground};
 use bb_core::pipeline::{Reconstructor, ReconstructorConfig, VbSource};
 use bb_imaging::Mask;
 use bb_synth::{Action, Lighting, Room, Scenario};
@@ -22,16 +22,13 @@ fn composited() -> bb_callsim::CompositedCall {
     }
     .render()
     .expect("render");
-    let vb = VirtualBackground::Image(background::office(W, H));
-    run_session(
-        &gt,
-        &vb,
-        &profile::zoom_like(),
-        Mitigation::None,
-        Lighting::On,
-        5,
-    )
-    .expect("session")
+    CallSim::new(&gt)
+        .vb(BackgroundId::Office.realize(W, H))
+        .profile(SoftwareProfile::preset(ProfilePreset::ZoomLike))
+        .lighting(Lighting::On)
+        .seed(5)
+        .run()
+        .expect("session")
 }
 
 #[test]
@@ -59,8 +56,11 @@ fn ground_truth_components_partition_each_frame() {
 #[test]
 fn pipeline_masks_are_disjoint_and_tile_the_frame() {
     let call = composited();
+    let VirtualBackground::Image(office) = BackgroundId::Office.realize(W, H) else {
+        unreachable!("office is a static image")
+    };
     let rec = Reconstructor::new(
-        VbSource::KnownImages(vec![background::office(W, H)]),
+        VbSource::KnownImages(vec![office]),
         ReconstructorConfig {
             tau: 12,
             phi: 3,
